@@ -1,0 +1,144 @@
+//! Connected components via BFS sweeps.
+
+use obfs_core::{run_bfs, Algorithm, BfsOptions, BfsRunner, UNVISITED};
+use obfs_graph::{CsrGraph, VertexId};
+
+/// A component labelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` = component id in `[0, count)`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: u32,
+}
+
+impl Components {
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count as usize];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn giant_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether two vertices share a component.
+    pub fn same_component(&self, a: VertexId, b: VertexId) -> bool {
+        self.label[a as usize] == self.label[b as usize]
+    }
+}
+
+/// Connected components of an undirected (symmetric) graph: repeated
+/// parallel BFS from the first unlabelled vertex. For a directed graph
+/// this computes *reachability components of the given orientation*;
+/// symmetrize first (e.g. `GraphBuilder::symmetrize`) for weak
+/// components.
+///
+/// The sweep is sequential over components but each BFS is parallel —
+/// the right trade for real-world graphs whose giant component dominates.
+pub fn connected_components(graph: &CsrGraph, algo: Algorithm, opts: &BfsOptions) -> Components {
+    let n = graph.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    if n == 0 {
+        return Components { label, count };
+    }
+    let runner = (algo != Algorithm::Serial).then(|| BfsRunner::new(opts.threads));
+    for v in 0..n as VertexId {
+        if label[v as usize] != u32::MAX {
+            continue;
+        }
+        let r = match &runner {
+            Some(run) => run.run(algo, graph, v, opts),
+            None => run_bfs(Algorithm::Serial, graph, v, opts),
+        };
+        for (u, &l) in r.levels.iter().enumerate() {
+            if l != UNVISITED && label[u] == u32::MAX {
+                label[u] = count;
+            }
+        }
+        count += 1;
+    }
+    Components { label, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfs_graph::{gen, GraphBuilder};
+
+    fn opts() -> BfsOptions {
+        BfsOptions { threads: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn single_component_graphs() {
+        for g in [gen::cycle(40), gen::grid2d(8, 9), gen::star(30)] {
+            let c = connected_components(&g, Algorithm::Bfscl, &opts());
+            assert_eq!(c.count, 1);
+            assert_eq!(c.giant_size(), g.num_vertices());
+        }
+    }
+
+    #[test]
+    fn island_graph() {
+        // Three disjoint triangles + two isolated vertices.
+        let mut b = GraphBuilder::new(11).symmetrize(true);
+        for base in [0u32, 3, 6] {
+            b.add_edge(base, base + 1);
+            b.add_edge(base + 1, base + 2);
+            b.add_edge(base + 2, base);
+        }
+        let g = b.build();
+        let c = connected_components(&g, Algorithm::Bfswl, &opts());
+        assert_eq!(c.count, 5);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 3, 3, 3]);
+        assert!(c.same_component(0, 2));
+        assert!(!c.same_component(0, 3));
+        assert!(!c.same_component(9, 10));
+    }
+
+    #[test]
+    fn labels_are_dense_and_stable() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 0), (4, 5), (5, 4)]);
+        let c = connected_components(&g, Algorithm::Serial, &opts());
+        assert_eq!(c.count, 4); // {0,1}, {2}, {3}, {4,5}
+        assert!(c.label.iter().all(|&l| l < c.count));
+        // First-seen order: component ids increase with the smallest
+        // member vertex.
+        assert_eq!(c.label[0], 0);
+        assert_eq!(c.label[2], 1);
+        assert_eq!(c.label[3], 2);
+        assert_eq!(c.label[4], 3);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let mut b = GraphBuilder::new(500).symmetrize(true);
+        // Two random blobs, disconnected.
+        let blob1 = gen::erdos_renyi(250, 1000, 3);
+        b.extend(blob1.edges());
+        let blob2 = gen::erdos_renyi(250, 1000, 4);
+        b.extend(blob2.edges().map(|(u, v)| (u + 250, v + 250)));
+        let g = b.build();
+        let serial = connected_components(&g, Algorithm::Serial, &opts());
+        let parallel = connected_components(&g, Algorithm::Bfswsl, &opts());
+        assert_eq!(serial.label, parallel.label);
+        assert_eq!(serial.count, parallel.count);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let c = connected_components(&g, Algorithm::Serial, &opts());
+        assert_eq!(c.count, 0);
+        assert_eq!(c.giant_size(), 0);
+    }
+}

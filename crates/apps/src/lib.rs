@@ -1,0 +1,34 @@
+//! Applications built on the optimistic parallel BFS.
+//!
+//! The paper motivates BFS as "a building block for several other
+//! important algorithms such as finding shortest paths and connected
+//! components, graph clustering, community structure discovery, max-flow
+//! computation and the betweenness centrality problem" (§I). This crate
+//! implements that downstream layer on top of [`obfs_core`]:
+//!
+//! * [`sssp`] — unweighted single-/multi-source shortest paths, path
+//!   extraction, st-connectivity;
+//! * [`components`] — (weakly) connected components via BFS sweeps;
+//! * [`bipartite`] — bipartiteness testing / 2-coloring from BFS parity;
+//! * [`clustering`] — BFS-ball graph clustering (the deterministic
+//!   clustering primitive of the paper's ref. \[8\]);
+//! * [`betweenness`] — Brandes' betweenness centrality with sampled
+//!   sources (paper ref. \[17\]);
+//! * [`maxflow`] — Edmonds–Karp max-flow, whose augmenting-path search is
+//!   a BFS on the residual network.
+
+#![warn(missing_docs)]
+
+pub mod betweenness;
+pub mod bipartite;
+pub mod clustering;
+pub mod components;
+pub mod maxflow;
+pub mod sssp;
+
+pub use betweenness::betweenness_centrality;
+pub use bipartite::{bipartition, Bipartition};
+pub use clustering::bfs_ball_clustering;
+pub use components::{connected_components, Components};
+pub use maxflow::{max_flow, FlowNetwork};
+pub use sssp::{multi_source_distances, shortest_path, st_connected, ShortestPath};

@@ -1,0 +1,30 @@
+//! Comparison baselines used in the paper's evaluation.
+//!
+//! * **Baseline1** — Leiserson & Schardl, *A work-efficient parallel
+//!   breadth-first search algorithm (or how to cope with the
+//!   nondeterminism of reducers)*, SPAA 2010. Frontiers are *bags*
+//!   (binomial-forest-like collections of *pennants*) processed by a
+//!   work-stealing fork-join scheduler; per-worker output bags emulate
+//!   the `bag` reducer. Lock- and atomic-free in its queue handling, but
+//!   built on a complicated recursive data structure — exactly the
+//!   contrast the paper draws with its plain-array approach.
+//! * **Baseline2** — Hong, Oguntebi & Olukotun, *Efficient parallel graph
+//!   exploration on multi-core CPU and GPU*, PACT 2011 (the four
+//!   multicore CPU variants). Level-synchronous BFS using read-based
+//!   and queue-based frontiers with optional CAS-maintained visited
+//!   bitmaps — the atomic-RMW-based school of parallel BFS.
+//! * **Direction-optimizing BFS** — Beamer, Asanović & Patterson, SC
+//!   2012 (paper §II ref. \[5\]): the top-down/bottom-up hybrid, included
+//!   as the modern comparison point for dense low-diameter graphs.
+
+#![warn(missing_docs)]
+
+pub mod bag;
+pub mod beamer;
+pub mod hong;
+pub mod pbfs;
+
+pub use bag::{Bag, Pennant};
+pub use beamer::{beamer_bfs, BeamerResult, Direction};
+pub use hong::{hong_bfs, HongVariant};
+pub use pbfs::{pbfs, PbfsRunner};

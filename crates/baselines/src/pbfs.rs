@@ -1,0 +1,253 @@
+//! Baseline1: Leiserson–Schardl PBFS (SPAA'10).
+//!
+//! Layer-synchronous BFS where each layer is a [`Bag`]. The layer is
+//! processed by the work-stealing fork-join pool: each pennant becomes a
+//! task; tasks recursively detach subtrees above the grain size as
+//! subtasks and walk small subtrees serially. Discovered vertices go into
+//! **per-worker output bags** — our explicit rendering of the cilk++
+//! `bag` reducer: every worker strand appends to its own view, and the
+//! views are reduced (bag-union) at the layer boundary.
+//!
+//! Like the original, the distance array is updated with *benign races*
+//! (plain stores of the same value within a layer); the algorithm takes
+//! no lock and no atomic RMW on its data structures — its complexity is
+//! in the bag, which is the contrast the paper draws.
+
+use crate::bag::{Bag, Pennant, PennantNode};
+use obfs_core::perthread::PerThread;
+use obfs_core::stats::{RunStats, ThreadStats};
+use obfs_core::{BfsResult, UNVISITED};
+use obfs_graph::{CsrGraph, VertexId};
+use obfs_runtime::{ForkJoinPool, TaskCtx};
+use obfs_sync::RacyBuf;
+use std::sync::Arc;
+
+/// Subtrees of height <= this are walked serially (grain ~ 2^6 = 64
+/// vertices per task, matching PBFS's coarsening).
+const GRAIN_HEIGHT: u32 = 6;
+
+/// One-shot convenience wrapper around [`PbfsRunner`].
+pub fn pbfs(graph: &CsrGraph, src: VertexId, threads: usize) -> BfsResult {
+    PbfsRunner::new(threads).run(graph, src)
+}
+
+/// Reusable PBFS executor owning its fork-join pool.
+pub struct PbfsRunner {
+    pool: ForkJoinPool,
+}
+
+/// Shared state for one layer's task graph.
+struct LayerShared<'g> {
+    graph: &'g CsrGraph,
+    levels: &'g RacyBuf,
+    next: u32,
+    out_bags: PerThread<Bag>,
+    stats: PerThread<ThreadStats>,
+}
+
+impl PbfsRunner {
+    /// A runner with its own `threads`-wide fork-join pool.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1);
+        Self { pool: ForkJoinPool::new(threads) }
+    }
+
+    /// Worker count of the owned pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Run PBFS from `src`.
+    pub fn run(&mut self, graph: &CsrGraph, src: VertexId) -> BfsResult {
+        let n = graph.num_vertices();
+        assert!((src as usize) < n, "source {src} out of range for n={n}");
+        let threads = self.pool.threads();
+        let t0 = std::time::Instant::now();
+
+        let levels = RacyBuf::filled(n, UNVISITED);
+        levels.set(src as usize, 0);
+        let mut in_bag = Bag::new();
+        in_bag.insert(src);
+        let totals = PerThread::new(threads, |_| ThreadStats::default());
+        let mut level = 0u32;
+
+        while !in_bag.is_empty() {
+            let shared = Arc::new(LayerShared {
+                graph,
+                levels: &levels,
+                next: level + 1,
+                out_bags: PerThread::new(threads, |_| Bag::new()),
+                stats: PerThread::new(threads, |_| ThreadStats::default()),
+            });
+            // SAFETY: `scope` blocks until every task completes, so the
+            // 'static view of the borrowed graph/levels never escapes the
+            // borrow. (The fork-join pool's documented scope pattern.)
+            let shared_static: Arc<LayerShared<'static>> =
+                unsafe { std::mem::transmute(Arc::clone(&shared)) };
+            let pennants = in_bag.take_pennants();
+            self.pool.scope(move |ctx| {
+                for p in pennants {
+                    let s = Arc::clone(&shared_static);
+                    ctx.spawn(move |c| process_pennant(c, p, s));
+                }
+            });
+            let shared = Arc::try_unwrap(shared).ok().expect("all tasks done; sole owner");
+            // Reduce: union the per-worker bags into the next layer.
+            let mut next_bag = Bag::new();
+            let mut out_bags = shared.out_bags;
+            for b in out_bags.iter_mut() {
+                next_bag.union(std::mem::take(b));
+            }
+            let mut layer_stats = shared.stats;
+            for (t, s) in layer_stats.iter_mut().enumerate() {
+                // SAFETY: exclusive &mut access after the scope.
+                unsafe { totals.get_mut(t) }.merge(s);
+            }
+            in_bag = next_bag;
+            if in_bag.is_empty() {
+                break;
+            }
+            level += 1;
+        }
+
+        let traversal_time = t0.elapsed();
+        let out_levels: Vec<u32> = (0..n).map(|v| levels.get(v)).collect();
+        BfsResult {
+            levels: out_levels,
+            parents: None,
+            stats: RunStats::from_threads(totals.into_values(), level + 1, traversal_time),
+        }
+    }
+}
+
+/// Task: process a whole pennant.
+fn process_pennant(ctx: &TaskCtx<'_>, pennant: Pennant, shared: Arc<LayerShared<'static>>) {
+    let (root, k) = pennant.into_parts();
+    process_node(ctx, root, k, shared);
+}
+
+/// Process the subtree rooted at `node` (height bound `h`): spawn big
+/// children as subtasks, walk small ones inline.
+fn process_node(
+    ctx: &TaskCtx<'_>,
+    mut node: Box<PennantNode>,
+    h: u32,
+    shared: Arc<LayerShared<'static>>,
+) {
+    if h > GRAIN_HEIGHT {
+        if let Some(left) = node.left.take() {
+            let s = Arc::clone(&shared);
+            ctx.spawn(move |c| process_node(c, left, h - 1, s));
+        }
+        if let Some(right) = node.right.take() {
+            let s = Arc::clone(&shared);
+            ctx.spawn(move |c| process_node(c, right, h - 1, s));
+        }
+        explore(ctx, node.value, &shared);
+    } else {
+        walk_serial(ctx, &node, &shared);
+    }
+}
+
+fn walk_serial(ctx: &TaskCtx<'_>, node: &PennantNode, shared: &LayerShared<'static>) {
+    explore(ctx, node.value, shared);
+    if let Some(l) = &node.left {
+        walk_serial(ctx, l, shared);
+    }
+    if let Some(r) = &node.right {
+        walk_serial(ctx, r, shared);
+    }
+}
+
+#[inline]
+fn explore(ctx: &TaskCtx<'_>, v: VertexId, shared: &LayerShared<'static>) {
+    let wid = ctx.worker_id();
+    // SAFETY: tasks on one worker run sequentially; only worker `wid`
+    // touches slot `wid`.
+    let (bag, ts) = unsafe { (shared.out_bags.get_mut(wid), shared.stats.get_mut(wid)) };
+    ts.vertices_explored += 1;
+    let neigh = shared.graph.neighbors(v);
+    ts.edges_scanned += neigh.len() as u64;
+    for &w in neigh {
+        // Benign race, exactly as in the original PBFS: two workers may
+        // both see UNVISITED and both insert w (into different bags);
+        // both stores write the same level value.
+        if shared.levels.get(w as usize) == UNVISITED {
+            shared.levels.set(w as usize, shared.next);
+            bag.insert(w);
+            ts.vertices_discovered += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfs_core::serial::serial_bfs;
+    use obfs_graph::gen;
+
+    fn check(g: &CsrGraph, src: u32, threads: usize) {
+        let r = pbfs(g, src, threads);
+        let ser = serial_bfs(g, src);
+        assert_eq!(r.levels, ser.levels, "pbfs (p={threads}, src={src})");
+    }
+
+    #[test]
+    fn matches_serial_small_graphs() {
+        check(&gen::path(100), 0, 2);
+        check(&gen::star(200), 0, 4);
+        check(&gen::binary_tree(511), 0, 4);
+        check(&gen::complete(40), 3, 4);
+    }
+
+    #[test]
+    fn matches_serial_random_graphs() {
+        for seed in 0..4 {
+            let g = gen::erdos_renyi(800, 6000, seed);
+            check(&g, (seed as u32 * 37) % 800, 4);
+        }
+    }
+
+    #[test]
+    fn single_thread() {
+        check(&gen::cycle(64), 5, 1);
+    }
+
+    #[test]
+    fn large_frontier_spawns_tasks() {
+        // 2^13 - 1 node tree: frontiers reach 4096, far above the grain,
+        // so the recursive splitting path runs.
+        let g = gen::binary_tree((1 << 13) - 1);
+        check(&g, 0, 4);
+    }
+
+    #[test]
+    fn runner_is_reusable() {
+        let mut runner = PbfsRunner::new(3);
+        let g = gen::erdos_renyi(300, 2000, 9);
+        let ser = serial_bfs(&g, 0);
+        for _ in 0..3 {
+            let r = runner.run(&g, 0);
+            assert_eq!(r.levels, ser.levels);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let g = gen::barabasi_albert(400, 2, 2);
+        let r = pbfs(&g, 0, 4);
+        let reached = r.reached() as u64;
+        assert!(r.stats.totals.vertices_explored >= reached);
+        assert!(r.stats.totals.edges_scanned >= g.num_edges() / 2);
+        assert_eq!(r.stats.totals.lock_acquisitions, 0, "PBFS takes no locks");
+        assert_eq!(r.stats.totals.steal.attempts, 0, "scheduler steals are not BFS steals");
+    }
+
+    #[test]
+    fn disconnected() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (3, 4)]);
+        let r = pbfs(&g, 0, 2);
+        assert_eq!(r.levels[1], 1);
+        assert_eq!(r.levels[3], UNVISITED);
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the Leiserson–Schardl bag (Baseline1's
+//! data structure) against the paper's plain array queue: insert, union
+//! and split throughput. Quantifies the "complicated data structure"
+//! overhead the paper's simple arrays avoid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obfs_baselines::Bag;
+use std::hint::black_box;
+
+fn bag_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontier-insert");
+    for &n in &[1_000u32, 100_000] {
+        g.bench_with_input(BenchmarkId::new("bag", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut bag = Bag::new();
+                for i in 0..n {
+                    bag.insert(black_box(i));
+                }
+                black_box(bag.len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("array-queue", n), &n, |b, &n| {
+            b.iter(|| {
+                // The paper's structure: a plain vector push.
+                let mut q: Vec<u32> = Vec::new();
+                for i in 0..n {
+                    q.push(black_box(i));
+                }
+                black_box(q.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bag_union_split(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bag-structure");
+    g.bench_function("union-2x50k", |b| {
+        b.iter_batched(
+            || {
+                let mut x = Bag::new();
+                let mut y = Bag::new();
+                for i in 0..50_000u32 {
+                    x.insert(i);
+                    y.insert(i + 50_000);
+                }
+                (x, y)
+            },
+            |(mut x, y)| {
+                x.union(y);
+                black_box(x.len())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("split-100k", |b| {
+        b.iter_batched(
+            || {
+                let mut x = Bag::new();
+                for i in 0..100_000u32 {
+                    x.insert(i);
+                }
+                x
+            },
+            |mut x| {
+                let y = x.split();
+                black_box((x.len(), y.len()))
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("walk-100k", |b| {
+        let mut x = Bag::new();
+        for i in 0..100_000u32 {
+            x.insert(i);
+        }
+        b.iter(|| {
+            let mut sum = 0u64;
+            x.for_each(|v| sum += v as u64);
+            black_box(sum)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bag_insert, bag_union_split
+}
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Criterion micro-benchmarks of the synchronization substrate: racy
+//! cell traffic, spin-lock round trips, barrier rounds, and the
+//! zero-on-read queue walk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obfs_core::frontier::FrontierQueue;
+use obfs_sync::{RacyBuf, SpinBarrier, SpinLock, TicketLock};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn racy_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("racy");
+    g.bench_function("load-store-1M", |b| {
+        let buf = RacyBuf::new(1024);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1_000_000usize {
+                let idx = i & 1023;
+                acc = acc.wrapping_add(buf.get(idx));
+                buf.set(idx, acc);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks");
+    g.bench_function("spinlock-uncontended-100k", |b| {
+        let l = SpinLock::new(0u64);
+        b.iter(|| {
+            for _ in 0..100_000 {
+                *l.lock() += 1;
+            }
+            black_box(*l.lock())
+        });
+    });
+    g.bench_function("ticketlock-uncontended-100k", |b| {
+        let l = TicketLock::new(0u64);
+        b.iter(|| {
+            for _ in 0..100_000 {
+                *l.lock() += 1;
+            }
+            black_box(*l.lock())
+        });
+    });
+    g.bench_function("racy-unprotected-100k", |b| {
+        // The optimistic alternative: plain load+store (no mutual
+        // exclusion — the single-threaded baseline cost).
+        let cell = obfs_sync::RacyUsize::new(0);
+        b.iter(|| {
+            for _ in 0..100_000 {
+                cell.store(cell.load() + 1);
+            }
+            black_box(cell.load())
+        });
+    });
+    g.finish();
+}
+
+fn barrier_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier");
+    g.sample_size(10);
+    for &p in &[2usize, 4] {
+        g.bench_function(format!("spin-barrier-{p}x1000"), |b| {
+            b.iter(|| {
+                let barrier = Arc::new(SpinBarrier::new(p));
+                let handles: Vec<_> = (0..p)
+                    .map(|_| {
+                        let ba = Arc::clone(&barrier);
+                        std::thread::spawn(move || {
+                            for _ in 0..1000 {
+                                ba.wait();
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn queue_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue-walk");
+    g.bench_function("zero-on-read-64k", |b| {
+        b.iter_batched(
+            || {
+                let q = FrontierQueue::new(65536);
+                let mut rear = 0;
+                for v in 0..65536u32 {
+                    q.push(&mut rear, v);
+                }
+                q
+            },
+            |q| {
+                // The lock-free consumption pattern: read, clear, walk.
+                let mut sum = 0u64;
+                let mut i = 0;
+                while let Some(s) = {
+                    let v = q.slot(i);
+                    (v != 0).then_some(v)
+                } {
+                    q.clear_slot(i);
+                    sum += s as u64;
+                    i += 1;
+                }
+                black_box(sum)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("plain-read-64k", |b| {
+        let q = FrontierQueue::new(65536);
+        let mut rear = 0;
+        for v in 0..65536u32 {
+            q.push(&mut rear, v);
+        }
+        b.iter(|| {
+            // The locked consumption pattern: read only.
+            let mut sum = 0u64;
+            for i in 0..65536 {
+                sum += q.slot(i) as u64;
+            }
+            black_box(sum)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = racy_cells, locks, barrier_rounds, queue_walk
+}
+criterion_main!(benches);

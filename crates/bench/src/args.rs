@@ -1,0 +1,116 @@
+//! Minimal command-line parsing shared by the bench binaries (the
+//! workspace avoids external CLI crates; see DESIGN.md dependency
+//! policy).
+
+/// Common benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Graph scale divisor: `n = paper_n / divisor`.
+    pub divisor: u64,
+    /// Worker threads for parallel algorithms.
+    pub threads: usize,
+    /// Random non-zero-degree sources per (algorithm, graph) cell.
+    pub sources: usize,
+    /// Master seed for graph generation and source sampling.
+    pub seed: u64,
+    /// Emit machine-readable JSON lines alongside the tables.
+    pub json: bool,
+    /// Restrict to a single graph (by Table IV name) if set.
+    pub only_graph: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self { divisor: 128, threads: 8, sources: 4, seed: 1, json: false, only_graph: None }
+    }
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args`, panicking with usage on bad input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().unwrap_or_else(|| panic!("flag {name} requires a value"))
+            };
+            match flag.as_str() {
+                "--divisor" => out.divisor = parse_num(&value("--divisor"), "--divisor"),
+                "--threads" => out.threads = parse_num(&value("--threads"), "--threads"),
+                "--sources" => out.sources = parse_num(&value("--sources"), "--sources"),
+                "--seed" => out.seed = parse_num(&value("--seed"), "--seed"),
+                "--graph" => out.only_graph = Some(value("--graph")),
+                "--json" => out.json = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --divisor <k> --threads <p> --sources <s> --seed <x> \
+                         --graph <name> --json"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+        }
+        assert!(out.divisor >= 1, "--divisor must be >= 1");
+        assert!(out.threads >= 1, "--threads must be >= 1");
+        assert!(out.sources >= 1, "--sources must be >= 1");
+        out
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| panic!("bad value {s:?} for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = BenchArgs::parse_from(strs(&[]));
+        assert_eq!(a.divisor, 128);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn full_parse() {
+        let a = BenchArgs::parse_from(strs(&[
+            "--divisor", "64", "--threads", "12", "--sources", "10", "--seed", "7", "--json",
+            "--graph", "wikipedia",
+        ]));
+        assert_eq!(a.divisor, 64);
+        assert_eq!(a.threads, 12);
+        assert_eq!(a.sources, 10);
+        assert_eq!(a.seed, 7);
+        assert!(a.json);
+        assert_eq!(a.only_graph.as_deref(), Some("wikipedia"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        let _ = BenchArgs::parse_from(strs(&["--bogus"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn rejects_missing_value() {
+        let _ = BenchArgs::parse_from(strs(&["--threads"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value")]
+    fn rejects_bad_number() {
+        let _ = BenchArgs::parse_from(strs(&["--threads", "many"]));
+    }
+}

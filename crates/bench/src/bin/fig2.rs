@@ -1,0 +1,96 @@
+//! Regenerates **Figure 2**: scalability of the lock-free algorithms on
+//! the Wikipedia graph — running time (and speedup over serial BFS) as a
+//! function of the worker count.
+//!
+//! `--threads` sets the sweep's maximum (paper: 12 on Lonestar for
+//! Fig. 2(a), 32 on Trestles for Fig. 2(b)).
+
+use obfs_bench::env::HostInfo;
+use obfs_bench::harness::{measure, pick_sources};
+use obfs_bench::table::{ms, Table};
+use obfs_bench::{BenchArgs, Contender, ContenderPool};
+use obfs_core::{Algorithm, BfsOptions};
+use obfs_graph::gen::suite::PaperGraph;
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("{}", HostInfo::detect().render(args.threads));
+    let graph_kind = args
+        .only_graph
+        .as_deref()
+        .map(|n| PaperGraph::from_name(n).expect("unknown graph name"))
+        .unwrap_or(PaperGraph::Wikipedia);
+    let graph = graph_kind.generate(args.divisor, args.seed);
+    println!(
+        "== Figure 2: lock-free scalability on {} (divisor {}, {} sources/point) ==\n",
+        graph_kind.name(),
+        args.divisor,
+        args.sources
+    );
+
+    // The lock-free family the figure plots.
+    let algos = [Algorithm::Bfscl, Algorithm::Bfsdl, Algorithm::Bfswsl];
+    let sweep: Vec<usize> = [1usize, 2, 4, 6, 8, 12, 16, 20, 24, 32]
+        .into_iter()
+        .filter(|&p| p <= args.threads)
+        .collect();
+    let sources = pick_sources(&graph, args.sources, args.seed);
+
+    // Serial reference for speedup.
+    let mut serial_pool = ContenderPool::new(1);
+    let serial_opts = BfsOptions { threads: 1, ..Default::default() };
+    let base = measure(
+        &mut serial_pool,
+        Contender::Ours(Algorithm::Serial),
+        &graph,
+        graph_kind.name(),
+        &sources,
+        &serial_opts,
+    );
+    println!("serial reference: {} ms\n", ms(base.time_ms.mean));
+
+    let mut header = vec!["threads".to_string()];
+    for a in algos {
+        header.push(format!("{a} ms"));
+        header.push(format!("{a} spd"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+
+    for &p in &sweep {
+        let mut pool = ContenderPool::new(p);
+        // BFSDL with multiple pools once threads allow (paper ran j=1;
+        // we keep j=1 for fidelity).
+        let opts = BfsOptions { threads: p, ..Default::default() };
+        let mut row = vec![p.to_string()];
+        for a in algos {
+            let m = measure(
+                &mut pool,
+                Contender::Ours(a),
+                &graph,
+                graph_kind.name(),
+                &sources,
+                &opts,
+            );
+            row.push(ms(m.time_ms.mean));
+            row.push(format!("{:.2}x", base.time_ms.mean / m.time_ms.mean));
+            if args.json {
+                println!(
+                    "{{\"algo\":{:?},\"threads\":{},\"mean_ms\":{:.4},\"speedup\":{:.3}}}",
+                    a.name(),
+                    p,
+                    m.time_ms.mean,
+                    base.time_ms.mean / m.time_ms.mean
+                );
+            }
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!(
+        "Paper expectations (shape): centralized variants flatten/regress past ~20 \
+         threads; the scale-free work-stealing variant keeps scaling to 32. On a \
+         machine with fewer physical cores than the sweep, points beyond the core \
+         count measure oversubscription overhead instead of speedup."
+    );
+}

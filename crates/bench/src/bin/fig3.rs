@@ -1,0 +1,73 @@
+//! Regenerates **Figure 3**: performance in traversed edges per second
+//! (TEPS) on the real-world graphs, comparing Baseline1, Baseline2, our
+//! best locked variant and our best lock-free variant.
+
+use obfs_baselines::hong::HongVariant;
+use obfs_bench::env::HostInfo;
+use obfs_bench::harness::{measure, pick_sources, to_json};
+use obfs_bench::table::{teps, Table};
+use obfs_bench::{BenchArgs, Contender, ContenderPool};
+use obfs_core::{Algorithm, BfsOptions};
+use obfs_graph::gen::suite::PaperGraph;
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("{}", HostInfo::detect().render(args.threads));
+    println!(
+        "== Figure 3: TEPS on real-world graphs (divisor {}, {} sources, p={}) ==\n",
+        args.divisor, args.sources, args.threads
+    );
+
+    // The five real-world graphs of the figure.
+    let kinds = [
+        PaperGraph::Cage15,
+        PaperGraph::Cage14,
+        PaperGraph::Freescale,
+        PaperGraph::Wikipedia,
+        PaperGraph::KktPower,
+    ];
+    let contenders = [
+        Contender::Baseline1,
+        Contender::Baseline2(HongVariant::LocalQueueReadBitmap),
+        Contender::Ours(Algorithm::Bfsws),  // best locked (scale-free WS)
+        Contender::Ours(Algorithm::Bfswsl), // best lock-free
+        Contender::Ours(Algorithm::Bfscl),
+    ];
+
+    let mut pool = ContenderPool::new(args.threads);
+    let opts = BfsOptions { threads: args.threads, ..Default::default() };
+
+    let mut header = vec!["graph".to_string()];
+    for c in contenders {
+        header.push(c.name());
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+
+    for kind in kinds {
+        if let Some(only) = &args.only_graph {
+            if kind.name() != only {
+                continue;
+            }
+        }
+        let graph = kind.generate(args.divisor, args.seed);
+        let sources = pick_sources(&graph, args.sources, args.seed);
+        let mut row = vec![kind.name().to_string()];
+        for c in contenders {
+            let m = measure(&mut pool, c, &graph, kind.name(), &sources, &opts);
+            if args.json {
+                println!("{}", to_json(&m));
+            }
+            row.push(teps(m.teps));
+        }
+        t.row(row);
+    }
+    assert!(!t.is_empty(), "no graph matched --graph {:?}", args.only_graph);
+    println!("{}", t.render());
+    println!(
+        "Paper expectations (shape): our best implementation reaches the highest TEPS \
+         on every real-world graph; the lock-free scale-free variant leads on \
+         wikipedia (hub-dominated); the margins narrow on the near-regular cage \
+         meshes."
+    );
+}

@@ -1,0 +1,129 @@
+//! Uniform interface over everything the paper's tables compare: our
+//! nine algorithms, Baseline1 (bag PBFS) and Baseline2 (Hong variants).
+
+use obfs_baselines::hong::{hong_bfs_on_pool, HongVariant};
+use obfs_baselines::pbfs::PbfsRunner;
+use obfs_core::{run_bfs, Algorithm, BfsOptions, BfsResult, BfsRunner};
+use obfs_graph::{CsrGraph, VertexId};
+use obfs_runtime::LevelPool;
+
+/// One row of a comparison table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Contender {
+    /// One of this paper's algorithms.
+    Ours(Algorithm),
+    /// Leiserson–Schardl bag PBFS.
+    Baseline1,
+    /// A Hong et al. multicore variant.
+    Baseline2(HongVariant),
+}
+
+impl Contender {
+    /// The full roster in the paper's table-row order.
+    pub fn roster() -> Vec<Contender> {
+        let mut v: Vec<Contender> = Algorithm::ALL.into_iter().map(Contender::Ours).collect();
+        v.push(Contender::Baseline1);
+        v.push(Contender::Baseline2(HongVariant::Queue));
+        v.push(Contender::Baseline2(HongVariant::LocalQueueReadBitmap));
+        v.push(Contender::Baseline2(HongVariant::Hybrid));
+        v
+    }
+
+    /// Display name used as the table row label.
+    pub fn name(&self) -> String {
+        match self {
+            Contender::Ours(a) => a.name().to_string(),
+            Contender::Baseline1 => "Baseline1[bag]".to_string(),
+            Contender::Baseline2(v) => format!("Baseline2/{v}"),
+        }
+    }
+
+    /// Whether the contender uses worker threads at all.
+    pub fn is_parallel(&self) -> bool {
+        !matches!(self, Contender::Ours(Algorithm::Serial))
+    }
+}
+
+impl std::fmt::Display for Contender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Owns the persistent execution resources so repeated measurements do
+/// not pay pool construction per run.
+pub struct ContenderPool {
+    threads: usize,
+    ours: BfsRunner,
+    hong_pool: LevelPool,
+    pbfs: PbfsRunner,
+}
+
+impl ContenderPool {
+    /// Pools sized for `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            ours: BfsRunner::new(threads),
+            hong_pool: LevelPool::new(threads),
+            pbfs: PbfsRunner::new(threads),
+        }
+    }
+
+    /// Worker count shared by all owned pools.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute one BFS run.
+    pub fn run(
+        &mut self,
+        contender: Contender,
+        graph: &CsrGraph,
+        src: VertexId,
+        opts: &BfsOptions,
+    ) -> BfsResult {
+        match contender {
+            Contender::Ours(Algorithm::Serial) => run_bfs(Algorithm::Serial, graph, src, opts),
+            Contender::Ours(a) => {
+                let opts = BfsOptions { threads: self.threads, ..opts.clone() };
+                self.ours.run(a, graph, src, &opts)
+            }
+            Contender::Baseline1 => self.pbfs.run(graph, src),
+            Contender::Baseline2(v) => hong_bfs_on_pool(v, graph, src, &self.hong_pool),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfs_core::serial::serial_bfs;
+    use obfs_graph::gen;
+
+    #[test]
+    fn roster_covers_everything_once() {
+        let r = Contender::roster();
+        assert_eq!(r.len(), Algorithm::ALL.len() + 4);
+        let names: std::collections::HashSet<_> = r.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), r.len(), "duplicate contender names");
+    }
+
+    #[test]
+    fn pool_runs_every_contender_correctly() {
+        let g = gen::erdos_renyi(400, 2800, 5);
+        let ser = serial_bfs(&g, 0);
+        let mut pool = ContenderPool::new(4);
+        let opts = BfsOptions { threads: 4, ..Default::default() };
+        for c in Contender::roster() {
+            let r = pool.run(c, &g, 0, &opts);
+            assert_eq!(r.levels, ser.levels, "{c} produced wrong levels");
+        }
+    }
+
+    #[test]
+    fn serial_is_not_parallel() {
+        assert!(!Contender::Ours(Algorithm::Serial).is_parallel());
+        assert!(Contender::Baseline1.is_parallel());
+    }
+}

@@ -1,0 +1,85 @@
+//! Host description (the analogue of the paper's Table III "Simulation
+//! Environment"). Every bench binary prints this header so recorded runs
+//! are self-describing.
+
+/// Host information gathered from `/proc` (best effort; unknown fields
+/// come back as "unknown").
+#[derive(Debug, Clone)]
+pub struct HostInfo {
+    /// CPU model string from `/proc/cpuinfo`.
+    pub cpu_model: String,
+    /// Logical CPU count.
+    pub logical_cpus: usize,
+    /// Total RAM in GiB.
+    pub mem_total_gb: f64,
+    /// Kernel identification.
+    pub os: String,
+}
+
+impl HostInfo {
+    /// Gather host facts (best effort).
+    pub fn detect() -> Self {
+        let cpuinfo = std::fs::read_to_string("/proc/cpuinfo").unwrap_or_default();
+        let cpu_model = cpuinfo
+            .lines()
+            .find(|l| l.starts_with("model name"))
+            .and_then(|l| l.split(':').nth(1))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        let logical_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let meminfo = std::fs::read_to_string("/proc/meminfo").unwrap_or_default();
+        let mem_total_gb = meminfo
+            .lines()
+            .find(|l| l.starts_with("MemTotal"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|kb| kb.parse::<f64>().ok())
+            .map_or(0.0, |kb| kb / 1024.0 / 1024.0);
+        let os = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+            .map(|s| format!("Linux {}", s.trim()))
+            .unwrap_or_else(|_| "unknown".to_string());
+        Self { cpu_model, logical_cpus, mem_total_gb, os }
+    }
+
+    /// Render the Table III analogue.
+    pub fn render(&self, threads: usize) -> String {
+        format!(
+            "== Environment (cf. paper Table III) ==\n\
+             Processor : {}\n\
+             CPUs      : {} logical (paper: 12-core Lonestar / 32-core Trestles)\n\
+             RAM       : {:.1} GB\n\
+             OS        : {}\n\
+             Workers   : {} threads{}\n",
+            self.cpu_model,
+            self.logical_cpus,
+            self.mem_total_gb,
+            self.os,
+            threads,
+            if threads > self.logical_cpus {
+                " (oversubscribed: relative orderings, not speedups, are meaningful)"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_does_not_panic_and_fields_populated() {
+        let h = HostInfo::detect();
+        assert!(h.logical_cpus >= 1);
+        let r = h.render(4);
+        assert!(r.contains("Workers   : 4"));
+        assert!(r.contains("Environment"));
+    }
+
+    #[test]
+    fn oversubscription_notice() {
+        let h = HostInfo::detect();
+        let r = h.render(h.logical_cpus + 1);
+        assert!(r.contains("oversubscribed"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Multi-source measurement driver: the paper averages each cell over
+//! 1000 random non-zero-degree sources; we do the same with a
+//! configurable (smaller) source count, validating results against
+//! serial BFS along the way.
+
+use crate::contender::{Contender, ContenderPool};
+use obfs_core::serial::serial_bfs;
+use obfs_core::BfsOptions;
+use obfs_graph::{stats::sample_sources, CsrGraph, VertexId};
+use obfs_util::OnlineStats;
+
+/// Aggregated result of measuring one contender on one graph.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Contender display name.
+    pub contender: String,
+    /// Graph display name.
+    pub graph: String,
+    /// Per-source traversal wall time (milliseconds).
+    pub time_ms: obfs_util::Summary,
+    /// Mean traversed-edges-per-second across sources (Figure 3 metric).
+    pub teps: f64,
+    /// Mean duplicate-exploration overhead: explored / reached − 1.
+    pub duplicate_overhead: f64,
+    /// Merged steal counters (work-stealing contenders only).
+    pub steal: obfs_core::StealCounters,
+    /// Mean number of BFS levels.
+    pub levels: f64,
+    /// Total segments fetched from centralized/pool dispatchers.
+    pub segments_fetched: u64,
+    /// Total dispatcher fetch retries (raced/invalid fetches).
+    pub fetch_retries: u64,
+    /// Total segment walks aborted at a cleared slot.
+    pub stale_slot_aborts: u64,
+    /// Total pops skipped by the owner-array dedup.
+    pub dedup_skips: u64,
+}
+
+/// Measure `contender` on `graph` over `sources` random sources.
+///
+/// The first source's levels are validated against serial BFS — a wrong
+/// parallel result aborts the benchmark rather than producing a bogus
+/// table row.
+pub fn measure(
+    pool: &mut ContenderPool,
+    contender: Contender,
+    graph: &CsrGraph,
+    graph_name: &str,
+    sources: &[VertexId],
+    opts: &BfsOptions,
+) -> Measurement {
+    assert!(!sources.is_empty());
+    let mut time = OnlineStats::new();
+    let mut teps = OnlineStats::new();
+    let mut dup = OnlineStats::new();
+    let mut levels = OnlineStats::new();
+    let mut steal = obfs_core::StealCounters::default();
+    let mut segments_fetched = 0u64;
+    let mut fetch_retries = 0u64;
+    let mut stale_slot_aborts = 0u64;
+    let mut dedup_skips = 0u64;
+    for (i, &src) in sources.iter().enumerate() {
+        let r = pool.run(contender, graph, src, opts);
+        if i == 0 {
+            let ser = serial_bfs(graph, src);
+            obfs_core::validate::check_levels(&r, &ser.levels).unwrap_or_else(|e| {
+                panic!("{contender} on {graph_name} (src={src}) is WRONG: {e}")
+            });
+        }
+        let reached = r.reached().max(1) as f64;
+        let explored = r.stats.totals.vertices_explored as f64;
+        time.push(r.stats.traversal_time.as_secs_f64() * 1e3);
+        // TEPS convention: edges *scanned* during the traversal per
+        // second of traversal time.
+        teps.push(r.stats.teps(r.stats.totals.edges_scanned));
+        dup.push((explored / reached - 1.0).max(0.0));
+        levels.push(r.stats.levels as f64);
+        steal.merge(&r.stats.totals.steal);
+        segments_fetched += r.stats.totals.segments_fetched;
+        fetch_retries += r.stats.totals.fetch_retries;
+        stale_slot_aborts += r.stats.totals.stale_slot_aborts;
+        dedup_skips += r.stats.totals.dedup_skips;
+    }
+    Measurement {
+        contender: contender.name(),
+        graph: graph_name.to_string(),
+        time_ms: time.summary(),
+        teps: teps.mean(),
+        duplicate_overhead: dup.mean(),
+        steal,
+        levels: levels.mean(),
+        segments_fetched,
+        fetch_retries,
+        stale_slot_aborts,
+        dedup_skips,
+    }
+}
+
+/// Sample `k` non-zero-degree sources deterministically.
+pub fn pick_sources(graph: &CsrGraph, k: usize, seed: u64) -> Vec<VertexId> {
+    sample_sources(graph, k, seed)
+}
+
+/// JSON line for machine-readable output (`--json`).
+pub fn to_json(m: &Measurement) -> String {
+    format!(
+        "{{\"contender\":{:?},\"graph\":{:?},\"mean_ms\":{:.4},\"min_ms\":{:.4},\
+         \"max_ms\":{:.4},\"teps\":{:.1},\"dup_overhead\":{:.5},\"levels\":{:.1},\
+         \"steal_attempts\":{},\"steal_success\":{}}}",
+        m.contender,
+        m.graph,
+        m.time_ms.mean,
+        m.time_ms.min,
+        m.time_ms.max,
+        m.teps,
+        m.duplicate_overhead,
+        m.levels,
+        m.steal.attempts,
+        m.steal.success,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfs_core::Algorithm;
+    use obfs_graph::gen;
+
+    #[test]
+    fn measure_produces_sane_numbers() {
+        let g = gen::erdos_renyi(500, 3500, 3);
+        let mut pool = ContenderPool::new(2);
+        let opts = BfsOptions { threads: 2, ..Default::default() };
+        let sources = pick_sources(&g, 3, 1);
+        let m = measure(
+            &mut pool,
+            Contender::Ours(Algorithm::Bfscl),
+            &g,
+            "er",
+            &sources,
+            &opts,
+        );
+        assert_eq!(m.time_ms.count, 3);
+        assert!(m.time_ms.mean > 0.0);
+        assert!(m.teps > 0.0);
+        assert!(m.duplicate_overhead >= 0.0);
+        assert!(m.levels >= 1.0);
+    }
+
+    #[test]
+    fn json_line_is_valid_shape() {
+        let g = gen::star(100);
+        let mut pool = ContenderPool::new(2);
+        let opts = BfsOptions { threads: 2, ..Default::default() };
+        let m = measure(&mut pool, Contender::Baseline1, &g, "star", &[0], &opts);
+        let j = to_json(&m);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"graph\":\"star\""));
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness for the paper reproduction.
+//!
+//! One binary per table/figure of the evaluation:
+//!
+//! | Binary | Regenerates |
+//! |--------|-------------|
+//! | `table4` | Table IV — graph properties |
+//! | `table5` | Table V — running times of all algorithms × graphs |
+//! | `table6` | Table VI — steal-attempt outcome statistics |
+//! | `fig2` | Figure 2 — scalability of the lock-free variants |
+//! | `fig3` | Figure 3 — TEPS on the real-world graphs |
+//! | `ablations` | design-choice sweeps (§IV-D etc.) |
+//!
+//! Shared flags: `--divisor <k>` (graph scale, n = paper_n / k),
+//! `--threads <p>`, `--sources <s>`, `--seed <x>`, `--json`.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod contender;
+pub mod env;
+pub mod harness;
+pub mod table;
+
+pub use args::BenchArgs;
+pub use contender::{Contender, ContenderPool};
+pub use harness::{measure, Measurement};

@@ -1,0 +1,145 @@
+//! Plain-text table rendering for the bench binaries.
+
+/// A simple right-aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+                } else {
+                    line.push_str(&format!("  {:>w$}", cells[i], w = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format milliseconds compactly.
+pub fn ms(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Format large counts with thousands separators.
+pub fn count(x: u64) -> String {
+    let s = x.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Format a ratio as a percentage.
+pub fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}%", 100.0 * part as f64 / whole as f64)
+    }
+}
+
+/// Human-readable TEPS (e.g. `12.3M`).
+pub fn teps(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}K", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].starts_with("longer"));
+        // All lines the same width.
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(123.456), "123");
+        assert_eq!(ms(3.17159), "3.17");
+        assert_eq!(ms(0.1234), "0.123");
+        assert_eq!(count(1234567), "1,234,567");
+        assert_eq!(count(12), "12");
+        assert_eq!(pct(1, 4), "25.00%");
+        assert_eq!(pct(1, 0), "-");
+        assert_eq!(teps(2.5e6), "2.50M");
+        assert_eq!(teps(3.2e9), "3.20G");
+        assert_eq!(teps(1500.0), "1.5K");
+        assert_eq!(teps(12.0), "12");
+    }
+}

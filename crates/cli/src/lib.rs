@@ -1,0 +1,412 @@
+//! Implementation of the `obfs` command-line tool (library-shaped so the
+//! parsing and command logic are unit-testable).
+
+#![warn(missing_docs)]
+
+use obfs_core::{run_bfs, serial::serial_bfs, Algorithm, BfsOptions};
+use obfs_graph::{gen, io, stats, CsrGraph};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "usage: obfs <command> [flags]\n\
+     commands:\n\
+       gen        --model <rmat|er|ba|chung-lu|grid|torus|suite:NAME> --n <n> \
+     [--edge-factor k] [--gamma g] [--seed s] --out FILE\n\
+       stats      --in FILE\n\
+       bfs        --in FILE --algo NAME [--src v] [--threads p] [--validate] \
+     [--parents] [--trace]\n\
+       components --in FILE [--threads p] [--algo NAME]\n\
+       bipartite  --in FILE [--threads p]\n\
+       bc         --in FILE [--samples k] [--seed s] [--top t]\n\
+       convert    --in FILE --out FILE\n\
+     formats by extension: .mtx/.mm Matrix Market, .el/.txt edge list, \
+     .bin/.csr binary CSR\n\
+     algorithms: sbfs BFS_C BFS_CL BFS_DL BFS_W BFS_WL BFS_WS BFS_WSL BFS_ECL"
+        .to_string()
+}
+
+/// Parse and execute; returns the report to print.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "stats" => cmd_stats(&flags),
+        "bfs" => cmd_bfs(&flags),
+        "components" => cmd_components(&flags),
+        "bipartite" => cmd_bipartite(&flags),
+        "bc" => cmd_bc(&flags),
+        "convert" => cmd_convert(&flags),
+        "help" | "--help" | "-h" => Ok(usage() + "\n"),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// `--flag value` pairs plus boolean `--flag` switches.
+pub fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {a:?}"));
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+            _ => "true".to_string(), // boolean switch
+        };
+        if out.insert(name.to_string(), value).is_some() {
+            return Err(format!("duplicate flag --{name}"));
+        }
+    }
+    Ok(out)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, k: &str) -> Result<&'a str, String> {
+    flags.get(k).map(|s| s.as_str()).ok_or_else(|| format!("missing required flag --{k}"))
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    k: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(k) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad value {s:?} for --{k}")),
+    }
+}
+
+fn has(flags: &HashMap<String, String>, k: &str) -> bool {
+    flags.contains_key(k)
+}
+
+/// Load a graph, picking the format from the file extension.
+pub fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let p = Path::new(path);
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let file = std::fs::File::open(p).map_err(|e| format!("open {path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    match ext {
+        "mtx" | "mm" => io::read_matrix_market(reader).map_err(|e| e.to_string()),
+        "el" | "txt" => io::read_edge_list(reader, None).map_err(|e| e.to_string()),
+        "bin" | "csr" => io::read_binary_csr(&mut reader).map_err(|e| e.to_string()),
+        other => Err(format!("unknown graph extension {other:?} (want mtx/mm/el/txt/bin/csr)")),
+    }
+}
+
+/// Save a graph, picking the format from the file extension.
+pub fn save_graph(path: &str, g: &CsrGraph) -> Result<(), String> {
+    let p = Path::new(path);
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let file = std::fs::File::create(p).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    match ext {
+        "mtx" | "mm" => io::write_matrix_market(&mut w, g).map_err(|e| e.to_string()),
+        "el" | "txt" => io::write_edge_list(&mut w, g).map_err(|e| e.to_string()),
+        "bin" | "csr" => io::write_binary_csr(&mut w, g).map_err(|e| e.to_string()),
+        other => Err(format!("unknown graph extension {other:?}")),
+    }
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<String, String> {
+    let model = get(flags, "model")?;
+    let out = get(flags, "out")?;
+    let seed: u64 = get_num(flags, "seed", 1)?;
+    let n: usize = get_num(flags, "n", 1 << 16)?;
+    if n == 0 {
+        return Err("--n must be at least 1".into());
+    }
+    let ef: usize = get_num(flags, "edge-factor", 16)?;
+    let g = match model {
+        "rmat" => {
+            let scale = (usize::BITS - 1 - n.max(2).leading_zeros()).max(4);
+            gen::rmat(scale, ef, gen::RmatParams::default(), seed)
+        }
+        "er" => gen::erdos_renyi(n, n * ef, seed),
+        "ba" => gen::barabasi_albert(n, ef.clamp(1, n.saturating_sub(1).max(1)), seed),
+        "chung-lu" => {
+            let gamma: f64 = get_num(flags, "gamma", 2.3)?;
+            gen::suite::scale_free_like(n, ef as f64, gamma, seed)
+        }
+        "grid" => {
+            let side = (n as f64).sqrt().round().max(1.0) as usize;
+            gen::grid2d(side, side)
+        }
+        "torus" => {
+            let side = (n as f64).cbrt().round().max(2.0) as usize;
+            gen::torus3d(side, side, side)
+        }
+        other => {
+            if let Some(name) = other.strip_prefix("suite:") {
+                let kind = gen::suite::PaperGraph::from_name(name)
+                    .ok_or_else(|| format!("unknown suite graph {name:?}"))?;
+                let divisor: u64 = get_num(flags, "divisor", 128)?;
+                kind.generate(divisor, seed)
+            } else {
+                return Err(format!("unknown model {other:?}"));
+            }
+        }
+    };
+    save_graph(out, &g)?;
+    Ok(format!(
+        "wrote {out}: n={} m={} (model={model}, seed={seed})\n",
+        g.num_vertices(),
+        g.num_edges()
+    ))
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<String, String> {
+    let g = load_graph(get(flags, "in")?)?;
+    let s = stats::summarize(&g);
+    let mut out = String::new();
+    let _ = writeln!(out, "vertices        : {}", s.n);
+    let _ = writeln!(out, "edges           : {}", s.m);
+    let _ = writeln!(out, "avg out-degree  : {:.2}", s.avg_degree);
+    let _ = writeln!(out, "max out-degree  : {}", s.max_degree);
+    let _ = writeln!(out, "bfs pseudo-diam : {}", s.pseudo_diameter);
+    let _ = writeln!(out, "reached from v0 : {}", s.reached_from_0);
+    let _ = writeln!(
+        out,
+        "power-law gamma : {}",
+        s.power_law_gamma.map_or("n/a".to_string(), |x| format!("{x:.2}"))
+    );
+    Ok(out)
+}
+
+fn bfs_opts(flags: &HashMap<String, String>) -> Result<BfsOptions, String> {
+    let threads: usize = get_num(flags, "threads", 4)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(BfsOptions {
+        threads,
+        record_parents: has(flags, "parents"),
+        collect_level_trace: has(flags, "trace"),
+        ..BfsOptions::default()
+    })
+}
+
+fn algo_flag(flags: &HashMap<String, String>, default: Algorithm) -> Result<Algorithm, String> {
+    match flags.get("algo") {
+        None => Ok(default),
+        Some(s) => Algorithm::from_name(s).ok_or_else(|| format!("unknown algorithm {s:?}")),
+    }
+}
+
+fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
+    let g = load_graph(get(flags, "in")?)?;
+    let algo = algo_flag(flags, Algorithm::Bfswsl)?;
+    let src: u32 = get_num(flags, "src", 0)?;
+    if src as usize >= g.num_vertices() {
+        return Err(format!("--src {src} out of range (n={})", g.num_vertices()));
+    }
+    let opts = bfs_opts(flags)?;
+    let r = run_bfs(algo, &g, src, &opts);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{algo} from {src}: reached {} of {} vertices, depth {}, {:.3} ms ({} threads)",
+        r.reached(),
+        g.num_vertices(),
+        r.depth(),
+        r.stats.traversal_time.as_secs_f64() * 1e3,
+        opts.threads
+    );
+    let t = &r.stats.totals;
+    let _ = writeln!(
+        out,
+        "explored={} edges-scanned={} discovered={} duplicates={} segments={} steals={}/{}",
+        t.vertices_explored,
+        t.edges_scanned,
+        t.vertices_discovered,
+        t.duplicate_explorations,
+        t.segments_fetched,
+        t.steal.success,
+        t.steal.attempts
+    );
+    if has(flags, "trace") {
+        let _ = writeln!(out, "level  frontier  discovered   time(us)");
+        for e in &r.stats.level_trace {
+            let _ = writeln!(
+                out,
+                "{:>5}  {:>8}  {:>10}  {:>9.1}",
+                e.level,
+                e.frontier,
+                e.discovered,
+                e.duration.as_secs_f64() * 1e6
+            );
+        }
+    }
+    if has(flags, "validate") {
+        let ser = serial_bfs(&g, src);
+        obfs_core::validate::check_levels(&r, &ser.levels).map_err(|e| e.to_string())?;
+        if r.parents.is_some() {
+            obfs_core::validate::check_self_consistent(&g, src, &r)
+                .map_err(|e| e.to_string())?;
+        }
+        let _ = writeln!(out, "validated against serial BFS: OK");
+    }
+    Ok(out)
+}
+
+fn cmd_components(flags: &HashMap<String, String>) -> Result<String, String> {
+    let g = load_graph(get(flags, "in")?)?;
+    let algo = algo_flag(flags, Algorithm::Bfscl)?;
+    let opts = bfs_opts(flags)?;
+    let c = obfs_apps::connected_components(&g, algo, &opts);
+    let mut sizes = c.sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let shown = sizes.len().min(10);
+    Ok(format!(
+        "{} component(s); largest {}; top sizes {:?}{}\n",
+        c.count,
+        c.giant_size(),
+        &sizes[..shown],
+        if sizes.len() > shown { " ..." } else { "" }
+    ))
+}
+
+fn cmd_bipartite(flags: &HashMap<String, String>) -> Result<String, String> {
+    let g = load_graph(get(flags, "in")?)?;
+    let opts = bfs_opts(flags)?;
+    match obfs_apps::bipartition(&g, Algorithm::Bfscl, &opts) {
+        obfs_apps::Bipartition::Bipartite { side } => {
+            let zeros = side.iter().filter(|&&s| s == 0).count();
+            Ok(format!("bipartite: sides {} / {}\n", zeros, side.len() - zeros))
+        }
+        obfs_apps::Bipartition::OddCycle { u, v } => {
+            Ok(format!("NOT bipartite: odd cycle through edge ({u}, {v})\n"))
+        }
+    }
+}
+
+fn cmd_bc(flags: &HashMap<String, String>) -> Result<String, String> {
+    let g = load_graph(get(flags, "in")?)?;
+    let samples: usize = get_num(flags, "samples", 16)?;
+    let seed: u64 = get_num(flags, "seed", 1)?;
+    let top: usize = get_num(flags, "top", 10)?;
+    let bc = obfs_apps::betweenness_centrality(&g, samples, seed);
+    let mut ranked: Vec<(usize, f64)> = bc.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut out = format!("approximate betweenness centrality ({samples} pivots):\n");
+    for (v, score) in ranked.into_iter().take(top) {
+        let _ = writeln!(out, "  v{v:<8} {score:>14.1}  (degree {})", g.degree(v as u32));
+    }
+    Ok(out)
+}
+
+fn cmd_convert(flags: &HashMap<String, String>) -> Result<String, String> {
+    let g = load_graph(get(flags, "in")?)?;
+    let out = get(flags, "out")?;
+    save_graph(out, &g)?;
+    Ok(format!("converted to {out}: n={} m={}\n", g.num_vertices(), g.num_edges()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("obfs-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parse_flags_mixed() {
+        let f = parse_flags(&strs(&["--n", "100", "--validate", "--algo", "BFS_CL"])).unwrap();
+        assert_eq!(f["n"], "100");
+        assert_eq!(f["validate"], "true");
+        assert_eq!(f["algo"], "BFS_CL");
+    }
+
+    #[test]
+    fn parse_flags_rejects_bad_shape() {
+        assert!(parse_flags(&strs(&["n", "100"])).is_err());
+        assert!(parse_flags(&strs(&["--n", "1", "--n", "2"])).is_err());
+    }
+
+    #[test]
+    fn gen_stats_bfs_roundtrip() {
+        let path = tmp("g.bin");
+        let rep = dispatch(&strs(&[
+            "gen", "--model", "er", "--n", "500", "--edge-factor", "6", "--out", &path,
+        ]))
+        .unwrap();
+        assert!(rep.contains("n=500"));
+        let rep = dispatch(&strs(&["stats", "--in", &path])).unwrap();
+        assert!(rep.contains("vertices        : 500"));
+        let rep = dispatch(&strs(&[
+            "bfs", "--in", &path, "--algo", "BFS_WSL", "--threads", "3", "--validate",
+            "--parents", "--trace",
+        ]))
+        .unwrap();
+        assert!(rep.contains("validated against serial BFS: OK"), "{rep}");
+        assert!(rep.contains("level  frontier"), "trace table missing: {rep}");
+    }
+
+    #[test]
+    fn components_and_bipartite_commands() {
+        let path = tmp("grid.mtx");
+        dispatch(&strs(&["gen", "--model", "grid", "--n", "100", "--out", &path])).unwrap();
+        let rep = dispatch(&strs(&["components", "--in", &path])).unwrap();
+        assert!(rep.contains("1 component(s)"), "{rep}");
+        let rep = dispatch(&strs(&["bipartite", "--in", &path])).unwrap();
+        assert!(rep.starts_with("bipartite"), "{rep}");
+    }
+
+    #[test]
+    fn bc_command_ranks_hub_first() {
+        let path = tmp("star.el");
+        // A star via the suite path is overkill; write an edge list.
+        let g = gen::star(50);
+        save_graph(&path, &g).unwrap();
+        let rep = dispatch(&strs(&["bc", "--in", &path, "--samples", "10", "--top", "1"]))
+            .unwrap();
+        assert!(rep.contains("v0"), "hub must rank first: {rep}");
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let a = tmp("conv.el");
+        let b = tmp("conv.mtx");
+        dispatch(&strs(&["gen", "--model", "torus", "--n", "64", "--out", &a])).unwrap();
+        let rep = dispatch(&strs(&["convert", "--in", &a, "--out", &b])).unwrap();
+        assert!(rep.contains("converted"));
+        let g1 = load_graph(&a).unwrap();
+        let g2 = load_graph(&b).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn suite_model_and_errors() {
+        let path = tmp("wiki.bin");
+        let rep = dispatch(&strs(&[
+            "gen", "--model", "suite:wikipedia", "--divisor", "512", "--out", &path,
+        ]))
+        .unwrap();
+        assert!(rep.contains("wrote"));
+        assert!(dispatch(&strs(&["gen", "--model", "bogus", "--out", &path])).is_err());
+        assert!(dispatch(&strs(&["gen", "--model", "er", "--n", "0", "--out", &path])).is_err());
+        assert!(dispatch(&strs(&["bfs", "--in", &path, "--threads", "0"])).is_err());
+        assert!(dispatch(&strs(&["bogus-command"])).is_err());
+        assert!(dispatch(&strs(&["bfs", "--in", &path, "--algo", "nope"])).is_err());
+        assert!(dispatch(&strs(&["bfs", "--in", &path, "--src", "999999999"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let rep = dispatch(&strs(&["help"])).unwrap();
+        assert!(rep.contains("usage: obfs"));
+    }
+}

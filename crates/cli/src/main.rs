@@ -1,0 +1,25 @@
+//! `obfs` — command-line front end for the optimistic-BFS library.
+//!
+//! ```text
+//! obfs gen   --model rmat --n 65536 --edge-factor 16 --out g.bin
+//! obfs stats --in g.bin
+//! obfs bfs   --in g.bin --algo BFS_WSL --src 0 --threads 8 --validate
+//! obfs components --in g.bin --threads 4
+//! obfs bipartite  --in g.bin
+//! obfs bc    --in g.bin --samples 16
+//! obfs convert --in g.mtx --out g.bin
+//! ```
+
+use obfs_cli::{dispatch, usage};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The level-synchronous driver shared by every parallel BFS variant.
+//!
+//! Per level, every worker:
+//! 1. runs the strategy's `level_start` hook (reset its segment
+//!    descriptor, pick a pool, ...), then waits at the barrier;
+//! 2. consumes Qin according to the strategy, pushing discoveries into its
+//!    private output queue `Qout[tid]`;
+//! 3. waits at the barrier; the last arriver (leader) runs the serial
+//!    section: sums the new frontier size and lets the strategy build any
+//!    leader-side work lists for the next level;
+//! 4. if the next frontier is empty the run ends; otherwise each worker
+//!    resets its old input queue (which becomes its next output queue)
+//!    and the parity flips.
+//!
+//! The barrier at step 1 makes the descriptors and resets of step 4
+//! visible before anyone consumes; the barrier at step 3 publishes all
+//! level-`d` writes (including the benign-racy `level[]` stores) before
+//! level `d+1` begins — that is the synchronization point that bounds the
+//! paper's races to within a single level.
+
+use crate::frontier::decode;
+use crate::options::{Algorithm, BfsOptions};
+use crate::perthread::PerThread;
+use crate::state::RunState;
+use crate::stats::{RunStats, ThreadStats};
+use crate::{BfsResult, UNVISITED};
+use obfs_graph::{CsrGraph, VertexId, INVALID_VERTEX};
+use obfs_runtime::{LevelPool, WorkerCtx};
+use obfs_util::Xoshiro256StarStar;
+
+/// Per-thread, per-level working context handed to strategies.
+pub struct LevelEnv<'r, 'g> {
+    /// The shared run state.
+    pub st: &'r RunState<'g>,
+    /// Current queue parity: `st.qin(parity)` is this level's input.
+    pub parity: usize,
+    /// Current BFS level (depth of the vertices being consumed).
+    pub level: u32,
+}
+
+/// One BFS algorithm's per-level behaviour. The driver owns everything
+/// else (init, barriers, swap, termination, stats).
+pub trait Strategy: Sync {
+    /// Per-thread hook before the level's consumption barrier. Typical
+    /// use: reset this thread's segment descriptor from its input queue.
+    fn level_start(&self, _env: &LevelEnv<'_, '_>, _tid: usize) {}
+
+    /// Leader-only hook, run inside the barrier serial section right
+    /// before a level begins (after queues were reset and parity
+    /// flipped). `env` describes the *upcoming* level.
+    fn serial_prepare(&self, _env: &LevelEnv<'_, '_>) {}
+
+    /// Consume the level. May use `ctx.barrier()` for internal phases as
+    /// long as every thread performs the same number of waits.
+    fn consume(
+        &self,
+        env: &LevelEnv<'_, '_>,
+        ctx: &WorkerCtx<'_>,
+        tid: usize,
+        out_rear: &mut usize,
+        rng: &mut Xoshiro256StarStar,
+        ts: &mut ThreadStats,
+    );
+}
+
+/// Dispatch an algorithm onto a pool. `opts.threads` must equal the pool
+/// width.
+pub fn run_on_pool(
+    algo: Algorithm,
+    graph: &CsrGraph,
+    src: VertexId,
+    opts: &BfsOptions,
+    pool: &LevelPool,
+) -> BfsResult {
+    assert_eq!(opts.threads, pool.threads(), "options/pool thread mismatch");
+    assert!(
+        (src as usize) < graph.num_vertices(),
+        "source {src} out of range for n={}",
+        graph.num_vertices()
+    );
+    match algo {
+        Algorithm::Serial => crate::serial::serial_bfs_with_opts(graph, src, opts),
+        Algorithm::Bfsc => drive(&crate::centralized::CentralLocked, graph, src, opts, pool),
+        Algorithm::Bfscl => drive(&crate::centralized::CentralLockfree, graph, src, opts, pool),
+        Algorithm::Bfsdl => drive(&crate::decentralized::Decentralized, graph, src, opts, pool),
+        Algorithm::Bfsw => {
+            drive(&crate::worksteal::WorkStealing { locked: true, scale_free: false }, graph, src, opts, pool)
+        }
+        Algorithm::Bfswl => {
+            drive(&crate::worksteal::WorkStealing { locked: false, scale_free: false }, graph, src, opts, pool)
+        }
+        Algorithm::Bfsws => {
+            drive(&crate::worksteal::WorkStealing { locked: true, scale_free: true }, graph, src, opts, pool)
+        }
+        Algorithm::Bfswsl => {
+            drive(&crate::worksteal::WorkStealing { locked: false, scale_free: true }, graph, src, opts, pool)
+        }
+        Algorithm::EdgeCl => drive(&crate::ext::EdgePartitioned, graph, src, opts, pool),
+    }
+}
+
+/// The shared driver.
+pub fn drive<S: Strategy>(
+    strategy: &S,
+    graph: &CsrGraph,
+    src: VertexId,
+    opts: &BfsOptions,
+    pool: &LevelPool,
+) -> BfsResult {
+    let mut st = RunState::new(graph, opts);
+    let stats = PerThread::new(opts.threads, |_| ThreadStats::default());
+    let deepest = PerThread::new(opts.threads, |_| 0u32);
+
+    let t0 = std::time::Instant::now();
+    pool.run(|ctx| {
+        let tid = ctx.tid();
+        // SAFETY (both): each worker touches only its own slot while the
+        // region is active.
+        let ts = unsafe { stats.get_mut(tid) };
+        let my_deepest = unsafe { deepest.get_mut(tid) };
+        let mut rng = Xoshiro256StarStar::for_stream(st.opts.seed, tid as u64);
+
+        st.init_chunk(tid);
+        ctx.barrier().wait_then(|| {
+            // Seed the frontier: src goes into the queue it hashes to, so
+            // the work-stealing variants start at a "random" owner.
+            let q0 = (src as usize) % st.threads;
+            st.levels.set(src as usize, 0);
+            if let Some(p) = &st.parents {
+                p.set(src as usize, src);
+            }
+            if let Some(o) = &st.owner {
+                o.set(src as usize, q0 as u32 + 1);
+            }
+            let queue = st.qin(0).queue(q0);
+            let mut rear = 0usize;
+            queue.push(&mut rear, src);
+            st.next_total.store(1);
+            if let Some(tr) = &st.trace {
+                // SAFETY: barrier serial section.
+                let t = unsafe { tr.get_mut() };
+                t.mark = std::time::Instant::now();
+                t.frontier_in = 1;
+            }
+            strategy.serial_prepare(&LevelEnv { st: &st, parity: 0, level: 0 });
+        });
+
+        let mut parity = 0usize;
+        let mut level = 0u32;
+        let mut out_rear = 0usize;
+        loop {
+            let env = LevelEnv { st: &st, parity, level };
+            strategy.level_start(&env, tid);
+            ctx.barrier().wait();
+            strategy.consume(&env, &ctx, tid, &mut out_rear, &mut rng, ts);
+            let this_level = level;
+            ctx.barrier().wait_then(|| {
+                let produced = st.qout(parity).total_entries();
+                st.next_total.store(produced);
+                if let Some(tr) = &st.trace {
+                    // SAFETY: barrier serial section.
+                    let t = unsafe { tr.get_mut() };
+                    let now = std::time::Instant::now();
+                    t.entries.push(crate::stats::LevelTraceEntry {
+                        level: this_level,
+                        frontier: t.frontier_in,
+                        discovered: produced,
+                        duration: now - t.mark,
+                    });
+                    t.mark = now;
+                    t.frontier_in = produced;
+                }
+            });
+            if st.next_total.load() == 0 {
+                *my_deepest = level;
+                break;
+            }
+            // My old input queue becomes my next output queue.
+            st.qin(parity).queue(tid).reset();
+            out_rear = 0;
+            parity ^= 1;
+            level += 1;
+            let next_env_parity = parity;
+            let next_level = level;
+            ctx.barrier().wait_then(|| {
+                strategy.serial_prepare(&LevelEnv {
+                    st: &st,
+                    parity: next_env_parity,
+                    level: next_level,
+                });
+            });
+        }
+    });
+    let traversal_time = t0.elapsed();
+
+    let levels_run = deepest.into_values().into_iter().max().unwrap_or(0) + 1;
+    let per_thread = stats.into_values();
+    let n = graph.num_vertices();
+    let levels: Vec<u32> = (0..n).map(|v| st.levels.get(v)).collect();
+    let parents = st
+        .parents
+        .as_ref()
+        .map(|p| (0..n).map(|v| p.get(v)).collect::<Vec<VertexId>>());
+    debug_assert!(levels[src as usize] == 0);
+    debug_assert!(parents.as_ref().is_none_or(|p| p[src as usize] == src));
+    debug_assert!(
+        levels.iter().all(|&l| l == UNVISITED || l < levels_run),
+        "level exceeds executed level count"
+    );
+    let _ = INVALID_VERTEX;
+    let mut stats = RunStats::from_threads(per_thread, levels_run, traversal_time);
+    if let Some(tr) = st.trace.take() {
+        // Workers are done (pool.run returned); sole owner.
+        stats.level_trace = tr.into_inner().entries;
+    }
+    BfsResult { levels, parents, stats }
+}
+
+/// Walk helper used by the lock-free consumers: read slot `i` of `queue`,
+/// returning `None` if it holds the sentinel, clearing it otherwise.
+/// (Separated out so the optimistic variants share one implementation of
+/// the zero-on-read protocol.)
+#[inline]
+pub(crate) fn take_slot(
+    queue: &crate::frontier::FrontierQueue,
+    i: usize,
+) -> Option<VertexId> {
+    if i >= queue.capacity() {
+        return None;
+    }
+    let s = queue.slot(i);
+    if s == crate::frontier::EMPTY_SLOT {
+        return None;
+    }
+    queue.clear_slot(i);
+    Some(decode(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::options::{Algorithm, BfsOptions};
+    use crate::run_bfs;
+    use obfs_graph::gen;
+
+    #[test]
+    fn level_trace_matches_frontier_profile() {
+        let g = gen::binary_tree(127); // frontiers 1,2,4,...,64
+        let opts = BfsOptions {
+            threads: 3,
+            collect_level_trace: true,
+            ..Default::default()
+        };
+        let r = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
+        let tr = &r.stats.level_trace;
+        assert_eq!(tr.len() as u32, r.stats.levels);
+        // Single-parent tree: no duplicate pushes possible, so the trace
+        // frontier sizes are exact powers of two.
+        for (d, e) in tr.iter().enumerate() {
+            assert_eq!(e.level, d as u32);
+            assert_eq!(e.frontier, 1 << d, "level {d} frontier");
+            if d + 1 < tr.len() {
+                assert_eq!(e.discovered, 1 << (d + 1));
+            } else {
+                assert_eq!(e.discovered, 0, "last level discovers nothing");
+            }
+        }
+        // Consumed totals match: sum of frontiers = reached vertices.
+        let consumed: usize = tr.iter().map(|e| e.frontier).sum();
+        assert_eq!(consumed, 127);
+    }
+
+    #[test]
+    fn trace_off_by_default() {
+        let g = gen::path(10);
+        let r = run_bfs(Algorithm::Bfswl, &g, 0, &BfsOptions::default());
+        assert!(r.stats.level_trace.is_empty());
+    }
+
+    #[test]
+    fn trace_works_for_all_parallel_algorithms() {
+        let g = gen::erdos_renyi(300, 2100, 4);
+        let opts = BfsOptions {
+            threads: 4,
+            collect_level_trace: true,
+            ..Default::default()
+        };
+        for algo in Algorithm::ALL.into_iter().filter(|a| *a != Algorithm::Serial) {
+            let r = run_bfs(algo, &g, 0, &opts);
+            assert_eq!(r.stats.level_trace.len() as u32, r.stats.levels, "{algo}");
+            assert!(r.stats.level_trace.iter().all(|e| e.frontier > 0), "{algo}");
+        }
+    }
+}

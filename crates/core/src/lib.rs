@@ -1,0 +1,124 @@
+//! The paper's parallel BFS algorithms.
+//!
+//! Two families, each in a locked and a lock-free (optimistic) variant:
+//!
+//! | Acronym  | Algorithm | Module |
+//! |----------|-----------|--------|
+//! | `sbfs`   | serial reference BFS | [`serial`] |
+//! | `BFSC`   | centralized segment dispatch, global lock | [`centralized`] |
+//! | `BFSCL`  | centralized, optimistic lock-free | [`centralized`] |
+//! | `BFSDL`  | decentralized (j queue pools), lock-free | [`decentralized`] |
+//! | `BFSW`   | randomized work-stealing, per-victim locks | [`worksteal`] |
+//! | `BFSWL`  | work-stealing, optimistic lock-free | [`worksteal`] |
+//! | `BFSWS`  | two-phase scale-free work-stealing, locks | [`scalefree`] |
+//! | `BFSWSL` | two-phase scale-free, lock-free | [`scalefree`] |
+//! | `EdgeCL` | §IV-D extension: edge-balanced optimistic dispatch | [`ext`] |
+//!
+//! All parallel variants share the level-synchronous driver in [`driver`]:
+//! per-thread input/output queue arrays (`Qin[p]` / `Qout[p]`), a shared
+//! `level[]` array written with benign races, queue swap at each level
+//! barrier. The lock-free variants manipulate the shared queue cursors
+//! with plain racy loads/stores ([`obfs_sync::racy`]) and recover from the
+//! resulting invalid / overlapping / stale segments exactly as §IV of the
+//! paper describes: sanity-check and retry for invalid segments, and a
+//! zero-on-read sentinel protocol that turns overlap into bounded
+//! duplicate work.
+
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod decentralized;
+pub mod driver;
+pub mod ext;
+pub mod frontier;
+pub mod options;
+pub mod perthread;
+pub mod scalefree;
+pub mod serial;
+pub mod state;
+pub mod stats;
+pub mod validate;
+pub mod worksteal;
+
+pub use options::{Algorithm, BfsOptions, DedupMode, SegmentPolicy};
+pub use stats::{RunStats, StealCounters, ThreadStats};
+
+use obfs_graph::CsrGraph;
+use obfs_graph::VertexId;
+use obfs_runtime::LevelPool;
+
+/// Level value for vertices not reached from the source.
+pub const UNVISITED: u32 = u32::MAX;
+
+/// Result of one BFS run.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// `levels[v]` = BFS distance from the source, [`UNVISITED`] if
+    /// unreachable.
+    pub levels: Vec<u32>,
+    /// Parent of each vertex in some BFS tree (only when
+    /// [`BfsOptions::record_parents`] is set); the source is its own
+    /// parent, unreachable vertices get [`obfs_graph::INVALID_VERTEX`].
+    pub parents: Option<Vec<VertexId>>,
+    /// Aggregated counters and timings.
+    pub stats: RunStats,
+}
+
+impl BfsResult {
+    /// Number of vertices reached (including the source).
+    pub fn reached(&self) -> usize {
+        self.levels.iter().filter(|&&l| l != UNVISITED).count()
+    }
+
+    /// Deepest level reached.
+    pub fn depth(&self) -> u32 {
+        self.levels.iter().copied().filter(|&l| l != UNVISITED).max().unwrap_or(0)
+    }
+}
+
+/// Run `algo` from `src`, creating a fresh worker pool of
+/// `opts.threads` workers. For repeated runs (benchmarks) use
+/// [`BfsRunner`] to amortize pool creation.
+pub fn run_bfs(algo: Algorithm, graph: &CsrGraph, src: VertexId, opts: &BfsOptions) -> BfsResult {
+    if algo == Algorithm::Serial {
+        return serial::serial_bfs_with_opts(graph, src, opts);
+    }
+    let pool = LevelPool::new(opts.threads);
+    driver::run_on_pool(algo, graph, src, opts, &pool)
+}
+
+/// A reusable runner owning a worker pool.
+pub struct BfsRunner {
+    pool: LevelPool,
+}
+
+impl BfsRunner {
+    /// Create a runner with `threads` persistent workers.
+    pub fn new(threads: usize) -> Self {
+        Self { pool: LevelPool::new(threads) }
+    }
+
+    /// Number of workers in the owned pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Run `algo`; `opts.threads` must equal the pool size (asserted).
+    pub fn run(
+        &self,
+        algo: Algorithm,
+        graph: &CsrGraph,
+        src: VertexId,
+        opts: &BfsOptions,
+    ) -> BfsResult {
+        if algo == Algorithm::Serial {
+            return serial::serial_bfs_with_opts(graph, src, opts);
+        }
+        assert_eq!(
+            opts.threads,
+            self.pool.threads(),
+            "BfsOptions::threads must match the runner's pool size"
+        );
+        driver::run_on_pool(algo, graph, src, opts, &self.pool)
+    }
+}

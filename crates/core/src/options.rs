@@ -1,0 +1,269 @@
+//! Algorithm selection and tuning knobs.
+
+use obfs_runtime::Topology;
+
+/// The BFS algorithms of the paper (Table II) plus the §IV-D extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// `sbfs`: serial queue-based BFS.
+    Serial,
+    /// `BFSC`: centralized segment dispatch guarded by a global lock.
+    Bfsc,
+    /// `BFSCL`: centralized dispatch, optimistic lock-free.
+    Bfscl,
+    /// `BFSDL`: decentralized — `j` queue pools, optimistic lock-free.
+    Bfsdl,
+    /// `BFSW`: distributed randomized work-stealing with per-victim locks.
+    Bfsw,
+    /// `BFSWL`: work-stealing, optimistic lock-free.
+    Bfswl,
+    /// `BFSWS`: two-phase scale-free work-stealing with locks.
+    Bfsws,
+    /// `BFSWSL`: two-phase scale-free work-stealing, lock-free.
+    Bfswsl,
+    /// `EdgeCL` (§IV-D "further improvements"): edge-balanced optimistic
+    /// centralized dispatch — segments are edge ranges, not vertex ranges.
+    EdgeCl,
+}
+
+impl Algorithm {
+    /// All parallel algorithms plus the serial baseline, in the order used
+    /// by the paper's tables.
+    pub const ALL: [Algorithm; 9] = [
+        Algorithm::Serial,
+        Algorithm::Bfsc,
+        Algorithm::Bfscl,
+        Algorithm::Bfsdl,
+        Algorithm::Bfsw,
+        Algorithm::Bfswl,
+        Algorithm::Bfsws,
+        Algorithm::Bfswsl,
+        Algorithm::EdgeCl,
+    ];
+
+    /// Paper acronym.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Serial => "sbfs",
+            Algorithm::Bfsc => "BFS_C",
+            Algorithm::Bfscl => "BFS_CL",
+            Algorithm::Bfsdl => "BFS_DL",
+            Algorithm::Bfsw => "BFS_W",
+            Algorithm::Bfswl => "BFS_WL",
+            Algorithm::Bfsws => "BFS_WS",
+            Algorithm::Bfswsl => "BFS_WSL",
+            Algorithm::EdgeCl => "BFS_ECL",
+        }
+    }
+
+    /// Parse a paper acronym (case-insensitive, underscores optional).
+    pub fn from_name(s: &str) -> Option<Self> {
+        let norm: String = s.chars().filter(|c| *c != '_').collect::<String>().to_ascii_uppercase();
+        Self::ALL.into_iter().find(|a| {
+            a.name().chars().filter(|c| *c != '_').collect::<String>().to_ascii_uppercase() == norm
+        })
+    }
+
+    /// True for the variants that take no lock and no atomic RMW on the
+    /// shared queue state.
+    pub fn is_lockfree(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::Bfscl
+                | Algorithm::Bfsdl
+                | Algorithm::Bfswl
+                | Algorithm::Bfswsl
+                | Algorithm::EdgeCl
+        )
+    }
+
+    /// True for the work-stealing family.
+    pub fn is_work_stealing(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::Bfsw | Algorithm::Bfswl | Algorithm::Bfsws | Algorithm::Bfswsl
+        )
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Duplicate-exploration suppression (§IV-D "further improvements").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupMode {
+    /// The paper's evaluated configuration: duplicates tolerated.
+    #[default]
+    None,
+    /// Owner-array suppression: pushes record the destination queue id in
+    /// a shared array via arbitrary-concurrent-write (still no locks, no
+    /// RMW); pops skip vertices whose recorded owner is a different queue.
+    OwnerArray,
+}
+
+/// How segment sizes are chosen by the centralized dispatchers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentPolicy {
+    /// Adaptive (the paper's choice): `s = clamp(remaining/(div*p), 1, max)`
+    /// recomputed at every dispatch.
+    Adaptive {
+        /// Denominator factor: `s = remaining / (div * p)`.
+        div: usize,
+        /// Upper clamp on the segment length.
+        max: usize,
+    },
+    /// Fixed segment length (ablation).
+    Fixed(usize),
+}
+
+impl Default for SegmentPolicy {
+    fn default() -> Self {
+        SegmentPolicy::Adaptive { div: 2, max: 4096 }
+    }
+}
+
+impl SegmentPolicy {
+    /// Segment length for a dispatch given the remaining entries in the
+    /// current queue and the worker count.
+    #[inline]
+    pub fn segment_len(&self, remaining: usize, threads: usize) -> usize {
+        match *self {
+            SegmentPolicy::Adaptive { div, max } => {
+                (remaining / (div * threads).max(1)).clamp(1, max.max(1))
+            }
+            SegmentPolicy::Fixed(s) => s.max(1),
+        }
+    }
+}
+
+/// Tuning options shared by all algorithms. `Default` mirrors the paper's
+/// configuration on a generic machine.
+#[derive(Debug, Clone)]
+pub struct BfsOptions {
+    /// Worker threads `p`.
+    pub threads: usize,
+    /// Segment sizing for the centralized/decentralized dispatchers.
+    pub segment: SegmentPolicy,
+    /// `c` in the `c·p·log p` steal/pool-search retry budgets (paper
+    /// §IV-A3, §IV-B1; `c > 1`).
+    pub retry_c: usize,
+    /// Minimum victim segment length worth stealing (steals of shorter
+    /// segments are counted as "segment too small" failures).
+    pub steal_min: usize,
+    /// Degree above which a vertex is treated as a hub by the scale-free
+    /// variants; `None` derives `max(64, 8 * avg_degree)` from the graph.
+    pub hub_threshold: Option<usize>,
+    /// Pool count `j ∈ [1, p]` for `BFSDL`.
+    pub pools: usize,
+    /// Duplicate suppression mode.
+    pub dedup: DedupMode,
+    /// Record a BFS-tree parent per vertex (arbitrary concurrent write).
+    pub record_parents: bool,
+    /// Scale-free variants: use optimistic edge-segment stealing in the
+    /// hub phase instead of static per-thread chunks (the alternative the
+    /// paper tried and found usually slower).
+    pub phase2_steal: bool,
+    /// Socket layout for NUMA-aware victim selection (§IV-C). `None`
+    /// means uniform random victims.
+    pub topology: Option<Topology>,
+    /// Seed for victim selection and pool choice randomness.
+    pub seed: u64,
+    /// Record per-level frontier sizes and durations into
+    /// [`crate::RunStats::level_trace`] (leader-side, near-zero cost).
+    pub collect_level_trace: bool,
+}
+
+impl Default for BfsOptions {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            segment: SegmentPolicy::default(),
+            retry_c: 2,
+            steal_min: 4,
+            hub_threshold: None,
+            pools: 1,
+            dedup: DedupMode::None,
+            record_parents: false,
+            phase2_steal: false,
+            topology: None,
+            seed: 0x0BF5,
+            collect_level_trace: false,
+        }
+    }
+}
+
+impl BfsOptions {
+    /// Validate and clamp derived fields against a concrete graph.
+    pub fn resolved_hub_threshold(&self, graph: &obfs_graph::CsrGraph) -> usize {
+        self.hub_threshold.unwrap_or_else(|| {
+            let n = graph.num_vertices().max(1);
+            let avg = (graph.num_edges() as usize / n).max(1);
+            (8 * avg).max(64)
+        })
+    }
+
+    /// Steal / pool-search retry budget for `k` choices.
+    pub fn retry_budget(&self, k: usize) -> usize {
+        obfs_util::retry_budget(self.retry_c.max(2), k, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::from_name(a.name()), Some(a), "{a}");
+        }
+        assert_eq!(Algorithm::from_name("bfswsl"), Some(Algorithm::Bfswsl));
+        assert_eq!(Algorithm::from_name("BFS_CL"), Some(Algorithm::Bfscl));
+        assert_eq!(Algorithm::from_name("nope"), None);
+    }
+
+    #[test]
+    fn lockfree_classification() {
+        assert!(Algorithm::Bfscl.is_lockfree());
+        assert!(Algorithm::Bfswsl.is_lockfree());
+        assert!(!Algorithm::Bfsc.is_lockfree());
+        assert!(!Algorithm::Bfsw.is_lockfree());
+        assert!(!Algorithm::Serial.is_lockfree());
+    }
+
+    #[test]
+    fn segment_policy_adaptive() {
+        let p = SegmentPolicy::Adaptive { div: 2, max: 100 };
+        assert_eq!(p.segment_len(1000, 5), 100); // clamped to max
+        assert_eq!(p.segment_len(100, 5), 10);
+        assert_eq!(p.segment_len(0, 5), 1); // never zero
+        assert_eq!(p.segment_len(3, 8), 1);
+    }
+
+    #[test]
+    fn segment_policy_fixed() {
+        let p = SegmentPolicy::Fixed(7);
+        assert_eq!(p.segment_len(1_000_000, 32), 7);
+        assert_eq!(SegmentPolicy::Fixed(0).segment_len(10, 1), 1);
+    }
+
+    #[test]
+    fn hub_threshold_auto() {
+        let g = obfs_graph::gen::star(1000);
+        let opts = BfsOptions::default();
+        // avg degree ~2 -> auto threshold floors at 64
+        assert_eq!(opts.resolved_hub_threshold(&g), 64);
+        let opts2 = BfsOptions { hub_threshold: Some(5), ..Default::default() };
+        assert_eq!(opts2.resolved_hub_threshold(&g), 5);
+    }
+
+    #[test]
+    fn retry_budget_reasonable() {
+        let opts = BfsOptions::default();
+        assert!(opts.retry_budget(1) >= 4);
+        assert!(opts.retry_budget(12) >= 2 * 12 * 4);
+    }
+}

@@ -1,0 +1,403 @@
+//! Shared run state and the discovery fast path common to every parallel
+//! BFS variant.
+
+use crate::frontier::{FrontierQueue, QueueSet, SegmentDesc};
+use crate::options::{BfsOptions, DedupMode};
+use crate::perthread::PerThread;
+use crate::stats::ThreadStats;
+use crate::UNVISITED;
+use obfs_graph::{CsrGraph, VertexId, INVALID_VERTEX};
+use obfs_sync::{CachePadded, RacyBuf, RacyUsize, SpinLock};
+use std::cell::UnsafeCell;
+
+/// A cell written only inside barrier serial sections (exactly one thread,
+/// all others parked at the barrier) and read only between barriers.
+///
+/// The barrier's release/acquire edges order the accesses, so the data
+/// race the type system fears cannot occur — but that protocol cannot be
+/// expressed in safe Rust, hence the unsafe accessors.
+pub struct SerialCell<T>(UnsafeCell<T>);
+
+// SAFETY: see type-level docs; the barrier protocol serializes access.
+unsafe impl<T: Send> Sync for SerialCell<T> {}
+
+impl<T> SerialCell<T> {
+    /// Wrap a value.
+    pub fn new(v: T) -> Self {
+        Self(UnsafeCell::new(v))
+    }
+
+    /// # Safety
+    /// Call only from a barrier serial section (no concurrent access).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    /// # Safety
+    /// Call only while no serial section can be mutating the cell.
+    pub unsafe fn get(&self) -> &T {
+        &*self.0.get()
+    }
+
+    /// Consume into the inner value (requires ownership, so no
+    /// concurrent access can exist).
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+/// Leader-side accumulator for the optional per-level trace.
+#[derive(Debug)]
+pub struct TraceState {
+    /// Finished level entries.
+    pub entries: Vec<crate::stats::LevelTraceEntry>,
+    /// Start instant of the level in progress.
+    pub mark: std::time::Instant,
+    /// Frontier size entering the level in progress.
+    pub frontier_in: usize,
+}
+
+impl Default for TraceState {
+    fn default() -> Self {
+        Self { entries: Vec::new(), mark: std::time::Instant::now(), frontier_in: 0 }
+    }
+}
+
+/// Cursor state of the lock-based centralized dispatcher (BFSC): the
+/// `⟨q, f⟩` pair of the paper, protected by one global lock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CentralCursor {
+    /// Current queue index.
+    pub q: usize,
+    /// Front offset within that queue.
+    pub f: usize,
+}
+
+/// Everything the workers share during one BFS run.
+pub struct RunState<'g> {
+    /// The (immutable) graph being traversed.
+    pub graph: &'g CsrGraph,
+    /// `level[v]`; written with benign races (same value within a level).
+    pub levels: RacyBuf,
+    /// Optional BFS-tree parents (arbitrary concurrent write).
+    pub parents: Option<RacyBuf>,
+    /// §IV-D owner array: queue id + 1 of the queue a vertex was pushed
+    /// to (arbitrary concurrent write), 0 = unset.
+    pub owner: Option<RacyBuf>,
+    /// The two queue sets; `queues[parity]` is Qin, `queues[parity^1]` Qout.
+    pub queues: [QueueSet; 2],
+    /// Work-stealing per-thread segment descriptors.
+    pub descs: Vec<CachePadded<SegmentDesc>>,
+    /// Per-victim locks for the lock-based work-stealing variants.
+    pub desc_locks: Vec<CachePadded<SpinLock<()>>>,
+    /// Global lock + cursor for BFSC.
+    pub central_lock: SpinLock<CentralCursor>,
+    /// Global racy queue pointer for BFSCL, and one per pool for BFSDL
+    /// (BFSCL uses `pool_cursors[0]`).
+    pub pool_cursors: Vec<CachePadded<RacyUsize>>,
+    /// Racy global edge cursor (EdgeCL dispatch and the phase-2-steal
+    /// hub exploration).
+    pub edge_cursor: CachePadded<RacyUsize>,
+    /// Frontier size of the upcoming level; written by the barrier leader.
+    pub next_total: RacyUsize,
+    /// Per-thread hub lists for the scale-free variants.
+    pub hubs: PerThread<Vec<VertexId>>,
+    /// Leader-built flattened work lists (hub phase / EdgeCL): vertices
+    /// and the exclusive prefix sums of their degrees.
+    pub flat_vertices: SerialCell<Vec<VertexId>>,
+    /// Exclusive degree prefix sums over `flat_vertices` (one extra
+    /// trailing total).
+    pub flat_prefix: SerialCell<Vec<u64>>,
+    /// Leader-side per-level telemetry (when requested).
+    pub trace: Option<SerialCell<TraceState>>,
+    /// Worker count (`opts.threads`, validated).
+    pub threads: usize,
+    /// Resolved hub-degree threshold for the scale-free variants.
+    pub hub_threshold: usize,
+    /// The full option set of this run.
+    pub opts: BfsOptions,
+}
+
+impl<'g> RunState<'g> {
+    /// Allocate all shared state for one BFS run.
+    pub fn new(graph: &'g CsrGraph, opts: &BfsOptions) -> Self {
+        let n = graph.num_vertices();
+        assert!(n >= 1, "BFS needs at least one vertex");
+        assert!(
+            n < UNVISITED as usize,
+            "graph too large for u32 level encoding"
+        );
+        let p = opts.threads;
+        assert!(p >= 1, "need at least one thread");
+        if let Some(t) = &opts.topology {
+            assert_eq!(
+                t.threads(),
+                p,
+                "BfsOptions::topology describes {} workers but threads = {p}",
+                t.threads()
+            );
+        }
+        let pools = opts.pools.clamp(1, p);
+        Self {
+            graph,
+            levels: RacyBuf::new(n),
+            parents: opts.record_parents.then(|| RacyBuf::new(n)),
+            owner: (opts.dedup == DedupMode::OwnerArray).then(|| RacyBuf::new(n)),
+            queues: [QueueSet::new(p, n), QueueSet::new(p, n)],
+            descs: (0..p).map(|_| CachePadded::new(SegmentDesc::new())).collect(),
+            desc_locks: (0..p).map(|_| CachePadded::new(SpinLock::new(()))).collect(),
+            central_lock: SpinLock::new(CentralCursor::default()),
+            pool_cursors: (0..pools).map(|_| CachePadded::new(RacyUsize::new(0))).collect(),
+            edge_cursor: CachePadded::new(RacyUsize::new(0)),
+            next_total: RacyUsize::new(0),
+            hubs: PerThread::new(p, |_| Vec::new()),
+            flat_vertices: SerialCell::new(Vec::new()),
+            flat_prefix: SerialCell::new(Vec::new()),
+            trace: opts.collect_level_trace.then(|| SerialCell::new(TraceState::default())),
+            threads: p,
+            hub_threshold: opts.resolved_hub_threshold(graph),
+            opts: opts.clone(),
+        }
+    }
+
+    /// This level's input queue set.
+    #[inline]
+    pub fn qin(&self, parity: usize) -> &QueueSet {
+        &self.queues[parity & 1]
+    }
+
+    /// This level's output queue set.
+    #[inline]
+    pub fn qout(&self, parity: usize) -> &QueueSet {
+        &self.queues[(parity & 1) ^ 1]
+    }
+
+    /// Number of decentralized pools (1 for the centralized variants).
+    #[inline]
+    pub fn pools(&self) -> usize {
+        self.pool_cursors.len()
+    }
+
+    /// Queue-index range `[start, end)` covered by pool `j` (BFSDL splits
+    /// the `p` queues into `pools` contiguous groups).
+    pub fn pool_range(&self, j: usize) -> (usize, usize) {
+        let per = obfs_util::div_ceil(self.threads, self.pools());
+        let start = (j * per).min(self.threads);
+        let end = ((j + 1) * per).min(self.threads);
+        (start, end)
+    }
+
+    /// Parallel init chunk for thread `tid`: clear levels / parents /
+    /// owner for its share of the vertex range.
+    pub fn init_chunk(&self, tid: usize) {
+        let n = self.graph.num_vertices();
+        let per = obfs_util::div_ceil(n, self.threads);
+        let lo = (tid * per).min(n);
+        let hi = ((tid + 1) * per).min(n);
+        for v in lo..hi {
+            self.levels.set(v, UNVISITED);
+        }
+        if let Some(p) = &self.parents {
+            for v in lo..hi {
+                p.set(v, INVALID_VERTEX);
+            }
+        }
+        if let Some(o) = &self.owner {
+            for v in lo..hi {
+                o.set(v, 0);
+            }
+        }
+    }
+
+    /// The discovery fast path: if `w` looks unvisited, claim it (racy
+    /// write — duplicates across threads are possible and benign), record
+    /// parent/owner, and push it to `out`.
+    #[inline]
+    pub fn try_discover(
+        &self,
+        w: VertexId,
+        parent: VertexId,
+        next_level: u32,
+        out_queue_id: usize,
+        out: &FrontierQueue,
+        out_rear: &mut usize,
+        ts: &mut ThreadStats,
+    ) {
+        if self.levels.get(w as usize) == UNVISITED {
+            self.levels.set(w as usize, next_level);
+            if let Some(p) = &self.parents {
+                p.set(w as usize, parent);
+            }
+            if let Some(o) = &self.owner {
+                // Arbitrary concurrent write: last store wins; pops will
+                // honor whichever queue id survives.
+                o.set(w as usize, out_queue_id as u32 + 1);
+            }
+            out.push(out_rear, w);
+            ts.vertices_discovered += 1;
+        }
+    }
+
+    /// Pop-side checks shared by all variants. Returns `false` if the
+    /// vertex should be skipped (duplicate under owner-array dedup).
+    #[inline]
+    pub fn pop_admit(&self, v: VertexId, from_queue: usize, ts: &mut ThreadStats) -> bool {
+        if let Some(o) = &self.owner {
+            if o.get(v as usize) != from_queue as u32 + 1 {
+                ts.dedup_skips += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Scan `v`'s full adjacency list, discovering into `out`.
+    #[inline]
+    pub fn explore_vertex(
+        &self,
+        v: VertexId,
+        level: u32,
+        out_queue_id: usize,
+        out: &FrontierQueue,
+        out_rear: &mut usize,
+        ts: &mut ThreadStats,
+    ) {
+        let next = level + 1;
+        let neigh = self.graph.neighbors(v);
+        ts.edges_scanned += neigh.len() as u64;
+        for &w in neigh {
+            self.try_discover(w, v, next, out_queue_id, out, out_rear, ts);
+        }
+    }
+
+    /// Record whether popping `v` at `level` is a duplicate exploration
+    /// (its level was already set by this or another thread this level).
+    /// Call after the pop, before exploring.
+    #[inline]
+    pub fn note_pop(&self, v: VertexId, level: u32, ts: &mut ThreadStats) {
+        ts.vertices_explored += 1;
+        // A slot holding v at level d implies level[v] == d was set when it
+        // was pushed; observing anything else means another queue also
+        // carried v (duplicate push) or a stale segment replay.
+        if self.levels.get(v as usize) != level {
+            ts.duplicate_explorations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obfs_graph::gen;
+
+    fn opts(threads: usize) -> BfsOptions {
+        BfsOptions { threads, ..Default::default() }
+    }
+
+    #[test]
+    fn init_chunks_cover_everything() {
+        let g = gen::path(103);
+        let st = RunState::new(&g, &opts(4));
+        for t in 0..4 {
+            st.init_chunk(t);
+        }
+        for v in 0..103 {
+            assert_eq!(st.levels.get(v), UNVISITED);
+        }
+    }
+
+    #[test]
+    fn pool_ranges_partition_threads() {
+        let g = gen::path(10);
+        let o = BfsOptions { threads: 7, pools: 3, ..Default::default() };
+        let st = RunState::new(&g, &o);
+        assert_eq!(st.pools(), 3);
+        let mut covered = [false; 7];
+        for j in 0..3 {
+            let (s, e) = st.pool_range(j);
+            for q in s..e {
+                assert!(!covered[q], "queue {q} in two pools");
+                covered[q] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "pools must cover all queues");
+    }
+
+    #[test]
+    fn pools_clamped_to_threads() {
+        let g = gen::path(10);
+        let o = BfsOptions { threads: 2, pools: 100, ..Default::default() };
+        let st = RunState::new(&g, &o);
+        assert_eq!(st.pools(), 2);
+    }
+
+    #[test]
+    fn try_discover_sets_level_once_per_thread_view() {
+        let g = gen::star(10);
+        let st = RunState::new(&g, &opts(1));
+        st.init_chunk(0);
+        let out = st.qout(0).queue(0);
+        let mut rear = 0;
+        let mut ts = ThreadStats::default();
+        st.try_discover(3, 0, 1, 0, out, &mut rear, &mut ts);
+        st.try_discover(3, 0, 1, 0, out, &mut rear, &mut ts);
+        assert_eq!(st.levels.get(3), 1);
+        assert_eq!(rear, 1, "second discover must be a no-op");
+        assert_eq!(ts.vertices_discovered, 1);
+    }
+
+    #[test]
+    fn owner_dedup_admits_only_recorded_queue() {
+        let g = gen::star(10);
+        let o = BfsOptions { threads: 2, dedup: DedupMode::OwnerArray, ..Default::default() };
+        let st = RunState::new(&g, &o);
+        st.init_chunk(0);
+        st.init_chunk(1);
+        let out = st.qout(0).queue(1);
+        let mut rear = 0;
+        let mut ts = ThreadStats::default();
+        st.try_discover(5, 0, 1, 1, out, &mut rear, &mut ts);
+        assert!(st.pop_admit(5, 1, &mut ts));
+        assert!(!st.pop_admit(5, 0, &mut ts));
+        assert_eq!(ts.dedup_skips, 1);
+    }
+
+    #[test]
+    fn explore_vertex_discovers_all_neighbors() {
+        let g = gen::complete(5);
+        let st = RunState::new(&g, &opts(1));
+        st.init_chunk(0);
+        st.levels.set(0, 0);
+        let out = st.qout(0).queue(0);
+        let mut rear = 0;
+        let mut ts = ThreadStats::default();
+        st.explore_vertex(0, 0, 0, out, &mut rear, &mut ts);
+        assert_eq!(rear, 4);
+        assert_eq!(ts.edges_scanned, 4);
+        for v in 1..5 {
+            assert_eq!(st.levels.get(v), 1);
+        }
+    }
+
+    #[test]
+    fn note_pop_flags_duplicates() {
+        let g = gen::path(3);
+        let st = RunState::new(&g, &opts(1));
+        st.init_chunk(0);
+        st.levels.set(1, 1);
+        let mut ts = ThreadStats::default();
+        st.note_pop(1, 1, &mut ts);
+        assert_eq!(ts.duplicate_explorations, 0);
+        st.note_pop(1, 2, &mut ts);
+        assert_eq!(ts.duplicate_explorations, 1);
+        assert_eq!(ts.vertices_explored, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn empty_graph_rejected() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let _ = RunState::new(&g, &opts(1));
+    }
+}

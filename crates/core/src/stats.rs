@@ -1,0 +1,220 @@
+//! Instrumentation counters.
+//!
+//! Every worker owns a [`ThreadStats`] (via
+//! [`crate::perthread::PerThread`], so counting needs no synchronization);
+//! the driver merges them into a [`RunStats`] after the run. The
+//! [`StealCounters`] categories are exactly those of the paper's Table VI.
+
+/// Outcome counters for steal attempts (work-stealing variants) — the
+/// columns of Table VI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealCounters {
+    /// Total steal attempts.
+    pub attempts: u64,
+    /// Successful steals.
+    pub success: u64,
+    /// Failed: victim's lock was held (lock-based variants only).
+    pub victim_locked: u64,
+    /// Failed: victim had no work (empty or exhausted segment).
+    pub victim_idle: u64,
+    /// Failed: victim's remaining segment was below the steal minimum.
+    pub too_small: u64,
+    /// Failed: segment passed the sanity checks but was already consumed
+    /// (first slot cleared) — lock-free variants only.
+    pub stale: u64,
+    /// Failed: segment failed the `f' < r' <= Qin[q'].r` sanity check —
+    /// lock-free variants only.
+    pub invalid: u64,
+}
+
+impl StealCounters {
+    /// Field-wise accumulate.
+    pub fn merge(&mut self, o: &StealCounters) {
+        self.attempts += o.attempts;
+        self.success += o.success;
+        self.victim_locked += o.victim_locked;
+        self.victim_idle += o.victim_idle;
+        self.too_small += o.too_small;
+        self.stale += o.stale;
+        self.invalid += o.invalid;
+    }
+
+    /// Total failed attempts.
+    pub fn failed(&self) -> u64 {
+        self.victim_locked + self.victim_idle + self.too_small + self.stale + self.invalid
+    }
+
+    /// Internal consistency: categorized outcomes must sum to attempts.
+    pub fn is_consistent(&self) -> bool {
+        self.success + self.failed() == self.attempts
+    }
+}
+
+/// Per-worker counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Queue slots consumed that held a live vertex.
+    pub vertices_explored: u64,
+    /// Adjacency entries scanned.
+    pub edges_scanned: u64,
+    /// Vertices pushed into this worker's output queue.
+    pub vertices_discovered: u64,
+    /// Consumed slots whose vertex level was already set — the wasted
+    /// duplicate explorations the optimistic scheme trades for lock
+    /// freedom.
+    pub duplicate_explorations: u64,
+    /// Segment reads aborted at a cleared (0) slot.
+    pub stale_slot_aborts: u64,
+    /// Segments fetched from centralized/pool dispatchers.
+    pub segments_fetched: u64,
+    /// Dispatcher retries (raced or invalid fetches).
+    pub fetch_retries: u64,
+    /// Pops skipped by the §IV-D owner-array dedup.
+    pub dedup_skips: u64,
+    /// Lock acquisitions (lock-based variants).
+    pub lock_acquisitions: u64,
+    /// Steal outcomes (work-stealing variants).
+    pub steal: StealCounters,
+}
+
+impl ThreadStats {
+    /// Field-wise accumulate.
+    pub fn merge(&mut self, o: &ThreadStats) {
+        self.vertices_explored += o.vertices_explored;
+        self.edges_scanned += o.edges_scanned;
+        self.vertices_discovered += o.vertices_discovered;
+        self.duplicate_explorations += o.duplicate_explorations;
+        self.stale_slot_aborts += o.stale_slot_aborts;
+        self.segments_fetched += o.segments_fetched;
+        self.fetch_retries += o.fetch_retries;
+        self.dedup_skips += o.dedup_skips;
+        self.lock_acquisitions += o.lock_acquisitions;
+        self.steal.merge(&o.steal);
+    }
+}
+
+/// One level's telemetry (collected when
+/// [`crate::BfsOptions::collect_level_trace`] is set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelTraceEntry {
+    /// BFS depth of the vertices consumed this level.
+    pub level: u32,
+    /// Queue entries consumed (frontier size incl. duplicate pushes).
+    pub frontier: usize,
+    /// Queue entries produced for the next level.
+    pub discovered: usize,
+    /// Wall time of the level (barrier to barrier).
+    pub duration: std::time::Duration,
+}
+
+/// Aggregated result statistics for one BFS run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Sum of all workers' counters.
+    pub totals: ThreadStats,
+    /// Per-worker counters (index = thread id; empty for serial runs).
+    pub per_thread: Vec<ThreadStats>,
+    /// Number of BFS levels executed (depth + 1 for non-trivial runs).
+    pub levels: u32,
+    /// Wall time of the traversal proper (excludes allocation/setup).
+    pub traversal_time: std::time::Duration,
+    /// Per-level telemetry; empty unless
+    /// [`crate::BfsOptions::collect_level_trace`] was set (and always
+    /// empty for serial runs).
+    pub level_trace: Vec<LevelTraceEntry>,
+}
+
+impl RunStats {
+    /// Build from per-thread stats.
+    pub fn from_threads(
+        per_thread: Vec<ThreadStats>,
+        levels: u32,
+        traversal_time: std::time::Duration,
+    ) -> Self {
+        let mut totals = ThreadStats::default();
+        for t in &per_thread {
+            totals.merge(t);
+        }
+        Self { totals, per_thread, levels, traversal_time, level_trace: Vec::new() }
+    }
+
+    /// Traversed edges per second (the paper's Figure 3 metric), given the
+    /// number of edges actually reachable in this traversal.
+    pub fn teps(&self, traversed_edges: u64) -> f64 {
+        let s = self.traversal_time.as_secs_f64();
+        if s <= 0.0 {
+            f64::INFINITY
+        } else {
+            traversed_edges as f64 / s
+        }
+    }
+
+    /// Imbalance ratio: max worker explored / mean worker explored
+    /// (1.0 = perfectly balanced). NaN for serial runs.
+    pub fn balance_ratio(&self) -> f64 {
+        if self.per_thread.is_empty() {
+            return f64::NAN;
+        }
+        let max = self.per_thread.iter().map(|t| t.vertices_explored).max().unwrap() as f64;
+        let mean = self.totals.vertices_explored as f64 / self.per_thread.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_counters_consistency() {
+        let mut s = StealCounters::default();
+        assert!(s.is_consistent());
+        s.attempts = 10;
+        s.success = 4;
+        s.victim_idle = 3;
+        s.stale = 2;
+        s.invalid = 1;
+        assert!(s.is_consistent());
+        assert_eq!(s.failed(), 6);
+        s.too_small = 1;
+        assert!(!s.is_consistent());
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let a = ThreadStats { vertices_explored: 5, edges_scanned: 9, ..Default::default() };
+        let mut b = ThreadStats { vertices_explored: 1, dedup_skips: 2, ..Default::default() };
+        b.merge(&a);
+        assert_eq!(b.vertices_explored, 6);
+        assert_eq!(b.edges_scanned, 9);
+        assert_eq!(b.dedup_skips, 2);
+    }
+
+    #[test]
+    fn run_stats_totals() {
+        let t1 = ThreadStats { vertices_explored: 10, ..Default::default() };
+        let t2 = ThreadStats { vertices_explored: 30, ..Default::default() };
+        let rs = RunStats::from_threads(vec![t1, t2], 3, std::time::Duration::from_millis(10));
+        assert_eq!(rs.totals.vertices_explored, 40);
+        assert_eq!(rs.levels, 3);
+        assert!((rs.balance_ratio() - 1.5).abs() < 1e-12);
+        let teps = rs.teps(1000);
+        assert!((teps - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn balance_ratio_edge_cases() {
+        let rs = RunStats::default();
+        assert!(rs.balance_ratio().is_nan());
+        let rs2 = RunStats::from_threads(
+            vec![ThreadStats::default(); 4],
+            0,
+            std::time::Duration::ZERO,
+        );
+        assert_eq!(rs2.balance_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Compressed-sparse-row graph storage.
+
+use crate::VertexId;
+
+/// A directed graph in CSR form.
+///
+/// `offsets` has `n + 1` entries; the out-neighbours of vertex `v` are
+/// `targets[offsets[v] .. offsets[v + 1]]`. Both arrays are immutable after
+/// construction, which is what lets every BFS worker traverse the structure
+/// concurrently without synchronization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Box<[u64]>,
+    targets: Box<[VertexId]>,
+}
+
+impl CsrGraph {
+    /// Build from raw CSR arrays. Panics if the arrays are inconsistent.
+    pub fn from_raw(offsets: Vec<u64>, targets: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n+1 entries");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len() as u64,
+            "last offset must equal the edge count"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        let n = offsets.len() - 1;
+        assert!(n <= VertexId::MAX as usize, "vertex count exceeds u32 id space");
+        assert!(
+            targets.iter().all(|&t| (t as usize) < n),
+            "edge target out of range"
+        );
+        Self { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
+    }
+
+    /// Build from an edge list by counting sort (O(n + m), stable).
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        assert!(n <= VertexId::MAX as usize, "vertex count exceeds u32 id space");
+        let mut offsets = vec![0u64; n + 1];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range for n={n}");
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; edges.len()];
+        for &(u, v) in edges {
+            let c = &mut cursor[u as usize];
+            targets[*c as usize] = v;
+            *c += 1;
+        }
+        Self { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Out-neighbours of `v` as a slice.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Start offset of `v`'s adjacency list in [`Self::targets_raw`].
+    /// The scale-free BFS variants use this to split a hub's adjacency
+    /// list into per-thread chunks.
+    #[inline]
+    pub fn adjacency_start(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// The raw target array (shared read-only by all BFS workers).
+    #[inline]
+    pub fn targets_raw(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// The raw offset array.
+    #[inline]
+    pub fn offsets_raw(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Iterate `(source, target)` over every directed edge.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// The transpose graph (all edges reversed). O(n + m).
+    pub fn transpose(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut offsets = vec![0u64; n + 1];
+        for &t in self.targets.iter() {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        for u in 0..n as VertexId {
+            for &v in self.neighbors(u) {
+                let c = &mut cursor[v as usize];
+                targets[*c as usize] = u;
+                *c += 1;
+            }
+        }
+        CsrGraph { offsets: offsets.into_boxed_slice(), targets: targets.into_boxed_slice() }
+    }
+
+    /// Maximum out-degree and one vertex attaining it; `(0, 0)` when empty.
+    pub fn max_degree(&self) -> (usize, VertexId) {
+        let mut best = 0usize;
+        let mut arg = 0 as VertexId;
+        for v in 0..self.num_vertices() as VertexId {
+            let d = self.degree(v);
+            if d > best {
+                best = d;
+                arg = v;
+            }
+        }
+        (best, arg)
+    }
+
+    /// Whether each adjacency list is sorted ascending (builder output is).
+    pub fn is_sorted(&self) -> bool {
+        (0..self.num_vertices() as VertexId)
+            .all(|v| self.neighbors(v).windows(2).all(|w| w[0] <= w[1]))
+    }
+
+    /// Whether the graph equals its transpose (every edge has its
+    /// reverse, with matching multiplicity). The undirected-graph
+    /// analyses in `obfs-apps` require this.
+    pub fn is_symmetric(&self) -> bool {
+        // Compare sorted adjacency of the graph and its transpose.
+        let t = self.transpose();
+        (0..self.num_vertices() as VertexId).all(|v| {
+            let mut a = self.neighbors(v).to_vec();
+            let mut b = t.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        })
+    }
+
+    /// A symmetrized copy: every edge plus its reverse, deduplicated,
+    /// self-loops removed.
+    pub fn symmetrized(&self) -> CsrGraph {
+        let mut b = crate::GraphBuilder::new(self.num_vertices()).symmetrize(true);
+        b.reserve(self.targets.len());
+        b.extend(self.edges());
+        b.build()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_basic() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[VertexId]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn counting_sort_is_stable() {
+        // Duplicate edges must be preserved in input order per source.
+        let g = CsrGraph::from_edges(3, &[(0, 2), (0, 1), (0, 2)]);
+        assert_eq!(g.neighbors(0), &[2, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(3, &[]);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        let g0 = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g0.num_vertices(), 0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn transpose_preserves_edge_count() {
+        let edges = [(0, 1), (1, 0), (2, 2), (2, 0), (1, 2)];
+        let g = CsrGraph::from_edges(3, &edges);
+        assert_eq!(g.transpose().num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let edges = vec![(0, 1), (0, 2), (1, 3), (2, 3)];
+        let g = CsrGraph::from_edges(4, &edges);
+        let got: Vec<_> = g.edges().collect();
+        assert_eq!(got, edges);
+    }
+
+    #[test]
+    fn max_degree_finds_hub() {
+        let g = CsrGraph::from_edges(5, &[(2, 0), (2, 1), (2, 3), (2, 4), (0, 1)]);
+        assert_eq!(g.max_degree(), (4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let _ = CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_raw_rejects_decreasing_offsets() {
+        let _ = CsrGraph::from_raw(vec![0, 2, 1, 3], vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge count")]
+    fn from_raw_rejects_bad_total() {
+        let _ = CsrGraph::from_raw(vec![0, 1], vec![0, 0]);
+    }
+
+    #[test]
+    fn from_raw_accepts_valid() {
+        let g = CsrGraph::from_raw(vec![0, 2, 2, 3], vec![1, 2, 0]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn symmetry_check_and_symmetrize() {
+        let asym = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!asym.is_symmetric());
+        let sym = asym.symmetrized();
+        assert!(sym.is_symmetric());
+        assert_eq!(sym.neighbors(1), &[0, 2]);
+        // Already-symmetric graphs are fixed points (after dedup).
+        assert_eq!(sym.symmetrized(), sym);
+        // Empty graph is trivially symmetric.
+        assert!(CsrGraph::from_edges(2, &[]).is_symmetric());
+    }
+
+    #[test]
+    fn self_loops_allowed_in_csr() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+}

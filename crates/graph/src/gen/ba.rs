@@ -1,0 +1,96 @@
+//! Barabási–Albert preferential attachment.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use obfs_util::Xoshiro256StarStar;
+
+/// Barabási–Albert graph: vertices arrive one at a time and attach `k`
+/// edges to existing vertices with probability proportional to their
+/// current degree. Produces a scale-free graph with exponent γ ≈ 3.
+///
+/// The result is symmetrized (each attachment is kept in both directions),
+/// matching how social/collaboration networks are traversed in the paper's
+/// motivation. The first `k + 1` vertices form a seed clique.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> CsrGraph {
+    assert!(k >= 1, "attachment count must be >= 1");
+    assert!(n > k, "need more vertices than the attachment count");
+    let mut rng = Xoshiro256StarStar::new(seed);
+
+    // `targets_pool` holds one entry per edge endpoint, so uniform sampling
+    // from it is exactly degree-proportional sampling.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+    let mut b = GraphBuilder::new(n).symmetrize(true);
+
+    // Seed clique on vertices 0..=k.
+    for u in 0..=(k as VertexId) {
+        for v in (u + 1)..=(k as VertexId) {
+            b.add_edge(u, v);
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+
+    for u in (k + 1)..n {
+        let u = u as VertexId;
+        // Sample k distinct targets from the pool (retry duplicates; with
+        // a pool far larger than k the expected retries are O(1)).
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let t = pool[rng.below_usize(pool.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(u, t);
+            pool.push(u);
+            pool.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_model() {
+        let (n, k) = (500, 3);
+        let g = barabasi_albert(n, k, 1);
+        // Seed clique has C(k+1, 2) undirected edges; each later vertex
+        // adds k. Symmetrized => 2x directed edges.
+        let undirected = (k + 1) * k / 2 + (n - k - 1) * k;
+        assert_eq!(g.num_edges(), 2 * undirected as u64);
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let g = barabasi_albert(200, 2, 3);
+        let t = g.transpose();
+        for v in 0..200u32 {
+            assert_eq!(g.neighbors(v), t.neighbors(v), "asymmetric at {v}");
+        }
+    }
+
+    #[test]
+    fn heavy_tail_emerges() {
+        let g = barabasi_albert(5000, 2, 7);
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        let (dmax, hub) = g.max_degree();
+        assert!(dmax as f64 > 10.0 * mean, "no hub: dmax={dmax} mean={mean:.1}");
+        // Hubs should be early vertices (preferential attachment).
+        assert!(hub < 500, "hub {hub} unexpectedly late");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(100, 2, 9), barabasi_albert(100, 2, 9));
+        assert_ne!(barabasi_albert(100, 2, 9), barabasi_albert(100, 2, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_tiny_n() {
+        let _ = barabasi_albert(3, 3, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Small deterministic graph families used heavily in unit tests and as
+//! adversarial BFS inputs (deep paths stress level synchronization; stars
+//! stress hub splitting; complete graphs stress duplicate suppression).
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Path 0 - 1 - ... - (n-1), symmetrized. Worst-case BFS depth.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n).symmetrize(true);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Cycle on `n >= 3` vertices, symmetrized.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n).symmetrize(true);
+    for v in 0..n {
+        b.add_edge(v as VertexId, ((v + 1) % n) as VertexId);
+    }
+    b.build()
+}
+
+/// Star: vertex 0 adjacent to all others, symmetrized. The extreme
+/// "hotspot" graph for the scale-free BFS variants.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n).symmetrize(true);
+    for v in 1..n {
+        b.add_edge(0, v as VertexId);
+    }
+    b.build()
+}
+
+/// Complete directed graph (all ordered pairs, no self-loops). Maximal
+/// duplicate-discovery pressure: every vertex has n-1 parents.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `n` vertices (heap indexing), symmetrized.
+/// Frontier size doubles per level — the friendly case for parallel BFS.
+pub fn binary_tree(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n).symmetrize(true);
+    for v in 1..n {
+        b.add_edge(((v - 1) / 2) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let g = path(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_regular() {
+        let g = cycle(6);
+        for v in 0..6u32 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(g.num_edges(), 12);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        for v in 1..10u32 {
+            assert_eq!(g.neighbors(v), &[0]);
+        }
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 20);
+        for v in 0..5u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 3, 4]);
+        assert_eq!(g.neighbors(6), &[2]);
+    }
+}

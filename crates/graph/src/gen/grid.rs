@@ -1,0 +1,103 @@
+//! Regular lattices: 2-D grids and 3-D tori.
+//!
+//! These are the high-diameter, constant-degree building blocks behind the
+//! cage/circuit stand-ins: DNA-electrophoresis matrices (cage14/15) are
+//! near-regular meshes, and circuit matrices (freescale) are extremely
+//! sparse with very long shortest paths.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// `rows x cols` 4-neighbour grid, symmetrized. Diameter = rows+cols-2.
+pub fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+    assert!(rows >= 1 && cols >= 1);
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n).symmetrize(true);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `x*y*z` 6-neighbour torus (wrap-around 3-D lattice), symmetrized.
+/// Every vertex has degree exactly 6 when all dims are >= 3.
+pub fn torus3d(x: usize, y: usize, z: usize) -> CsrGraph {
+    assert!(x >= 1 && y >= 1 && z >= 1);
+    let n = x * y * z;
+    let mut b = GraphBuilder::new(n).symmetrize(true);
+    let id = |i: usize, j: usize, k: usize| ((i * y + j) * z + k) as VertexId;
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                b.add_edge(id(i, j, k), id((i + 1) % x, j, k));
+                b.add_edge(id(i, j, k), id(i, (j + 1) % y, k));
+                b.add_edge(id(i, j, k), id(i, j, (k + 1) % z));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // corners have degree 2, edges 3, interior 4
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(5), 4);
+        // total edges: horizontal 3*3 + vertical 2*4 = 17 undirected
+        assert_eq!(g.num_edges(), 34);
+    }
+
+    #[test]
+    fn grid_is_symmetric() {
+        let g = grid2d(5, 7);
+        assert_eq!(g.transpose(), g);
+    }
+
+    #[test]
+    fn degenerate_grid_is_a_path() {
+        let g = grid2d(1, 5);
+        assert_eq!(g.num_edges(), 8); // path with 4 undirected edges
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus3d(3, 4, 5);
+        assert_eq!(g.num_vertices(), 60);
+        for v in 0..60u32 {
+            assert_eq!(g.degree(v), 6, "torus vertex {v} not 6-regular");
+        }
+        assert_eq!(g.num_edges(), 6 * 60);
+    }
+
+    #[test]
+    fn small_torus_dims_collapse_edges() {
+        // With a dimension of 2 the +1 and -1 neighbours coincide and the
+        // duplicate edge is removed by the builder.
+        let g = torus3d(2, 3, 3);
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn torus_symmetric() {
+        let g = torus3d(3, 3, 3);
+        assert_eq!(g.transpose(), g);
+    }
+}

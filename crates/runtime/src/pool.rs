@@ -1,0 +1,275 @@
+//! Persistent level-synchronous worker pool.
+//!
+//! A [`LevelPool`] owns `p` OS threads for its whole lifetime. Each call to
+//! [`LevelPool::run`] hands every worker the same closure (called with a
+//! [`WorkerCtx`] carrying the worker id and a shared [`SpinBarrier`]) and
+//! blocks until all workers return. BFS algorithms implement their level
+//! loop *inside* the closure, using `ctx.barrier()` between levels — this
+//! matches the paper's structure where worker threads live across all BFS
+//! levels and only synchronize at level boundaries.
+//!
+//! Between `run` calls the workers sleep on a condvar (no idle spinning),
+//! so pools can be kept alive across an entire benchmark suite.
+
+use obfs_sync::SpinBarrier;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Type-erased pointer to the caller's closure. Valid only while the
+/// `run` call that published it is still blocked waiting for workers.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn for<'a> Fn(WorkerCtx<'a>) + Sync));
+
+// SAFETY: the pointee is `Sync` (asserted at creation in `run`) and the
+// pointer is only dereferenced while the publishing `run` call keeps the
+// referent alive.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    job: Option<JobPtr>,
+    /// Bumped once per `run` call; workers use it to detect fresh work.
+    generation: u64,
+    /// Workers still executing the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    work_done: Condvar,
+    barrier: SpinBarrier,
+    threads: usize,
+}
+
+/// Per-invocation context handed to the worker closure.
+pub struct WorkerCtx<'a> {
+    tid: usize,
+    shared: &'a Shared,
+}
+
+impl WorkerCtx<'_> {
+    /// This worker's id in `[0, threads)`.
+    #[inline]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Total number of workers in the pool.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// The pool-wide reusable barrier (all workers participate).
+    #[inline]
+    pub fn barrier(&self) -> &SpinBarrier {
+        &self.shared.barrier
+    }
+}
+
+/// A persistent pool of `p` worker threads for level-synchronous
+/// algorithms.
+pub struct LevelPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl LevelPool {
+    /// Spawn a pool with `threads >= 1` workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { job: None, generation: 0, active: 0, shutdown: false }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            barrier: SpinBarrier::new(threads),
+            threads,
+        });
+        let handles = (0..threads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("obfs-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, &shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Run `f` once on every worker (as `f(ctx)` with distinct
+    /// `ctx.tid()`), blocking until all invocations return.
+    ///
+    /// Panics in workers are currently fatal for the process (BFS worker
+    /// closures are not expected to panic; a panic indicates a bug, and
+    /// poisoning semantics would complicate every algorithm for no
+    /// benefit).
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(WorkerCtx<'_>) + Sync,
+    {
+        // Erase the closure's lifetime. SAFETY: we block below until every
+        // worker has finished running `f`, so the referent outlives all
+        // uses; `F: Sync` makes concurrent invocation sound.
+        let local: &(dyn for<'a> Fn(WorkerCtx<'a>) + Sync) = &f;
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<
+                &(dyn for<'a> Fn(WorkerCtx<'a>) + Sync),
+                *const (dyn for<'a> Fn(WorkerCtx<'a>) + Sync),
+            >(local)
+        });
+        let mut st = self.shared.state.lock();
+        debug_assert!(st.active == 0 && st.job.is_none(), "run() is not reentrant");
+        st.job = Some(job);
+        st.generation += 1;
+        st.active = self.shared.threads;
+        self.shared.work_ready.notify_all();
+        while st.active != 0 {
+            self.shared.work_done.wait(&mut st);
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for LevelPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, shared: &Shared) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen_generation {
+                    seen_generation = st.generation;
+                    break st.job.expect("generation bumped without a job");
+                }
+                shared.work_ready.wait(&mut st);
+            }
+        };
+        // SAFETY: the publishing `run` call blocks until we decrement
+        // `active` below, keeping the closure alive.
+        let f = unsafe { &*job.0 };
+        f(WorkerCtx { tid, shared });
+        let mut st = shared.state.lock();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.work_done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_once_with_distinct_tid() {
+        let pool = LevelPool::new(4);
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        pool.run(|ctx| {
+            assert_eq!(ctx.threads(), 4);
+            hits[ctx.tid()].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn sequential_runs_reuse_workers() {
+        let pool = LevelPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn run_borrows_stack_data() {
+        let pool = LevelPool::new(2);
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            // Workers read stack-borrowed data from the caller's frame.
+            let mine: u64 = data.iter().skip(ctx.tid()).step_by(2).sum();
+            sum.fetch_add(mine as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn barrier_synchronizes_levels() {
+        // Classic level test: all workers must see every other worker's
+        // level-d write after the barrier.
+        let pool = LevelPool::new(4);
+        let levels = 20;
+        let board: Vec<AtomicUsize> = (0..levels).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(|ctx| {
+            for l in 0..levels {
+                board[l].fetch_add(1, Ordering::Relaxed);
+                ctx.barrier().wait();
+                assert_eq!(board[l].load(Ordering::Relaxed), 4, "level {l} desynchronized");
+                ctx.barrier().wait();
+            }
+        });
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = LevelPool::new(1);
+        pool.run(|ctx| {
+            assert_eq!(ctx.tid(), 0);
+            ctx.barrier().wait(); // must not deadlock
+        });
+        pool.run(|_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = LevelPool::new(0);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = LevelPool::new(8);
+        pool.run(|_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn many_threads_oversubscribed() {
+        // More workers than cores: the pool must still make progress.
+        let pool = LevelPool::new(32);
+        let counter = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            counter.fetch_add(ctx.tid() + 1, Ordering::Relaxed);
+            ctx.barrier().wait();
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32 * 33 / 2);
+    }
+}

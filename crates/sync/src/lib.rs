@@ -1,0 +1,43 @@
+//! Synchronization substrate for the optimistic BFS reproduction.
+//!
+//! The paper's central primitive is a shared integer that many threads read
+//! and write **without locks and without atomic read-modify-write
+//! instructions**. This crate provides that primitive ([`racy`]), the spin
+//! locks used by the paper's lock-based comparison variants ([`spinlock`],
+//! [`ticket`]), the sense-reversing barrier used for BFS level
+//! synchronization ([`barrier`]), and cache-line padding ([`padded`]).
+//!
+//! # The two racy backends
+//!
+//! The original C++ code performs plain, unguarded loads and stores on
+//! shared `int` queue indices. Rust offers two ways to express that:
+//!
+//! * **Relaxed atomics** (default): `AtomicU32::{load,store}(Relaxed)`.
+//!   On every mainstream ISA these compile to the *same machine
+//!   instructions* as plain loads/stores — no `lock` prefix, no fence, no
+//!   RMW — while remaining defined behaviour in the Rust memory model.
+//!   This is the faithful reproduction of "no locks and no atomic
+//!   instructions" as the paper means it (the paper's "atomic
+//!   instructions" are `lock cmpxchg` / `lock xadd` style RMW ops).
+//! * **Volatile** (`--features volatile-racy`): `UnsafeCell` +
+//!   `ptr::read_volatile` / `ptr::write_volatile`. This is bit-level
+//!   identical to the C++ source but is formally a data race (UB) in the
+//!   Rust abstract machine. It is provided for fidelity experiments only
+//!   and is off by default.
+//!
+//! Every consumer goes through the same [`racy::RacyU32`] /
+//! [`racy::RacyUsize`] API so the backend is a pure compile-time switch.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod padded;
+pub mod racy;
+pub mod spinlock;
+pub mod ticket;
+
+pub use barrier::SpinBarrier;
+pub use padded::CachePadded;
+pub use racy::{RacyBuf, RacyU32, RacyUsize};
+pub use spinlock::{SpinLock, SpinLockGuard};
+pub use ticket::TicketLock;

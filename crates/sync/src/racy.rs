@@ -1,0 +1,276 @@
+//! Racy shared cells: plain unsynchronized loads and stores.
+//!
+//! These types model the paper's unprotected shared queue indices. Neither
+//! backend ever emits a lock-prefixed or read-modify-write instruction;
+//! there is deliberately **no** `fetch_add`, `compare_exchange`, or any
+//! other RMW in this module. A thread that wants "increment" must do
+//! `load; store(x + s)` and live with the race — that *is* the algorithm.
+//!
+//! See the crate docs for the relaxed-atomic vs. volatile backend
+//! discussion.
+
+#[cfg(not(feature = "volatile-racy"))]
+mod backend {
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering::Relaxed};
+
+    /// A shared 32-bit cell accessed with plain (relaxed) loads/stores.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct RacyU32(AtomicU32);
+
+    impl RacyU32 {
+        /// A cell holding `v`.
+        #[inline]
+        pub const fn new(v: u32) -> Self {
+            Self(AtomicU32::new(v))
+        }
+        /// Plain racy load.
+        #[inline]
+        pub fn load(&self) -> u32 {
+            self.0.load(Relaxed)
+        }
+        /// Plain racy store.
+        #[inline]
+        pub fn store(&self, v: u32) {
+            self.0.store(v, Relaxed)
+        }
+    }
+
+    /// A shared word-size cell accessed with plain (relaxed) loads/stores.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct RacyUsize(AtomicUsize);
+
+    impl RacyUsize {
+        /// A cell holding `v`.
+        #[inline]
+        pub const fn new(v: usize) -> Self {
+            Self(AtomicUsize::new(v))
+        }
+        /// Plain racy load.
+        #[inline]
+        pub fn load(&self) -> usize {
+            self.0.load(Relaxed)
+        }
+        /// Plain racy store.
+        #[inline]
+        pub fn store(&self, v: usize) {
+            self.0.store(v, Relaxed)
+        }
+    }
+}
+
+#[cfg(feature = "volatile-racy")]
+mod backend {
+    use std::cell::UnsafeCell;
+
+    /// A shared 32-bit cell accessed with volatile loads/stores.
+    ///
+    /// Bit-level faithful to the original C++ (plain `int` accesses), but a
+    /// formal data race in the Rust abstract machine; enabled only by the
+    /// `volatile-racy` feature for fidelity experiments.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct RacyU32(UnsafeCell<u32>);
+
+    // SAFETY (by construction, not by the abstract machine): all accesses go
+    // through volatile single-word loads/stores on naturally aligned u32,
+    // which no mainstream ISA tears, and every algorithmic consumer
+    // tolerates stale values by design (optimistic parallelization).
+    unsafe impl Sync for RacyU32 {}
+    unsafe impl Send for RacyU32 {}
+
+    impl RacyU32 {
+        /// A cell holding `v`.
+        #[inline]
+        pub const fn new(v: u32) -> Self {
+            Self(UnsafeCell::new(v))
+        }
+        /// Plain (volatile) racy load.
+        #[inline]
+        pub fn load(&self) -> u32 {
+            unsafe { std::ptr::read_volatile(self.0.get()) }
+        }
+        /// Plain (volatile) racy store.
+        #[inline]
+        pub fn store(&self, v: u32) {
+            unsafe { std::ptr::write_volatile(self.0.get(), v) }
+        }
+    }
+
+    /// A shared word-size cell accessed with volatile loads/stores.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct RacyUsize(UnsafeCell<usize>);
+
+    unsafe impl Sync for RacyUsize {}
+    unsafe impl Send for RacyUsize {}
+
+    impl RacyUsize {
+        /// A cell holding `v`.
+        #[inline]
+        pub const fn new(v: usize) -> Self {
+            Self(UnsafeCell::new(v))
+        }
+        /// Plain (volatile) racy load.
+        #[inline]
+        pub fn load(&self) -> usize {
+            unsafe { std::ptr::read_volatile(self.0.get()) }
+        }
+        /// Plain (volatile) racy store.
+        #[inline]
+        pub fn store(&self, v: usize) {
+            unsafe { std::ptr::write_volatile(self.0.get(), v) }
+        }
+    }
+}
+
+pub use backend::{RacyU32, RacyUsize};
+
+/// A shared buffer of racy `u32` slots.
+///
+/// This is the storage type behind every BFS queue (`Qin[i]` / `Qout[i]`)
+/// and behind the shared `level[]` array. Indexing is bounds-checked in
+/// debug builds via the underlying slice access.
+#[derive(Debug, Default)]
+pub struct RacyBuf {
+    slots: Box<[RacyU32]>,
+}
+
+impl RacyBuf {
+    /// A zero-filled buffer of `len` slots.
+    pub fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || RacyU32::new(0));
+        Self { slots: v.into_boxed_slice() }
+    }
+
+    /// A buffer filled with `value`.
+    pub fn filled(len: usize, value: u32) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || RacyU32::new(value));
+        Self { slots: v.into_boxed_slice() }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when there are no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Plain racy load of slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        self.slots[i].load()
+    }
+
+    /// Plain racy store to slot `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: u32) {
+        self.slots[i].store(v)
+    }
+
+    /// Overwrite every slot with `value` (single-threaded reset path).
+    pub fn fill(&self, value: u32) {
+        for s in self.slots.iter() {
+            s.store(value);
+        }
+    }
+
+    /// Copy the buffer into a plain vector (test/diagnostic helper).
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.slots.iter().map(|s| s.load()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn cell_roundtrip() {
+        let c = RacyU32::new(7);
+        assert_eq!(c.load(), 7);
+        c.store(42);
+        assert_eq!(c.load(), 42);
+        let u = RacyUsize::new(1);
+        u.store(usize::MAX);
+        assert_eq!(u.load(), usize::MAX);
+    }
+
+    #[test]
+    fn buf_basic_ops() {
+        let b = RacyBuf::new(4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.snapshot(), vec![0; 4]);
+        b.set(2, 9);
+        assert_eq!(b.get(2), 9);
+        b.fill(3);
+        assert_eq!(b.snapshot(), vec![3; 4]);
+        let f = RacyBuf::filled(3, 11);
+        assert_eq!(f.snapshot(), vec![11; 3]);
+    }
+
+    #[test]
+    fn empty_buf() {
+        let b = RacyBuf::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.snapshot(), Vec::<u32>::new());
+    }
+
+    /// Concurrent same-value stores (the benign-race pattern of the BFS
+    /// `level[]` array): after all threads store the same value, the cell
+    /// must hold it.
+    #[test]
+    fn concurrent_idempotent_stores() {
+        let buf = Arc::new(RacyBuf::new(1024));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = Arc::clone(&buf);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..b.len() {
+                    b.set(i, (i as u32).wrapping_mul(2654435761));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..buf.len() {
+            assert_eq!(buf.get(i), (i as u32).wrapping_mul(2654435761));
+        }
+    }
+
+    /// A reader racing a writer observes only values that were written
+    /// (no tearing, no out-of-thin-air values) — the property the
+    /// optimistic dispatcher relies on when validating segments.
+    #[test]
+    fn no_tearing_under_race() {
+        let cell = Arc::new(RacyU32::new(0xAAAA_AAAA));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let c = Arc::clone(&cell);
+            let s = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut flip = false;
+                while !s.load(std::sync::atomic::Ordering::Relaxed) {
+                    c.store(if flip { 0xAAAA_AAAA } else { 0x5555_5555 });
+                    flip = !flip;
+                }
+            })
+        };
+        for _ in 0..100_000 {
+            let v = cell.load();
+            assert!(v == 0xAAAA_AAAA || v == 0x5555_5555, "torn read: {v:#x}");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,131 @@
+//! Wall-clock measurement helpers used by the benchmark harness.
+
+use std::time::{Duration, Instant};
+
+/// A restartable stopwatch that accumulates elapsed wall time.
+///
+/// ```
+/// use obfs_util::Stopwatch;
+/// let mut sw = Stopwatch::new_started();
+/// // ... work ...
+/// let d = sw.lap();
+/// assert!(d >= std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    start: Option<Instant>,
+    accumulated: Duration,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch with zero accumulated time.
+    pub fn new() -> Self {
+        Self { start: None, accumulated: Duration::ZERO }
+    }
+
+    /// A stopwatch that is already running.
+    pub fn new_started() -> Self {
+        Self { start: Some(Instant::now()), accumulated: Duration::ZERO }
+    }
+
+    /// Start (or restart) the clock. No-op if already running.
+    pub fn start(&mut self) {
+        if self.start.is_none() {
+            self.start = Some(Instant::now());
+        }
+    }
+
+    /// Stop the clock, folding the running span into the accumulated total.
+    pub fn stop(&mut self) {
+        if let Some(s) = self.start.take() {
+            self.accumulated += s.elapsed();
+        }
+    }
+
+    /// Total accumulated time, including the currently running span.
+    pub fn elapsed(&self) -> Duration {
+        self.accumulated + self.start.map_or(Duration::ZERO, |s| s.elapsed())
+    }
+
+    /// Return the elapsed time and reset to zero, keeping the run state.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.elapsed();
+        self.accumulated = Duration::ZERO;
+        if self.start.is_some() {
+            self.start = Some(Instant::now());
+        }
+        e
+    }
+
+    /// Whether the stopwatch is currently running.
+    pub fn is_running(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+/// Time a closure, returning `(result, wall_time)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Convert a duration to fractional milliseconds.
+#[inline]
+pub fn as_millis_f64(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn stopwatch_accumulates_across_stop_start() {
+        let mut sw = Stopwatch::new();
+        assert!(!sw.is_running());
+        sw.start();
+        sleep(Duration::from_millis(2));
+        sw.stop();
+        let a = sw.elapsed();
+        assert!(a >= Duration::from_millis(2));
+        sleep(Duration::from_millis(2));
+        // stopped: elapsed must not grow
+        assert_eq!(sw.elapsed(), a);
+        sw.start();
+        sleep(Duration::from_millis(2));
+        assert!(sw.elapsed() > a);
+    }
+
+    #[test]
+    fn lap_resets_total() {
+        let mut sw = Stopwatch::new_started();
+        sleep(Duration::from_millis(1));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(1));
+        let second = sw.lap();
+        assert!(second < first + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn time_returns_result() {
+        let (v, d) = time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn double_start_is_noop() {
+        let mut sw = Stopwatch::new_started();
+        sw.start(); // must not reset the running span
+        sleep(Duration::from_millis(1));
+        assert!(sw.elapsed() >= Duration::from_millis(1));
+    }
+}

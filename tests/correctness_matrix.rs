@@ -1,0 +1,144 @@
+//! The correctness matrix: every algorithm (ours + both baselines) ×
+//! graph family × thread count must produce exactly the serial BFS level
+//! assignment. This is the load-bearing test for the paper's central
+//! claim that optimistic (racy) queue handling never corrupts the result.
+
+use obfs::prelude::*;
+use obfs_baselines::hong::{hong_bfs, HongVariant};
+use obfs_baselines::pbfs::pbfs;
+use obfs_core::serial::serial_bfs;
+
+fn families() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("path", gen::path(500)),
+        ("cycle", gen::cycle(333)),
+        ("star", gen::star(400)),
+        ("binary-tree", gen::binary_tree(1023)),
+        ("complete", gen::complete(64)),
+        ("erdos-renyi", gen::erdos_renyi(1000, 8000, 11)),
+        ("barabasi-albert", gen::barabasi_albert(900, 3, 5)),
+        ("grid2d", gen::grid2d(30, 33)),
+        ("torus3d", gen::torus3d(9, 9, 9)),
+        ("rmat", gen::rmat(10, 8, gen::RmatParams::default(), 3)),
+        (
+            "disconnected",
+            CsrGraph::from_edges(300, &[(0, 1), (1, 2), (2, 0), (100, 101), (200, 201)]),
+        ),
+    ]
+}
+
+#[test]
+fn all_our_algorithms_match_serial_everywhere() {
+    let parallel: Vec<Algorithm> =
+        Algorithm::ALL.into_iter().filter(|a| *a != Algorithm::Serial).collect();
+    for (name, g) in families() {
+        let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap_or(0);
+        let reference = serial_bfs(&g, src);
+        for &threads in &[1usize, 2, 4, 7] {
+            let opts = BfsOptions { threads, ..BfsOptions::default() };
+            for &algo in &parallel {
+                let r = run_bfs(algo, &g, src, &opts);
+                assert_eq!(
+                    r.levels, reference.levels,
+                    "{algo} wrong on {name} with {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn baselines_match_serial_everywhere() {
+    for (name, g) in families() {
+        let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap_or(0);
+        let reference = serial_bfs(&g, src);
+        for &threads in &[1usize, 4] {
+            let r = pbfs(&g, src, threads);
+            assert_eq!(r.levels, reference.levels, "pbfs wrong on {name} (p={threads})");
+            for v in HongVariant::ALL {
+                let r = hong_bfs(v, &g, src, threads);
+                assert_eq!(r.levels, reference.levels, "{v} wrong on {name} (p={threads})");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_from_many_sources() {
+    let g = gen::erdos_renyi(800, 5600, 17);
+    let opts = BfsOptions { threads: 4, ..BfsOptions::default() };
+    for src in [0u32, 7, 99, 400, 799] {
+        let reference = serial_bfs(&g, src);
+        for algo in Algorithm::ALL {
+            let r = run_bfs(algo, &g, src, &opts);
+            assert_eq!(r.levels, reference.levels, "{algo} wrong from source {src}");
+        }
+    }
+}
+
+#[test]
+fn option_grid_does_not_break_correctness() {
+    let g = gen::barabasi_albert(700, 3, 23);
+    let reference = serial_bfs(&g, 0);
+    let segments = [
+        SegmentPolicy::Fixed(1),
+        SegmentPolicy::Fixed(64),
+        SegmentPolicy::Adaptive { div: 2, max: 4096 },
+        SegmentPolicy::Adaptive { div: 16, max: 8 },
+    ];
+    let dedups = [DedupMode::None, DedupMode::OwnerArray];
+    for segment in segments {
+        for dedup in dedups {
+            for phase2_steal in [false, true] {
+                let opts = BfsOptions {
+                    threads: 4,
+                    segment,
+                    dedup,
+                    phase2_steal,
+                    hub_threshold: Some(8),
+                    record_parents: true,
+                    ..BfsOptions::default()
+                };
+                for algo in [Algorithm::Bfscl, Algorithm::Bfsdl, Algorithm::Bfswl, Algorithm::Bfswsl]
+                {
+                    let r = run_bfs(algo, &g, 0, &opts);
+                    assert_eq!(
+                        r.levels, reference.levels,
+                        "{algo} wrong with {segment:?}/{dedup:?}/p2steal={phase2_steal}"
+                    );
+                    obfs::core::validate::check_self_consistent(&g, 0, &r)
+                        .unwrap_or_else(|e| panic!("{algo}: invalid tree: {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_vertex_and_isolated_source() {
+    let single = CsrGraph::from_edges(1, &[]);
+    let isolated = CsrGraph::from_edges(5, &[(1, 2), (2, 3)]);
+    let opts = BfsOptions { threads: 3, ..BfsOptions::default() };
+    for algo in Algorithm::ALL {
+        let r = run_bfs(algo, &single, 0, &opts);
+        assert_eq!(r.levels, vec![0], "{algo} on the 1-vertex graph");
+        // Source 0 has no out-edges at all.
+        let r = run_bfs(algo, &isolated, 0, &opts);
+        assert_eq!(r.reached(), 1, "{algo} from an isolated source");
+        assert_eq!(r.levels[0], 0);
+    }
+}
+
+#[test]
+fn self_loops_and_parallel_edge_graphs() {
+    // Built without dedup: parallel edges and self-loops survive.
+    let mut b = GraphBuilder::new(6).dedup(false).allow_self_loops(true);
+    b.extend([(0, 0), (0, 1), (0, 1), (1, 2), (2, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+    let g = b.build();
+    let reference = serial_bfs(&g, 0);
+    let opts = BfsOptions { threads: 4, ..BfsOptions::default() };
+    for algo in Algorithm::ALL {
+        let r = run_bfs(algo, &g, 0, &opts);
+        assert_eq!(r.levels, reference.levels, "{algo} with self-loops/multi-edges");
+    }
+}

@@ -1,0 +1,78 @@
+//! End-to-end I/O pipeline tests: graphs survive serialization round
+//! trips and produce identical BFS results afterwards — the path a user
+//! takes when feeding the original Florida matrices into the harness.
+
+use obfs::prelude::*;
+use obfs_core::serial::serial_bfs;
+use obfs_graph::io;
+use std::io::BufReader;
+
+#[test]
+fn matrix_market_roundtrip_preserves_bfs() {
+    let g = gen::barabasi_albert(500, 3, 13);
+    let mut buf = Vec::new();
+    io::write_matrix_market(&mut buf, &g).unwrap();
+    let g2 = io::read_matrix_market(BufReader::new(buf.as_slice())).unwrap();
+    assert_eq!(g, g2);
+    let opts = BfsOptions { threads: 4, ..BfsOptions::default() };
+    let r1 = run_bfs(Algorithm::Bfswsl, &g, 0, &opts);
+    let r2 = run_bfs(Algorithm::Bfswsl, &g2, 0, &opts);
+    assert_eq!(r1.levels, r2.levels);
+}
+
+#[test]
+fn binary_csr_roundtrip_preserves_bfs() {
+    let g = gen::rmat(10, 8, gen::RmatParams::default(), 2);
+    let mut buf = Vec::new();
+    io::write_binary_csr(&mut buf, &g).unwrap();
+    let g2 = io::read_binary_csr(&mut buf.as_slice()).unwrap();
+    assert_eq!(g, g2);
+    assert_eq!(serial_bfs(&g, 0).levels, serial_bfs(&g2, 0).levels);
+}
+
+#[test]
+fn edge_list_roundtrip_preserves_bfs() {
+    let g = gen::erdos_renyi(400, 2400, 8);
+    let mut buf = Vec::new();
+    io::write_edge_list(&mut buf, &g).unwrap();
+    let g2 = io::read_edge_list(BufReader::new(buf.as_slice()), Some(400)).unwrap();
+    assert_eq!(g, g2);
+}
+
+#[test]
+fn symmetric_matrix_market_drives_parallel_bfs() {
+    // Hand-written symmetric MM file (the FSMC format for undirected
+    // matrices): parse, then run the full algorithm roster on it.
+    let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                % small test mesh\n\
+                6 6 6\n\
+                2 1\n3 2\n4 3\n5 4\n6 5\n6 1\n";
+    let g = io::read_matrix_market(BufReader::new(text.as_bytes())).unwrap();
+    assert_eq!(g.num_vertices(), 6);
+    assert_eq!(g.num_edges(), 12); // mirrored
+    let reference = serial_bfs(&g, 0);
+    assert_eq!(reference.depth(), 3); // cycle of 6
+    let opts = BfsOptions { threads: 3, ..BfsOptions::default() };
+    for algo in Algorithm::ALL {
+        let r = run_bfs(algo, &g, 0, &opts);
+        assert_eq!(r.levels, reference.levels, "{algo}");
+    }
+}
+
+#[test]
+fn file_based_roundtrip_via_tempdir() {
+    let dir = std::env::temp_dir().join(format!("obfs-io-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("graph.bin");
+    let g = gen::grid2d(20, 25);
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        io::write_binary_csr(&mut f, &g).unwrap();
+    }
+    let g2 = {
+        let mut f = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+        io::read_binary_csr(&mut f).unwrap()
+    };
+    assert_eq!(g, g2);
+    std::fs::remove_dir_all(&dir).ok();
+}

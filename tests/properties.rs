@@ -1,0 +1,126 @@
+//! Property-based tests (proptest): randomized graphs, sources and
+//! tuning options against the serial reference, plus structural
+//! invariants of the bag and the frontier queues.
+
+use obfs::prelude::*;
+use obfs_baselines::Bag;
+use obfs_core::serial::serial_bfs;
+use proptest::prelude::*;
+
+/// Random directed graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..120).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..(n * 6));
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n).dedup(false).allow_self_loops(true);
+    b.extend(edges.iter().copied());
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every parallel algorithm equals serial BFS on arbitrary graphs,
+    /// sources, and thread counts.
+    #[test]
+    fn parallel_equals_serial((n, edges) in arb_graph(), src_raw in 0u32..120, threads in 1usize..6) {
+        let g = build(n, &edges);
+        let src = src_raw % n as u32;
+        let reference = serial_bfs(&g, src);
+        let opts = BfsOptions { threads, ..BfsOptions::default() };
+        for algo in Algorithm::ALL {
+            let r = run_bfs(algo, &g, src, &opts);
+            prop_assert_eq!(&r.levels, &reference.levels, "{} (p={})", algo, threads);
+        }
+    }
+
+    /// Parents always form a valid BFS tree, whichever tree the races
+    /// picked.
+    #[test]
+    fn parents_always_valid((n, edges) in arb_graph(), threads in 1usize..5) {
+        let g = build(n, &edges);
+        let opts = BfsOptions { threads, record_parents: true, ..BfsOptions::default() };
+        for algo in [Algorithm::Bfscl, Algorithm::Bfswl, Algorithm::Bfswsl] {
+            let r = run_bfs(algo, &g, 0, &opts);
+            prop_assert!(obfs::core::validate::check_self_consistent(&g, 0, &r).is_ok());
+        }
+    }
+
+    /// Scale-free two-phase handling is correct for every hub threshold.
+    #[test]
+    fn any_hub_threshold_is_correct((n, edges) in arb_graph(), thr in 0usize..32) {
+        let g = build(n, &edges);
+        let reference = serial_bfs(&g, 0);
+        let opts = BfsOptions {
+            threads: 4,
+            hub_threshold: Some(thr),
+            ..BfsOptions::default()
+        };
+        for algo in [Algorithm::Bfsws, Algorithm::Bfswsl] {
+            let r = run_bfs(algo, &g, 0, &opts);
+            prop_assert_eq!(&r.levels, &reference.levels, "{} thr={}", algo, thr);
+        }
+    }
+
+    /// Bag insert/union/split maintain the element multiset and the
+    /// binary-counter size law.
+    #[test]
+    fn bag_multiset_invariants(xs in prop::collection::vec(0u32..10_000, 0..400), cut in 0usize..400) {
+        let cut = cut.min(xs.len());
+        let mut a = Bag::new();
+        let mut b = Bag::new();
+        for &x in &xs[..cut] { a.insert(x); }
+        for &x in &xs[cut..] { b.insert(x); }
+        prop_assert_eq!(a.len(), cut);
+        prop_assert_eq!(b.len(), xs.len() - cut);
+        a.union(b);
+        prop_assert_eq!(a.len(), xs.len());
+        let mut expect = xs.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(a.to_sorted_vec(), expect.clone());
+        // Split preserves the multiset and halves evenly.
+        let other = a.split();
+        prop_assert!(a.len().abs_diff(other.len()) <= 1);
+        let mut merged = a.to_sorted_vec();
+        merged.extend(other.to_sorted_vec());
+        merged.sort_unstable();
+        prop_assert_eq!(merged, expect);
+    }
+
+    /// CSR construction is faithful: neighbors(v) is exactly the multiset
+    /// of targets of v's edges, and transpose twice is the identity.
+    #[test]
+    fn csr_faithful((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        prop_assert_eq!(g.num_edges() as usize, edges.len());
+        let mut expected: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in &edges { expected[u as usize].push(v); }
+        for v in 0..n as u32 {
+            let mut got = g.neighbors(v).to_vec();
+            got.sort_unstable();
+            expected[v as usize].sort_unstable();
+            prop_assert_eq!(&got, &expected[v as usize]);
+        }
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    /// Reached counts are monotone under edge addition (BFS sanity).
+    #[test]
+    fn reachability_monotone((n, edges) in arb_graph(), extra in prop::collection::vec((0u32..120, 0u32..120), 1..10)) {
+        let g1 = build(n, &edges);
+        let mut all = edges.clone();
+        all.extend(extra.iter().map(|&(u, v)| (u % n as u32, v % n as u32)));
+        let g2 = build(n, &all);
+        let r1 = serial_bfs(&g1, 0);
+        let r2 = serial_bfs(&g2, 0);
+        prop_assert!(r2.reached() >= r1.reached());
+        // and levels can only shrink
+        for v in 0..n {
+            prop_assert!(r2.levels[v] <= r1.levels[v]);
+        }
+    }
+}

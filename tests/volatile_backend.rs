@@ -1,0 +1,57 @@
+//! Correctness of the bit-level-faithful volatile racy backend.
+//!
+//! Compiled only with `--features volatile-racy`; the whole file is a
+//! no-op otherwise. Run with:
+//!
+//! ```sh
+//! cargo test --features volatile-racy --test volatile_backend
+//! ```
+#![cfg(feature = "volatile-racy")]
+
+use obfs::prelude::*;
+use obfs_core::serial::serial_bfs;
+
+#[test]
+fn all_algorithms_correct_under_volatile_backend() {
+    let graphs = [
+        gen::erdos_renyi(800, 6000, 1),
+        gen::barabasi_albert(600, 3, 2),
+        gen::path(500),
+        gen::star(400),
+    ];
+    for g in &graphs {
+        let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+        let reference = serial_bfs(g, src);
+        for threads in [1usize, 4, 8] {
+            let opts = BfsOptions { threads, ..BfsOptions::default() };
+            for algo in Algorithm::ALL {
+                let r = run_bfs(algo, g, src, &opts);
+                assert_eq!(
+                    r.levels, reference.levels,
+                    "{algo} wrong under volatile backend (p={threads})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn volatile_soak_slice() {
+    // A short randomized slice mirroring tests/soak.rs under the
+    // volatile cells.
+    for seed in 0..5u64 {
+        let g = gen::rmat(10, 6, gen::RmatParams::default(), seed);
+        let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+        let reference = serial_bfs(&g, src);
+        let opts = BfsOptions {
+            threads: 6,
+            segment: SegmentPolicy::Fixed(2),
+            seed,
+            ..BfsOptions::default()
+        };
+        for algo in [Algorithm::Bfscl, Algorithm::Bfsdl, Algorithm::Bfswl, Algorithm::Bfswsl] {
+            let r = run_bfs(algo, &g, src, &opts);
+            assert_eq!(r.levels, reference.levels, "{algo} seed {seed}");
+        }
+    }
+}
