@@ -204,7 +204,8 @@ pub fn beamer_bfs_on_pool(
             cur_is_a = !cur_is_a;
             d += 1;
         }
-    });
+    })
+    .unwrap_or_else(|e| panic!("worker pool failed: {e}"));
 
     let traversal_time = t0.elapsed();
     let out_levels: Vec<u32> = (0..n).map(|v| levels[v].load(Ordering::Relaxed)).collect();

@@ -208,7 +208,8 @@ fn read_array<'a>(
             }
             d += 1;
         }
-    });
+    })
+    .unwrap_or_else(|e| panic!("worker pool failed: {e}"));
     HongRun {
         levels,
         stats: stats.iter().map(AtomicStats::snapshot).collect(),
@@ -299,7 +300,8 @@ fn shared_queue<'a>(
             parity ^= 1;
             d += 1;
         }
-    });
+    })
+    .unwrap_or_else(|e| panic!("worker pool failed: {e}"));
     HongRun {
         levels,
         stats: stats.iter().map(AtomicStats::snapshot).collect(),
@@ -382,7 +384,8 @@ fn local_queue_read_bitmap<'a>(
             parity ^= 1;
             d += 1;
         }
-    });
+    })
+    .unwrap_or_else(|e| panic!("worker pool failed: {e}"));
     HongRun {
         levels,
         stats: stats.iter().map(AtomicStats::snapshot).collect(),
@@ -494,7 +497,8 @@ fn hybrid<'a>(
             parity ^= 1;
             d += 1;
         }
-    });
+    })
+    .unwrap_or_else(|e| panic!("worker pool failed: {e}"));
     HongRun {
         levels,
         stats: stats.iter().map(AtomicStats::snapshot).collect(),

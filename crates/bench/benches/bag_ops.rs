@@ -1,91 +1,56 @@
-//! Criterion micro-benchmarks of the Leiserson–Schardl bag (Baseline1's
-//! data structure) against the paper's plain array queue: insert, union
-//! and split throughput. Quantifies the "complicated data structure"
+//! Micro-benchmarks of the Leiserson–Schardl bag (Baseline1's data
+//! structure) against the paper's plain array queue: insert, union and
+//! split throughput. Quantifies the "complicated data structure"
 //! overhead the paper's simple arrays avoid.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use obfs_baselines::Bag;
+use obfs_bench::micro::{bench_case, bench_header, DEFAULT_SAMPLES};
 use std::hint::black_box;
 
-fn bag_insert(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frontier-insert");
+fn main() {
+    bench_header("frontier structures: bag vs array queue");
     for &n in &[1_000u32, 100_000] {
-        g.bench_with_input(BenchmarkId::new("bag", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut bag = Bag::new();
-                for i in 0..n {
-                    bag.insert(black_box(i));
-                }
-                black_box(bag.len())
-            });
+        bench_case(&format!("insert/bag/{n}"), DEFAULT_SAMPLES, || {
+            let mut bag = Bag::new();
+            for i in 0..n {
+                bag.insert(black_box(i));
+            }
+            black_box(bag.len())
         });
-        g.bench_with_input(BenchmarkId::new("array-queue", n), &n, |b, &n| {
-            b.iter(|| {
-                // The paper's structure: a plain vector push.
-                let mut q: Vec<u32> = Vec::new();
-                for i in 0..n {
-                    q.push(black_box(i));
-                }
-                black_box(q.len())
-            });
+        bench_case(&format!("insert/array-queue/{n}"), DEFAULT_SAMPLES, || {
+            // The paper's structure: a plain vector push.
+            let mut q: Vec<u32> = Vec::new();
+            for i in 0..n {
+                q.push(black_box(i));
+            }
+            black_box(q.len())
         });
     }
-    g.finish();
-}
-
-fn bag_union_split(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bag-structure");
-    g.bench_function("union-2x50k", |b| {
-        b.iter_batched(
-            || {
-                let mut x = Bag::new();
-                let mut y = Bag::new();
-                for i in 0..50_000u32 {
-                    x.insert(i);
-                    y.insert(i + 50_000);
-                }
-                (x, y)
-            },
-            |(mut x, y)| {
-                x.union(y);
-                black_box(x.len())
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    bench_case("union-2x50k", DEFAULT_SAMPLES, || {
+        let mut x = Bag::new();
+        let mut y = Bag::new();
+        for i in 0..50_000u32 {
+            x.insert(i);
+            y.insert(i + 50_000);
+        }
+        x.union(y);
+        black_box(x.len())
     });
-    g.bench_function("split-100k", |b| {
-        b.iter_batched(
-            || {
-                let mut x = Bag::new();
-                for i in 0..100_000u32 {
-                    x.insert(i);
-                }
-                x
-            },
-            |mut x| {
-                let y = x.split();
-                black_box((x.len(), y.len()))
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    g.bench_function("walk-100k", |b| {
+    bench_case("split-100k", DEFAULT_SAMPLES, || {
         let mut x = Bag::new();
         for i in 0..100_000u32 {
             x.insert(i);
         }
-        b.iter(|| {
-            let mut sum = 0u64;
-            x.for_each(|v| sum += v as u64);
-            black_box(sum)
-        });
+        let y = x.split();
+        black_box((x.len(), y.len()))
     });
-    g.finish();
+    let mut walk = Bag::new();
+    for i in 0..100_000u32 {
+        walk.insert(i);
+    }
+    bench_case("walk-100k", DEFAULT_SAMPLES, || {
+        let mut sum = 0u64;
+        walk.for_each(|v| sum += v as u64);
+        black_box(sum)
+    });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
-    targets = bag_insert, bag_union_split
-}
-criterion_main!(benches);

@@ -1,18 +1,19 @@
-//! Criterion end-to-end BFS benchmarks: every algorithm and baseline on
-//! a mid-size scale-free graph and a mesh graph — the per-table-cell
-//! measurement of Table V in criterion form (with statistical rigor on a
-//! fixed source).
+//! End-to-end BFS benchmarks: every algorithm and baseline on a
+//! mid-size scale-free graph and a mesh graph — the per-table-cell
+//! measurement of Table V as a micro-bench (fixed source, repeated
+//! samples).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obfs_bench::micro::{bench_case, bench_header, DEFAULT_SAMPLES};
 use obfs_bench::{Contender, ContenderPool};
 use obfs_core::BfsOptions;
 use obfs_graph::gen::suite::PaperGraph;
 use std::hint::black_box;
 
-const DIVISOR: u64 = 512; // small enough for criterion's many iterations
+const DIVISOR: u64 = 512; // small enough for many repetitions
 const THREADS: usize = 4;
 
-fn bfs_all_algorithms(c: &mut Criterion) {
+fn main() {
+    bench_header("bfs: all contenders");
     let graphs = [
         ("wikipedia", PaperGraph::Wikipedia.generate(DIVISOR, 1)),
         ("cage14", PaperGraph::Cage14.generate(DIVISOR, 1)),
@@ -23,26 +24,11 @@ fn bfs_all_algorithms(c: &mut Criterion) {
         let src = (0..graph.num_vertices() as u32)
             .find(|&v| graph.degree(v) > 0)
             .expect("graph has edges");
-        let mut g = c.benchmark_group(format!("bfs/{name}"));
         for contender in Contender::roster() {
-            g.bench_with_input(
-                BenchmarkId::from_parameter(contender.name()),
-                &contender,
-                |b, &contender| {
-                    b.iter(|| {
-                        let r = pool.run(contender, graph, src, &opts);
-                        black_box(r.reached())
-                    });
-                },
-            );
+            bench_case(&format!("bfs/{name}/{}", contender.name()), DEFAULT_SAMPLES, || {
+                let r = pool.run(contender, graph, src, &opts);
+                black_box(r.reached())
+            });
         }
-        g.finish();
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2));
-    targets = bfs_all_algorithms
-}
-criterion_main!(benches);

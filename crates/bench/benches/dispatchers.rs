@@ -1,76 +1,61 @@
-//! Criterion micro-benchmarks of the segment dispatchers: the locked
-//! `⟨q, f⟩` cursor (BFSC) versus the optimistic racy cursor (BFSCL),
-//! isolated from graph traversal. This quantifies the per-dispatch cost
-//! the paper argues locks add.
+//! Micro-benchmarks of the segment dispatchers: the locked `⟨q, f⟩`
+//! cursor (BFSC) versus the optimistic racy cursor (BFSCL), isolated
+//! from graph traversal. This quantifies the per-dispatch cost the paper
+//! argues locks add.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obfs_bench::micro::{bench_case, bench_header, DEFAULT_SAMPLES};
 use obfs_sync::{RacyUsize, SpinLock};
 use std::hint::black_box;
 use std::sync::Arc;
 
 /// Locked dispatch: lock, bump, unlock.
-fn locked_dispatch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dispatch");
-    for &threads in &[1usize, 4, 8] {
-        g.bench_with_input(
-            BenchmarkId::new("locked", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let cursor = Arc::new(SpinLock::new(0usize));
-                    let handles: Vec<_> = (0..threads)
-                        .map(|_| {
-                            let c = Arc::clone(&cursor);
-                            std::thread::spawn(move || {
-                                let mut grabbed = 0usize;
-                                for _ in 0..10_000 {
-                                    let mut cur = c.lock();
-                                    *cur += 4;
-                                    grabbed += black_box(*cur);
-                                }
-                                grabbed
-                            })
-                        })
-                        .collect();
-                    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
-                    black_box(total)
-                });
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("optimistic", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let cursor = Arc::new(RacyUsize::new(0));
-                    let handles: Vec<_> = (0..threads)
-                        .map(|_| {
-                            let c = Arc::clone(&cursor);
-                            std::thread::spawn(move || {
-                                let mut grabbed = 0usize;
-                                for _ in 0..10_000 {
-                                    // load-then-store: the racy update of
-                                    // the optimistic dispatcher.
-                                    let f = c.load();
-                                    c.store(f + 4);
-                                    grabbed += black_box(f);
-                                }
-                                grabbed
-                            })
-                        })
-                        .collect();
-                    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
-                    black_box(total)
-                });
-            },
-        );
-    }
-    g.finish();
+fn locked_dispatch(threads: usize) -> usize {
+    let cursor = Arc::new(SpinLock::new(0usize));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let c = Arc::clone(&cursor);
+            std::thread::spawn(move || {
+                let mut grabbed = 0usize;
+                for _ in 0..10_000 {
+                    let mut cur = c.lock();
+                    *cur += 4;
+                    grabbed += black_box(*cur);
+                }
+                grabbed
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
-    targets = locked_dispatch
+/// Optimistic dispatch: the racy load-then-store of BFSCL.
+fn optimistic_dispatch(threads: usize) -> usize {
+    let cursor = Arc::new(RacyUsize::new(0));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let c = Arc::clone(&cursor);
+            std::thread::spawn(move || {
+                let mut grabbed = 0usize;
+                for _ in 0..10_000 {
+                    let f = c.load();
+                    c.store(f + 4);
+                    grabbed += black_box(f);
+                }
+                grabbed
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
 }
-criterion_main!(benches);
+
+fn main() {
+    bench_header("dispatch: locked vs optimistic cursor");
+    for &threads in &[1usize, 4, 8] {
+        bench_case(&format!("locked/p={threads}"), DEFAULT_SAMPLES, || {
+            black_box(locked_dispatch(threads))
+        });
+        bench_case(&format!("optimistic/p={threads}"), DEFAULT_SAMPLES, || {
+            black_box(optimistic_dispatch(threads))
+        });
+    }
+}

@@ -17,11 +17,26 @@ pub struct BenchArgs {
     pub json: bool,
     /// Restrict to a single graph (by Table IV name) if set.
     pub only_graph: Option<String>,
+    /// Install a store-buffer fault plan with this seed (only active in
+    /// builds with the `chaos` feature; inert otherwise).
+    pub chaos_seed: Option<u64>,
+    /// Per-level watchdog deadline in milliseconds (degraded levels are
+    /// reported in the recovery columns).
+    pub watchdog_ms: Option<u64>,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        Self { divisor: 128, threads: 8, sources: 4, seed: 1, json: false, only_graph: None }
+        Self {
+            divisor: 128,
+            threads: 8,
+            sources: 4,
+            seed: 1,
+            json: false,
+            only_graph: None,
+            chaos_seed: None,
+            watchdog_ms: None,
+        }
     }
 }
 
@@ -46,10 +61,16 @@ impl BenchArgs {
                 "--seed" => out.seed = parse_num(&value("--seed"), "--seed"),
                 "--graph" => out.only_graph = Some(value("--graph")),
                 "--json" => out.json = true,
+                "--chaos-seed" => {
+                    out.chaos_seed = Some(parse_num(&value("--chaos-seed"), "--chaos-seed"))
+                }
+                "--watchdog-ms" => {
+                    out.watchdog_ms = Some(parse_num(&value("--watchdog-ms"), "--watchdog-ms"))
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --divisor <k> --threads <p> --sources <s> --seed <x> \
-                         --graph <name> --json"
+                         --graph <name> --json --chaos-seed <x> --watchdog-ms <ms>"
                     );
                     std::process::exit(0);
                 }
@@ -94,6 +115,15 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert!(a.json);
         assert_eq!(a.only_graph.as_deref(), Some("wikipedia"));
+        assert_eq!(a.chaos_seed, None);
+        assert_eq!(a.watchdog_ms, None);
+    }
+
+    #[test]
+    fn chaos_and_watchdog_flags() {
+        let a = BenchArgs::parse_from(strs(&["--chaos-seed", "9", "--watchdog-ms", "250"]));
+        assert_eq!(a.chaos_seed, Some(9));
+        assert_eq!(a.watchdog_ms, Some(250));
     }
 
     #[test]

@@ -1,15 +1,22 @@
 //! Regenerates **Table VI**: statistics of successful and failed steal
-//! attempts for BFSWS vs BFSWSL on the Wikipedia graph.
+//! attempts for BFSWS vs BFSWSL on the Wikipedia graph, extended with
+//! the recovery/degradation counters (fetch retries, stale-slot aborts,
+//! injected faults, degraded levels).
 //!
 //! The paper runs each program 5 times from 100 sources; scale with
-//! `--sources` (per repetition) as needed.
+//! `--sources` (per repetition) as needed. `--chaos-seed` installs a
+//! store-buffer fault plan (active in `--features chaos` builds) and
+//! `--watchdog-ms` arms the per-level watchdog, so the recovery columns
+//! can be driven on demand.
 
 use obfs_bench::env::HostInfo;
 use obfs_bench::harness::pick_sources;
 use obfs_bench::table::{count, pct, Table};
 use obfs_bench::{BenchArgs, Contender, ContenderPool};
-use obfs_core::{Algorithm, BfsOptions, StealCounters};
+use obfs_core::{Algorithm, BfsOptions, StealCounters, ThreadStats, WatchdogPolicy};
 use obfs_graph::gen::suite::PaperGraph;
+use obfs_sync::ChaosConfig;
+use std::time::Duration;
 
 const REPS: usize = 5;
 
@@ -31,7 +38,14 @@ fn main() {
     );
 
     let mut pool = ContenderPool::new(args.threads);
-    let opts = BfsOptions { threads: args.threads, ..Default::default() };
+    let opts = BfsOptions {
+        threads: args.threads,
+        chaos: args.chaos_seed.map(ChaosConfig::store_buffer),
+        watchdog: args
+            .watchdog_ms
+            .map(|ms| WatchdogPolicy::deadline(Duration::from_millis(ms))),
+        ..Default::default()
+    };
 
     let mut t = Table::new(&[
         "program",
@@ -44,15 +58,23 @@ fn main() {
         "invalid",
         "failed",
         "success",
+        "fetch-retry",
+        "slot-abort",
+        "injected",
+        "degraded",
     ]);
     for algo in [Algorithm::Bfsws, Algorithm::Bfswsl] {
         let mut total = StealCounters::default();
+        let mut recovery = ThreadStats::default();
+        let mut degraded = 0u64;
         let mut time_ms = 0.0f64;
         for rep in 0..REPS {
             let sources = pick_sources(&graph, args.sources, args.seed ^ (rep as u64) << 8);
             for &src in &sources {
                 let r = pool.run(Contender::Ours(algo), &graph, src, &opts);
                 total.merge(&r.stats.totals.steal);
+                recovery.merge(&r.stats.totals);
+                degraded += u64::from(r.stats.degraded_levels);
                 time_ms += r.stats.traversal_time.as_secs_f64() * 1e3;
             }
         }
@@ -69,11 +91,17 @@ fn main() {
             fmt_cell(total.invalid, a, algo == Algorithm::Bfswsl),
             format!("{} ({})", count(total.failed()), pct(total.failed(), a)),
             format!("{} ({})", count(total.success), pct(total.success, a)),
+            count(recovery.fetch_retries),
+            count(recovery.stale_slot_aborts),
+            count(recovery.injected_faults),
+            count(degraded),
         ]);
         if args.json {
             println!(
                 "{{\"program\":{:?},\"attempts\":{},\"success\":{},\"victim_locked\":{},\
-                 \"victim_idle\":{},\"too_small\":{},\"stale\":{},\"invalid\":{}}}",
+                 \"victim_idle\":{},\"too_small\":{},\"stale\":{},\"invalid\":{},\
+                 \"fetch_retries\":{},\"stale_slot_aborts\":{},\"injected_faults\":{},\
+                 \"degraded_levels\":{}}}",
                 algo.name(),
                 a,
                 total.success,
@@ -81,7 +109,11 @@ fn main() {
                 total.victim_idle,
                 total.too_small,
                 total.stale,
-                total.invalid
+                total.invalid,
+                recovery.fetch_retries,
+                recovery.stale_slot_aborts,
+                recovery.injected_faults,
+                degraded
             );
         }
     }

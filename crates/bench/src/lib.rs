@@ -20,6 +20,7 @@ pub mod args;
 pub mod contender;
 pub mod env;
 pub mod harness;
+pub mod micro;
 pub mod table;
 
 pub use args::BenchArgs;

@@ -56,6 +56,9 @@ impl Strategy for CentralLocked {
         let p = st.threads;
         let out = st.qout(env.parity).queue(tid);
         loop {
+            if st.watchdog_tripped() {
+                return; // leader sweep finishes the level
+            }
             // --- critical section: advance ⟨q, f⟩ and cut a segment ---
             let (k, f0, end) = {
                 let mut cur = st.central_lock.lock();
@@ -133,7 +136,11 @@ pub(crate) fn consume_pool_lockfree(
 ) {
     let cursor = &st.pool_cursors[pool];
     let (start, end_q) = range;
+    let mut wd_retries = 0u64;
     loop {
+        if st.watchdog_tripped() {
+            return; // leader sweep finishes the level
+        }
         // --- optimistic fetch (paper §IV-A.2) ---
         let mut k = cursor.load().clamp(start, end_q);
         let (k, f0, s) = loop {
@@ -153,6 +160,9 @@ pub(crate) fn consume_pool_lockfree(
             let r = queue.rear();
             if f >= r {
                 ts.fetch_retries += 1;
+                if st.watchdog_retry(&mut wd_retries) {
+                    return; // retry budget exhausted: degrade the level
+                }
                 continue;
             }
             // Segment length must be the pure function of (f, r, p) — see
@@ -252,6 +262,31 @@ mod tests {
         assert_eq!(r.levels[2], 2);
         assert_eq!(r.levels[5], UNVISITED);
         assert_eq!(r.reached(), 3);
+    }
+
+    /// Chaos-deferred cursor stores make workers observe mixed `⟨f, r⟩`
+    /// views of the centralized dispatcher; the `f' >= r'` sanity check
+    /// must absorb every one as a counted retry while the traversal
+    /// stays exact — the centralized counterpart of the work-steal
+    /// snapshot adversary.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_stale_cursors_hit_fetch_sanity_check() {
+        let mut retries = 0u64;
+        for seed in 0..6u64 {
+            let g = gen::erdos_renyi(300, 2100, seed);
+            let opts = BfsOptions {
+                threads: 4,
+                segment: SegmentPolicy::Fixed(1),
+                chaos: Some(obfs_sync::ChaosConfig::aggressive(seed)),
+                ..Default::default()
+            };
+            let r = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
+            let ser = serial_bfs(&g, 0);
+            assert_eq!(r.levels, ser.levels, "seed {seed}");
+            retries += r.stats.totals.fetch_retries;
+        }
+        assert!(retries > 0, "stale cursors never reached the sanity check");
     }
 
     #[test]

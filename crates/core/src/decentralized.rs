@@ -60,6 +60,9 @@ impl Strategy for Decentralized {
                 out,
                 ts,
             );
+            if st.watchdog_tripped() {
+                return; // leader sweep finishes the level
+            }
             // Our pool looks dry; probe random pools for leftover work.
             match find_nonempty_pool(env, tid, pool, rng, ts) {
                 Some(next) => pool = next,
@@ -108,6 +111,7 @@ fn find_nonempty_pool(
         return None;
     }
     let budget = st.opts.retry_budget(pools);
+    let mut wd_retries = 0u64;
     if let Some(topo) = &st.opts.topology {
         let local = local_pools(env, topo, tid);
         for _ in 0..budget / 2 {
@@ -116,6 +120,9 @@ fn find_nonempty_pool(
                 return Some(j);
             }
             ts.fetch_retries += 1;
+            if st.watchdog_retry(&mut wd_retries) {
+                return None; // degraded: stop probing
+            }
         }
     }
     for _ in 0..budget {
@@ -127,6 +134,9 @@ fn find_nonempty_pool(
             return Some(j);
         }
         ts.fetch_retries += 1;
+        if st.watchdog_retry(&mut wd_retries) {
+            return None; // degraded: stop probing
+        }
     }
     // The paper's balls-and-bins argument only covers every pool "w.h.p.",
     // which is weak for small j (with j = 2 a thread misses the other

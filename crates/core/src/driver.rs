@@ -119,6 +119,11 @@ pub fn drive<S: Strategy>(
         let ts = unsafe { stats.get_mut(tid) };
         let my_deepest = unsafe { deepest.get_mut(tid) };
         let mut rng = Xoshiro256StarStar::for_stream(st.opts.seed, tid as u64);
+        if let Some(cfg) = &st.opts.chaos {
+            // Seed-reproducible fault plan, one PRNG stream per worker
+            // (no-op unless built with the `chaos` feature).
+            obfs_sync::chaos::install(cfg, tid as u64);
+        }
 
         st.init_chunk(tid);
         ctx.barrier().wait_then(|| {
@@ -143,6 +148,8 @@ pub fn drive<S: Strategy>(
                 t.frontier_in = 1;
             }
             strategy.serial_prepare(&LevelEnv { st: &st, parity: 0, level: 0 });
+            // SAFETY: barrier serial section.
+            unsafe { st.watchdog_arm() };
         });
 
         let mut parity = 0usize;
@@ -155,6 +162,21 @@ pub fn drive<S: Strategy>(
             strategy.consume(&env, &ctx, tid, &mut out_rear, &mut rng, ts);
             let this_level = level;
             ctx.barrier().wait_then(|| {
+                if st.watchdog_tripped() {
+                    // Degraded level: finish it serially before counting
+                    // the next frontier. SAFETY: barrier serial section.
+                    unsafe {
+                        *st.wd_degraded.get_mut() += 1;
+                        st.serial_finish_level(
+                            parity,
+                            this_level,
+                            tid,
+                            st.qout(parity).queue(tid),
+                            &mut out_rear,
+                            ts,
+                        );
+                    }
+                }
                 let produced = st.qout(parity).total_entries();
                 st.next_total.store(produced);
                 if let Some(tr) = &st.trace {
@@ -188,9 +210,15 @@ pub fn drive<S: Strategy>(
                     parity: next_env_parity,
                     level: next_level,
                 });
+                // SAFETY: barrier serial section.
+                unsafe { st.watchdog_arm() };
             });
         }
-    });
+        // Credit this worker's faults and drop its plan so a later run on
+        // the same pool starts clean (returns 0 without `chaos`).
+        ts.injected_faults += obfs_sync::chaos::uninstall();
+    })
+    .unwrap_or_else(|e| panic!("BFS worker pool failed: {e}"));
     let traversal_time = t0.elapsed();
 
     let levels_run = deepest.into_values().into_iter().max().unwrap_or(0) + 1;
@@ -209,6 +237,9 @@ pub fn drive<S: Strategy>(
     );
     let _ = INVALID_VERTEX;
     let mut stats = RunStats::from_threads(per_thread, levels_run, traversal_time);
+    // SAFETY: workers are done (pool.run returned); no serial section can
+    // be mutating the cell.
+    stats.degraded_levels = unsafe { *st.wd_degraded.get() };
     if let Some(tr) = st.trace.take() {
         // Workers are done (pool.run returned); sole owner.
         stats.level_trace = tr.into_inner().entries;

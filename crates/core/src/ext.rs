@@ -95,6 +95,9 @@ pub(crate) fn consume_edge_ranges(
     }
     let next = level + 1;
     loop {
+        if st.watchdog_tripped() {
+            return; // leader sweep finishes the level
+        }
         let c = st.edge_cursor.load() as u64;
         if c >= total {
             return;

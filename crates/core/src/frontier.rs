@@ -190,8 +190,16 @@ impl SegmentDesc {
 
     /// Racy snapshot `(q, f, r)` — the thief's first step. The three
     /// loads are not atomic as a group; the caller must sanity-check.
+    ///
+    /// This is the one place where the `chaos` backend may *fabricate*
+    /// index values (not just replay stale ones): the caller's
+    /// `f' < r' ≤ Qin[q'].rear` sanity check is exactly what the paper
+    /// relies on to survive a torn snapshot, so an adversarially skewed
+    /// `r` exercises it without breaking the no-gap invariant of the
+    /// centralized dispatchers (which never see skew). No-op without the
+    /// feature or an installed plan.
     pub fn snapshot(&self) -> (usize, usize, usize) {
-        (self.q.load(), self.f.load(), self.r.load())
+        (self.q.load(), self.f.load(), obfs_sync::chaos::skew_index(self.r.load()))
     }
 }
 

@@ -40,7 +40,7 @@ pub mod stats;
 pub mod validate;
 pub mod worksteal;
 
-pub use options::{Algorithm, BfsOptions, DedupMode, SegmentPolicy};
+pub use options::{Algorithm, BfsOptions, DedupMode, SegmentPolicy, WatchdogPolicy};
 pub use stats::{RunStats, StealCounters, ThreadStats};
 
 use obfs_graph::CsrGraph;

@@ -1,6 +1,8 @@
 //! Algorithm selection and tuning knobs.
 
 use obfs_runtime::Topology;
+use obfs_sync::ChaosConfig;
+use std::time::Duration;
 
 /// The BFS algorithms of the paper (Table II) plus the §IV-D extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,6 +141,36 @@ impl SegmentPolicy {
     }
 }
 
+/// Per-level watchdog limits for graceful degradation (DESIGN.md §7).
+///
+/// The optimistic dispatchers recover from racy corruption by retrying;
+/// a watchdog bounds how long a level may spend retrying before the
+/// barrier leader finishes the level with a serial sweep. Each tripped
+/// level is counted in [`crate::RunStats::degraded_levels`]; the
+/// traversal stays correct either way (the sweep re-explores whatever
+/// frontier entries the parallel phase left behind, and duplicate
+/// exploration is idempotent within a level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WatchdogPolicy {
+    /// Wall-clock budget per level. Workers poll it at dispatch
+    /// granularity (segment fetches, steal attempts, pool probes).
+    /// `Some(Duration::ZERO)` degrades every level — a correct, fully
+    /// serial run useful for testing the fallback path.
+    pub level_deadline: Option<Duration>,
+    /// Per-call bound on consecutive dispatch retries (fetch retries,
+    /// steal attempts, pool probes) before the level is declared
+    /// degraded. Tighter than the paper's `c·p·log p` give-up budget:
+    /// tripping it ends the whole level, not just one thread's search.
+    pub max_fetch_retries: Option<u64>,
+}
+
+impl WatchdogPolicy {
+    /// A deadline-only policy.
+    pub fn deadline(d: Duration) -> Self {
+        Self { level_deadline: Some(d), max_fetch_retries: None }
+    }
+}
+
 /// Tuning options shared by all algorithms. `Default` mirrors the paper's
 /// configuration on a generic machine.
 #[derive(Debug, Clone)]
@@ -174,6 +206,12 @@ pub struct BfsOptions {
     /// Record per-level frontier sizes and durations into
     /// [`crate::RunStats::level_trace`] (leader-side, near-zero cost).
     pub collect_level_trace: bool,
+    /// Deterministic fault-injection plan installed per worker (stream =
+    /// thread id). Only honoured when the crate is built with the `chaos`
+    /// feature; without it the plan is carried but never activates.
+    pub chaos: Option<ChaosConfig>,
+    /// Per-level watchdog; `None` (default) disables all polling.
+    pub watchdog: Option<WatchdogPolicy>,
 }
 
 impl Default for BfsOptions {
@@ -191,6 +229,8 @@ impl Default for BfsOptions {
             topology: None,
             seed: 0x0BF5,
             collect_level_trace: false,
+            chaos: None,
+            watchdog: None,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Shared run state and the discovery fast path common to every parallel
 //! BFS variant.
 
-use crate::frontier::{FrontierQueue, QueueSet, SegmentDesc};
+use crate::frontier::{decode, FrontierQueue, QueueSet, SegmentDesc, EMPTY_SLOT};
 use crate::options::{BfsOptions, DedupMode};
 use crate::perthread::PerThread;
 use crate::stats::ThreadStats;
@@ -9,6 +9,8 @@ use crate::UNVISITED;
 use obfs_graph::{CsrGraph, VertexId, INVALID_VERTEX};
 use obfs_sync::{CachePadded, RacyBuf, RacyUsize, SpinLock};
 use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 /// A cell written only inside barrier serial sections (exactly one thread,
 /// all others parked at the barrier) and read only between barriers.
@@ -111,6 +113,17 @@ pub struct RunState<'g> {
     pub flat_prefix: SerialCell<Vec<u64>>,
     /// Leader-side per-level telemetry (when requested).
     pub trace: Option<SerialCell<TraceState>>,
+    /// Watchdog trip flag. Deliberately a *real* atomic: the watchdog is
+    /// control plane, not part of the paper's optimistically-racy state,
+    /// so it must stay reliable even under fault injection.
+    pub wd_abort: AtomicBool,
+    /// Wall-clock deadline of the level in progress (leader-written in
+    /// each barrier serial section when a deadline is configured).
+    pub wd_deadline: SerialCell<Option<Instant>>,
+    /// Levels the leader finished with the serial sweep.
+    pub wd_degraded: SerialCell<u32>,
+    /// Cached `opts.watchdog.is_some()` so the hot-path poll is one branch.
+    wd_armed: bool,
     /// Worker count (`opts.threads`, validated).
     pub threads: usize,
     /// Resolved hub-degree threshold for the scale-free variants.
@@ -155,6 +168,10 @@ impl<'g> RunState<'g> {
             flat_vertices: SerialCell::new(Vec::new()),
             flat_prefix: SerialCell::new(Vec::new()),
             trace: opts.collect_level_trace.then(|| SerialCell::new(TraceState::default())),
+            wd_abort: AtomicBool::new(false),
+            wd_deadline: SerialCell::new(None),
+            wd_degraded: SerialCell::new(0),
+            wd_armed: opts.watchdog.is_some(),
             threads: p,
             hub_threshold: opts.resolved_hub_threshold(graph),
             opts: opts.clone(),
@@ -268,6 +285,102 @@ impl<'g> RunState<'g> {
         ts.edges_scanned += neigh.len() as u64;
         for &w in neigh {
             self.try_discover(w, v, next, out_queue_id, out, out_rear, ts);
+        }
+    }
+
+    /// Leader-only (barrier serial section): reset the watchdog for the
+    /// upcoming level.
+    ///
+    /// # Safety
+    /// Call only from a barrier serial section.
+    pub unsafe fn watchdog_arm(&self) {
+        if !self.wd_armed {
+            return;
+        }
+        self.wd_abort.store(false, Ordering::Relaxed);
+        *self.wd_deadline.get_mut() = self
+            .opts
+            .watchdog
+            .and_then(|w| w.level_deadline)
+            .map(|d| Instant::now() + d);
+    }
+
+    /// Worker-side poll: true once this level has been declared degraded
+    /// (deadline passed, or another worker exhausted a retry budget). The
+    /// caller stops dispatching new work and falls through to the
+    /// level-end barrier, where the leader sweep finishes the level.
+    #[inline]
+    pub fn watchdog_tripped(&self) -> bool {
+        if !self.wd_armed {
+            return false;
+        }
+        if self.wd_abort.load(Ordering::Relaxed) {
+            return true;
+        }
+        // SAFETY: written only in barrier serial sections; the level in
+        // progress only reads it.
+        if let Some(dl) = unsafe { *self.wd_deadline.get() } {
+            if Instant::now() >= dl {
+                self.wd_abort.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Worker-side retry accounting: bumps the caller's per-dispatch-loop
+    /// retry counter and returns true when the level should be abandoned
+    /// (budget exhausted, deadline passed, or already tripped elsewhere).
+    #[inline]
+    pub fn watchdog_retry(&self, retries: &mut u64) -> bool {
+        if !self.wd_armed {
+            return false;
+        }
+        *retries += 1;
+        if let Some(max) = self.opts.watchdog.and_then(|w| w.max_fetch_retries) {
+            if *retries >= max {
+                self.wd_abort.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        self.watchdog_tripped()
+    }
+
+    /// Leader-only serial sweep finishing a degraded level: re-explore
+    /// every flattened work-list vertex (hub phase / EdgeCL) and every
+    /// surviving input-queue slot. Level writes are same-valued within a
+    /// level and [`RunState::try_discover`] skips visited vertices, so
+    /// the sweep is idempotent with whatever the parallel phase already
+    /// did — correct no matter where each variant was interrupted.
+    ///
+    /// Counts edge scans and discoveries but not pops: swept entries were
+    /// never dispatched, and the per-variant pop counters stay meaningful.
+    ///
+    /// # Safety
+    /// Call only from a barrier serial section.
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn serial_finish_level(
+        &self,
+        parity: usize,
+        level: u32,
+        tid: usize,
+        out: &FrontierQueue,
+        out_rear: &mut usize,
+        ts: &mut ThreadStats,
+    ) {
+        for &h in self.flat_vertices.get().iter() {
+            self.explore_vertex(h, level, tid, out, out_rear, ts);
+        }
+        let qin = self.qin(parity);
+        for k in 0..self.threads {
+            let q = qin.queue(k);
+            for i in 0..q.rear().min(q.capacity()) {
+                let s = q.slot(i);
+                if s == EMPTY_SLOT {
+                    continue;
+                }
+                self.explore_vertex(decode(s), level, tid, out, out_rear, ts);
+            }
         }
     }
 

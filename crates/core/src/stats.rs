@@ -73,6 +73,9 @@ pub struct ThreadStats {
     pub dedup_skips: u64,
     /// Lock acquisitions (lock-based variants).
     pub lock_acquisitions: u64,
+    /// Faults injected into this worker by the `chaos` backend (deferred
+    /// stores, delay windows, index skews); always 0 without the feature.
+    pub injected_faults: u64,
     /// Steal outcomes (work-stealing variants).
     pub steal: StealCounters,
 }
@@ -89,6 +92,7 @@ impl ThreadStats {
         self.fetch_retries += o.fetch_retries;
         self.dedup_skips += o.dedup_skips;
         self.lock_acquisitions += o.lock_acquisitions;
+        self.injected_faults += o.injected_faults;
         self.steal.merge(&o.steal);
     }
 }
@@ -118,6 +122,9 @@ pub struct RunStats {
     pub levels: u32,
     /// Wall time of the traversal proper (excludes allocation/setup).
     pub traversal_time: std::time::Duration,
+    /// Levels the watchdog finished with the leader's serial sweep
+    /// (0 unless [`crate::BfsOptions::watchdog`] tripped).
+    pub degraded_levels: u32,
     /// Per-level telemetry; empty unless
     /// [`crate::BfsOptions::collect_level_trace`] was set (and always
     /// empty for serial runs).
@@ -135,7 +142,14 @@ impl RunStats {
         for t in &per_thread {
             totals.merge(t);
         }
-        Self { totals, per_thread, levels, traversal_time, level_trace: Vec::new() }
+        Self {
+            totals,
+            per_thread,
+            levels,
+            traversal_time,
+            degraded_levels: 0,
+            level_trace: Vec::new(),
+        }
     }
 
     /// Traversed edges per second (the paper's Figure 3 metric), given the

@@ -66,6 +66,9 @@ impl Strategy for WorkStealing {
             } else {
                 self.walk_sentinel(env, tid, &mut seg, out_rear, ts);
             }
+            if env.st.watchdog_tripped() {
+                break; // leader sweep finishes the level
+            }
             match self.steal(env, tid, rng, ts) {
                 Some(stolen) => seg = stolen,
                 None => break, // budget exhausted: quit this level
@@ -223,7 +226,11 @@ impl WorkStealing {
             return None;
         }
         let budget = st.opts.retry_budget(p);
+        let mut wd_retries = 0u64;
         for _ in 0..budget {
+            if st.watchdog_retry(&mut wd_retries) {
+                return None; // degraded: stop searching for work
+            }
             let victim = match &st.opts.topology {
                 Some(t) => t.numa_victim(tid, 0.75, rng)?,
                 None => uniform_victim(tid, p, rng),
@@ -488,6 +495,38 @@ mod tests {
             assert_eq!((seg.q, seg.f, seg.r), (3, 7, 12));
             assert_eq!(st.descs[3].snapshot(), (3, 2, 7), "victim keeps the left half");
             assert_eq!(st.descs[0].snapshot(), (3, 7, 12), "thief published its segment");
+        }
+
+        /// The chaos backend's encoding of the same adversary: a plan
+        /// that skews *every* tagged index read fabricates the `r'` the
+        /// thief snapshots (including `usize::MAX / 4`-scale probes).
+        /// Every attempt must land in a sanity-failure bucket — no
+        /// panic, no out-of-bounds slot read, no accepted steal.
+        #[cfg(feature = "chaos")]
+        #[test]
+        fn chaos_skewed_snapshot_is_rejected_by_sanity_check() {
+            let (g, o) = env_with_frontier(64);
+            let st = RunState::new(&g, &o);
+            fill_queue(&st, 1, 32);
+            st.descs[1].set(1, 0, 32); // perfectly valid victim state
+            let cfg = obfs_sync::ChaosConfig {
+                skew_chance: 1.0,
+                skew_max: 1 << 30,
+                ..obfs_sync::ChaosConfig::skew_only(7)
+            };
+            obfs_sync::chaos::install(&cfg, 0);
+            let env = LevelEnv { st: &st, parity: 0, level: 0 };
+            let mut ts = ThreadStats::default();
+            for _ in 0..64 {
+                ts.steal.attempts += 1;
+                let got = strategy().try_steal_optimistic(&env, 0, 1, &mut ts);
+                assert!(got.is_none(), "a fabricated snapshot must never be stolen");
+            }
+            let injected = obfs_sync::chaos::uninstall();
+            assert!(injected >= 64, "every snapshot should have been skewed");
+            assert_eq!(ts.steal.success, 0);
+            assert!(ts.steal.invalid > 0, "no skew ever hit `f' < r' <= rear`");
+            assert!(ts.steal.is_consistent());
         }
 
         #[test]

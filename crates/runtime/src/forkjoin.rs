@@ -2,32 +2,73 @@
 //! Leiserson–Schardl baseline).
 //!
 //! Tasks are `FnOnce(&TaskCtx)` closures that may spawn further tasks.
-//! Scheduling is child-stealing over crossbeam deques: each worker pushes
-//! spawned tasks onto its own LIFO-ish deque and steals FIFO from peers
-//! when idle — the same policy family as cilk's scheduler. A
-//! [`ForkJoinPool::scope`] call blocks until *every* transitively spawned
-//! task has completed (tracked with a single outstanding-task counter), so
-//! borrowed data in task closures is sound; the caller's thread
-//! participates in execution while it waits.
+//! Scheduling is child-stealing over per-worker deques: each worker
+//! pushes spawned tasks onto its own deque, pops LIFO locally, and steals
+//! FIFO from peers when idle — the same policy family as cilk's
+//! scheduler. The deques are mutex-guarded `VecDeque`s rather than
+//! lock-free Chase–Lev deques: the baseline spawns coarse pennant-walk
+//! tasks, so deque operations are nowhere near the contention levels that
+//! would justify hand-rolling lock-free deques (and the workspace builds
+//! with no external dependencies). A [`ForkJoinPool::scope`] call blocks
+//! until *every* transitively spawned task has completed (tracked with a
+//! single outstanding-task counter), so borrowed data in task closures is
+//! sound; the caller's thread participates in execution while it waits.
 //!
 //! There is intentionally no join-with-result primitive: the baseline BFS
 //! only needs "spawn and forget within a level, sync at the level
 //! boundary", which is exactly `scope`.
+//!
+//! # Panic safety
+//!
+//! Every task runs under `catch_unwind`. A panicking task cannot wedge
+//! the outstanding-task counter (it is decremented on the unwind path
+//! too), so `scope` always terminates; the first panic's payload is then
+//! re-raised on the calling thread when the scope completes, matching
+//! `std::thread::scope` semantics.
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use obfs_util::Xoshiro256StarStar;
-use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 type Task = Box<dyn FnOnce(&TaskCtx<'_>) + Send>;
 
+/// A mutex-guarded double-ended task queue: LIFO for the owner, FIFO for
+/// thieves (classic child-stealing discipline).
+struct Deque(Mutex<VecDeque<Task>>);
+
+impl Deque {
+    fn new() -> Self {
+        Self(Mutex::new(VecDeque::new()))
+    }
+
+    fn push(&self, t: Task) {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).push_back(t);
+    }
+
+    /// Owner side: newest first (depth-first descent keeps the working
+    /// set warm).
+    fn pop(&self) -> Option<Task> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).pop_back()
+    }
+
+    /// Thief side: oldest first (steals the biggest remaining subtrees).
+    fn steal(&self) -> Option<Task> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+    }
+}
+
 struct Shared {
-    injector: Injector<Task>,
-    stealers: Vec<Stealer<Task>>,
+    /// Scope roots land here; any participant may pick them up.
+    injector: Deque,
+    /// One deque per participant; slot 0 belongs to the scope caller.
+    deques: Vec<Deque>,
     /// Tasks spawned but not yet finished (across the whole scope).
     pending: AtomicUsize,
     shutdown: AtomicBool,
+    /// First task panic observed in the current scope.
+    panic: Mutex<Option<String>>,
     /// Sleep/wake for idle workers between scopes.
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
@@ -37,15 +78,13 @@ struct Shared {
 /// Handed to every task; used to spawn subtasks and query identity.
 pub struct TaskCtx<'p> {
     shared: &'p Shared,
-    local: &'p Worker<Task>,
     worker_id: usize,
 }
 
 impl TaskCtx<'_> {
-    /// Worker executing this task: `[0, threads)`. The scope caller's own
-    /// thread executes with id `threads - 1`'s deque? No — the caller uses
-    /// a dedicated slot; see [`ForkJoinPool::scope`]. Ids are stable per
-    /// OS thread for the lifetime of the pool.
+    /// Worker executing this task, in `[0, threads)`; the scope caller's
+    /// own thread executes with id 0. Ids are stable per OS thread for
+    /// the lifetime of the pool.
     #[inline]
     pub fn worker_id(&self) -> usize {
         self.worker_id
@@ -65,7 +104,7 @@ impl TaskCtx<'_> {
     /// correct borrowing rules via the `'scope` closure bound.
     pub fn spawn(&self, task: impl FnOnce(&TaskCtx<'_>) + Send + 'static) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        self.local.push(Box::new(task));
+        self.shared.deques[self.worker_id].push(Box::new(task));
         self.shared.idle_cv.notify_one();
     }
 }
@@ -73,8 +112,6 @@ impl TaskCtx<'_> {
 /// A persistent work-stealing pool.
 pub struct ForkJoinPool {
     shared: Arc<Shared>,
-    /// The caller's deque (slot 0); workers own slots 1..threads.
-    caller_worker: Worker<Task>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -83,30 +120,26 @@ impl ForkJoinPool {
     /// (`threads - 1` background workers plus the calling thread).
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "a pool needs at least one worker");
-        let workers: Vec<Worker<Task>> = (0..threads).map(|_| Worker::new_lifo()).collect();
-        let stealers = workers.iter().map(|w| w.stealer()).collect();
         let shared = Arc::new(Shared {
-            injector: Injector::new(),
-            stealers,
+            injector: Deque::new(),
+            deques: (0..threads).map(|_| Deque::new()).collect(),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            panic: Mutex::new(None),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             threads,
         });
-        let mut workers_iter = workers.into_iter();
-        let caller_worker = workers_iter.next().unwrap();
-        let handles = workers_iter
-            .enumerate()
-            .map(|(i, worker)| {
+        let handles = (1..threads)
+            .map(|id| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("obfs-fj-{}", i + 1))
-                    .spawn(move || background_loop(i + 1, worker, &shared))
+                    .name(format!("obfs-fj-{id}"))
+                    .spawn(move || background_loop(id, &shared))
                     .expect("failed to spawn fork-join worker")
             })
             .collect();
-        Self { shared, caller_worker, handles }
+        Self { shared, handles }
     }
 
     /// Total OS threads that execute scopes (workers + caller).
@@ -116,6 +149,12 @@ impl ForkJoinPool {
 
     /// Run `root` and every task it transitively spawns; return when all
     /// are done. The calling thread participates in execution.
+    ///
+    /// # Panics
+    ///
+    /// If any task panicked, the scope still runs to completion (the
+    /// counter drains) and then re-raises the first panic's message on
+    /// the calling thread.
     pub fn scope<'env, F>(&'env mut self, root: F)
     where
         F: FnOnce(&TaskCtx<'_>) + Send + 'env,
@@ -135,16 +174,19 @@ impl ForkJoinPool {
         self.shared.idle_cv.notify_all();
 
         // The caller works too (essential when the pool has 1 thread).
-        let ctx =
-            TaskCtx { shared: &self.shared, local: &self.caller_worker, worker_id: 0 };
+        let ctx = TaskCtx { shared: &self.shared, worker_id: 0 };
         let mut rng = Xoshiro256StarStar::new(0xF0F0);
         while self.shared.pending.load(Ordering::SeqCst) != 0 {
-            if let Some(task) = find_task(&self.shared, &self.caller_worker, &mut rng) {
-                task(&ctx);
-                self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+            if let Some(task) = find_task(&self.shared, 0, &mut rng) {
+                run_task(task, &ctx, &self.shared);
             } else {
                 std::thread::yield_now();
             }
+        }
+        let panicked =
+            self.shared.panic.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(message) = panicked {
+            panic!("fork-join task panicked: {message}");
         }
     }
 }
@@ -159,59 +201,65 @@ impl Drop for ForkJoinPool {
     }
 }
 
+/// Execute one task under `catch_unwind`, recording the first panic and
+/// always decrementing the outstanding counter so scopes terminate.
+fn run_task(task: Task, ctx: &TaskCtx<'_>, shared: &Shared) {
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(ctx))) {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else {
+            payload.downcast_ref::<String>().cloned().unwrap_or_else(|| "<non-string panic>".into())
+        };
+        let mut slot = shared.panic.lock().unwrap_or_else(PoisonError::into_inner);
+        slot.get_or_insert(message);
+    }
+    shared.pending.fetch_sub(1, Ordering::SeqCst);
+}
+
 /// Pop local, then steal from the injector, then from random peers.
-fn find_task(
-    shared: &Shared,
-    local: &Worker<Task>,
-    rng: &mut Xoshiro256StarStar,
-) -> Option<Task> {
-    if let Some(t) = local.pop() {
+fn find_task(shared: &Shared, id: usize, rng: &mut Xoshiro256StarStar) -> Option<Task> {
+    if let Some(t) = shared.deques[id].pop() {
         return Some(t);
     }
-    loop {
-        match shared.injector.steal_batch_and_pop(local) {
-            Steal::Success(t) => return Some(t),
-            Steal::Empty => break,
-            Steal::Retry => continue,
-        }
+    if let Some(t) = shared.injector.steal() {
+        return Some(t);
     }
     // Random victim order, one full round.
-    let p = shared.stealers.len();
+    let p = shared.deques.len();
     let start = rng.below_usize(p);
     for k in 0..p {
         let victim = (start + k) % p;
-        loop {
-            match shared.stealers[victim].steal_batch_and_pop(local) {
-                Steal::Success(t) => return Some(t),
-                Steal::Empty => break,
-                Steal::Retry => continue,
-            }
+        if victim == id {
+            continue;
+        }
+        if let Some(t) = shared.deques[victim].steal() {
+            return Some(t);
         }
     }
     None
 }
 
-fn background_loop(id: usize, local: Worker<Task>, shared: &Shared) {
-    let ctx = TaskCtx { shared, local: &local, worker_id: id };
+fn background_loop(id: usize, shared: &Shared) {
+    let ctx = TaskCtx { shared, worker_id: id };
     let mut rng = Xoshiro256StarStar::for_stream(0xBEE5, id as u64);
     let mut idle_rounds = 0u32;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        if let Some(task) = find_task(shared, &local, &mut rng) {
+        if let Some(task) = find_task(shared, id, &mut rng) {
             idle_rounds = 0;
-            task(&ctx);
-            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            run_task(task, &ctx, shared);
         } else if shared.pending.load(Ordering::SeqCst) == 0 {
             // Nothing anywhere: sleep until a scope starts.
-            let mut guard = shared.idle_lock.lock();
+            let guard = shared.idle_lock.lock().unwrap_or_else(PoisonError::into_inner);
             if shared.pending.load(Ordering::SeqCst) == 0
                 && !shared.shutdown.load(Ordering::SeqCst)
             {
-                shared
+                let _ = shared
                     .idle_cv
-                    .wait_for(&mut guard, std::time::Duration::from_millis(50));
+                    .wait_timeout(guard, std::time::Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         } else {
             // Work exists but is in-flight elsewhere; back off briefly.
@@ -263,16 +311,7 @@ mod tests {
     #[test]
     fn scope_blocks_until_all_tasks_done() {
         let mut pool = ForkJoinPool::new(3);
-        let done = AtomicUsize::new(0);
-        pool.scope(|ctx| {
-            for _ in 0..100 {
-                ctx.spawn(|_| {
-                    // borrowed? no: 'static closure here; counter via raw
-                    // pointer not needed — test uses the outer borrow below
-                });
-            }
-        });
-        // Borrow-based variant: tasks increment a stack counter.
+        // Tasks increment a stack counter through the scope borrow.
         let counter = AtomicUsize::new(0);
         pool.scope(|ctx| {
             let c: &'static AtomicUsize = unsafe { std::mem::transmute(&counter) };
@@ -283,7 +322,6 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::SeqCst), 256);
-        let _ = done;
     }
 
     #[test]
@@ -410,5 +448,43 @@ mod tests {
         let l = Arc::clone(&leaves);
         pool.scope(move |ctx| fan(ctx, 8, l));
         assert_eq!(leaves.load(Ordering::SeqCst), 256);
+    }
+
+    /// A panicking task must not wedge the scope: remaining tasks finish,
+    /// the counter drains, and the panic resurfaces on the caller.
+    #[test]
+    fn panicking_task_resurfaces_without_hanging() {
+        let mut pool = ForkJoinPool::new(3);
+        let survivors = Arc::new(AtomicU64::new(0));
+        let s = Arc::clone(&survivors);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(move |ctx| {
+                for i in 0..32u32 {
+                    let s = Arc::clone(&s);
+                    ctx.spawn(move |_| {
+                        if i == 7 {
+                            panic!("task blew up");
+                        }
+                        s.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        let err = result.expect_err("scope must re-raise the task panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("task blew up"), "got: {msg:?}");
+        assert_eq!(survivors.load(Ordering::SeqCst), 31, "non-panicking tasks must all run");
+        // Pool remains usable for subsequent scopes.
+        let again = Arc::new(AtomicU64::new(0));
+        let a = Arc::clone(&again);
+        pool.scope(move |ctx| {
+            for _ in 0..8 {
+                let a = Arc::clone(&a);
+                ctx.spawn(move |_| {
+                    a.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(again.load(Ordering::SeqCst), 8);
     }
 }

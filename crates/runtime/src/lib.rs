@@ -4,9 +4,9 @@
 //!   the same closure (one invocation per worker, identified by thread
 //!   id). This is all the paper's own algorithms need: they do their own
 //!   load balancing on top of `p` long-lived workers plus a level barrier.
-//! * [`forkjoin::ForkJoinPool`] — a genuine work-stealing task pool
-//!   (crossbeam deques, child stealing) used by the Leiserson–Schardl
-//!   bag-based baseline, which *does* rely on a dynamic task scheduler.
+//! * [`forkjoin::ForkJoinPool`] — a work-stealing task pool (per-worker
+//!   deques, child stealing) used by the Leiserson–Schardl bag-based
+//!   baseline, which *does* rely on a dynamic task scheduler.
 //! * [`topology::Topology`] — a socket layout description driving the
 //!   NUMA-aware victim-selection policy of paper §IV-C.
 
@@ -17,5 +17,5 @@ pub mod pool;
 pub mod topology;
 
 pub use forkjoin::{ForkJoinPool, TaskCtx};
-pub use pool::{LevelPool, WorkerCtx};
+pub use pool::{LevelPool, PoolError, WorkerCtx};
 pub use topology::Topology;

@@ -10,10 +10,50 @@
 //!
 //! Between `run` calls the workers sleep on a condvar (no idle spinning),
 //! so pools can be kept alive across an entire benchmark suite.
+//!
+//! # Panic safety
+//!
+//! A panic in one worker used to strand its peers at the sense-reversing
+//! barrier forever. Now every worker invocation runs under
+//! `catch_unwind`; the first panic poisons the pool's barrier (releasing
+//! any spinning peers, which unwind in turn and are also caught) and
+//! [`LevelPool::run`] returns [`PoolError::WorkerPanicked`] instead of
+//! deadlocking. The pool itself is poisoned afterwards — subsequent `run`
+//! calls fail fast with [`PoolError::Poisoned`] — because a half-executed
+//! level loop leaves algorithm state unrecoverable.
 
+use obfs_sync::barrier::POISON_MSG;
 use obfs_sync::SpinBarrier;
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Why a [`LevelPool::run`] call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker closure panicked during this run; `message` is the
+    /// stringified payload of the first panic observed.
+    WorkerPanicked {
+        /// Worker id whose closure panicked first.
+        tid: usize,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// The pool was poisoned by a panic in an earlier run.
+    Poisoned,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { tid, message } => {
+                write!(f, "worker {tid} panicked: {message}")
+            }
+            PoolError::Poisoned => write!(f, "pool poisoned by an earlier worker panic"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// Type-erased pointer to the caller's closure. Valid only while the
 /// `run` call that published it is still blocked waiting for workers.
@@ -32,6 +72,10 @@ struct State {
     /// Workers still executing the current job.
     active: usize,
     shutdown: bool,
+    /// First worker panic observed (tid, stringified payload).
+    panic: Option<(usize, String)>,
+    /// Set once any worker panicked; all later runs fail fast.
+    poisoned: bool,
 }
 
 struct Shared {
@@ -40,6 +84,15 @@ struct Shared {
     work_done: Condvar,
     barrier: SpinBarrier,
     threads: usize,
+}
+
+impl Shared {
+    /// Lock the state, recovering from std mutex poisoning (our own
+    /// invariants never depend on it: the lock is only held for short
+    /// non-panicking critical sections).
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// Per-invocation context handed to the worker closure.
@@ -80,7 +133,14 @@ impl LevelPool {
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "a pool needs at least one worker");
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { job: None, generation: 0, active: 0, shutdown: false }),
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                active: 0,
+                shutdown: false,
+                panic: None,
+                poisoned: false,
+            }),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
             barrier: SpinBarrier::new(threads),
@@ -103,14 +163,20 @@ impl LevelPool {
         self.shared.threads
     }
 
+    /// Whether an earlier run's worker panic has poisoned this pool.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.lock_state().poisoned
+    }
+
     /// Run `f` once on every worker (as `f(ctx)` with distinct
     /// `ctx.tid()`), blocking until all invocations return.
     ///
-    /// Panics in workers are currently fatal for the process (BFS worker
-    /// closures are not expected to panic; a panic indicates a bug, and
-    /// poisoning semantics would complicate every algorithm for no
-    /// benefit).
-    pub fn run<F>(&self, f: F)
+    /// If any worker closure panics, the pool's barrier is poisoned so
+    /// peers cannot be stranded, every worker unwinds and is caught, and
+    /// this returns [`PoolError::WorkerPanicked`] carrying the first
+    /// panic's payload. The pool is unusable afterwards (subsequent calls
+    /// return [`PoolError::Poisoned`]).
+    pub fn run<F>(&self, f: F) -> Result<(), PoolError>
     where
         F: Fn(WorkerCtx<'_>) + Sync,
     {
@@ -124,23 +190,30 @@ impl LevelPool {
                 *const (dyn for<'a> Fn(WorkerCtx<'a>) + Sync),
             >(local)
         });
-        let mut st = self.shared.state.lock();
+        let mut st = self.shared.lock_state();
+        if st.poisoned {
+            return Err(PoolError::Poisoned);
+        }
         debug_assert!(st.active == 0 && st.job.is_none(), "run() is not reentrant");
         st.job = Some(job);
         st.generation += 1;
         st.active = self.shared.threads;
         self.shared.work_ready.notify_all();
         while st.active != 0 {
-            self.shared.work_done.wait(&mut st);
+            st = self.shared.work_done.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         st.job = None;
+        match st.panic.take() {
+            Some((tid, message)) => Err(PoolError::WorkerPanicked { tid, message }),
+            None => Ok(()),
+        }
     }
 }
 
 impl Drop for LevelPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
             self.shared.work_ready.notify_all();
         }
@@ -150,11 +223,20 @@ impl Drop for LevelPool {
     }
 }
 
+/// Stringify a caught panic payload.
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload.downcast_ref::<String>().cloned().unwrap_or_else(|| "<non-string panic>".into())
+    }
+}
+
 fn worker_loop(tid: usize, shared: &Shared) {
     let mut seen_generation = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock();
+            let mut st = shared.lock_state();
             loop {
                 if st.shutdown {
                     return;
@@ -163,14 +245,29 @@ fn worker_loop(tid: usize, shared: &Shared) {
                     seen_generation = st.generation;
                     break st.job.expect("generation bumped without a job");
                 }
-                shared.work_ready.wait(&mut st);
+                st = shared.work_ready.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
         // SAFETY: the publishing `run` call blocks until we decrement
         // `active` below, keeping the closure alive.
         let f = unsafe { &*job.0 };
-        f(WorkerCtx { tid, shared });
-        let mut st = shared.state.lock();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(WorkerCtx { tid, shared })));
+        if let Err(payload) = outcome {
+            let message = payload_msg(payload.as_ref());
+            {
+                let mut st = shared.lock_state();
+                st.poisoned = true;
+                // Record only the originating panic, not the cascade of
+                // poisoned-barrier panics it induces in peers.
+                if st.panic.is_none() && message != POISON_MSG {
+                    st.panic = Some((tid, message));
+                }
+            }
+            // Release peers spinning at the barrier; they unwind with
+            // POISON_MSG and land in this same handler.
+            shared.barrier.poison();
+        }
+        let mut st = shared.lock_state();
         st.active -= 1;
         if st.active == 0 {
             shared.work_done.notify_one();
@@ -190,7 +287,8 @@ mod tests {
         pool.run(|ctx| {
             assert_eq!(ctx.threads(), 4);
             hits[ctx.tid()].fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         for h in &hits {
             assert_eq!(h.load(Ordering::Relaxed), 1);
         }
@@ -203,7 +301,8 @@ mod tests {
         for _ in 0..50 {
             pool.run(|_| {
                 total.fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
         }
         assert_eq!(total.load(Ordering::Relaxed), 150);
     }
@@ -217,7 +316,8 @@ mod tests {
             // Workers read stack-borrowed data from the caller's frame.
             let mine: u64 = data.iter().skip(ctx.tid()).step_by(2).sum();
             sum.fetch_add(mine as usize, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(sum.load(Ordering::Relaxed), 10);
     }
 
@@ -235,7 +335,8 @@ mod tests {
                 assert_eq!(board[l].load(Ordering::Relaxed), 4, "level {l} desynchronized");
                 ctx.barrier().wait();
             }
-        });
+        })
+        .unwrap();
     }
 
     #[test]
@@ -244,8 +345,9 @@ mod tests {
         pool.run(|ctx| {
             assert_eq!(ctx.tid(), 0);
             ctx.barrier().wait(); // must not deadlock
-        });
-        pool.run(|_| {});
+        })
+        .unwrap();
+        pool.run(|_| {}).unwrap();
     }
 
     #[test]
@@ -257,7 +359,7 @@ mod tests {
     #[test]
     fn drop_joins_workers() {
         let pool = LevelPool::new(8);
-        pool.run(|_| {});
+        pool.run(|_| {}).unwrap();
         drop(pool); // must not hang
     }
 
@@ -269,7 +371,72 @@ mod tests {
         pool.run(|ctx| {
             counter.fetch_add(ctx.tid() + 1, Ordering::Relaxed);
             ctx.barrier().wait();
-        });
+        })
+        .unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 32 * 33 / 2);
+    }
+
+    /// Regression test for the former deadlock: a panic in one worker
+    /// while the rest spin at the barrier must surface as an error, not
+    /// strand the pool (`cargo test` would time out if it hung).
+    #[test]
+    fn panicking_worker_returns_error_instead_of_hanging() {
+        let pool = LevelPool::new(4);
+        let err = pool
+            .run(|ctx| {
+                if ctx.tid() == 2 {
+                    panic!("injected worker failure");
+                }
+                // Peers head to the barrier and would spin forever
+                // without poisoning.
+                ctx.barrier().wait();
+            })
+            .expect_err("a worker panic must surface as PoolError");
+        match err {
+            PoolError::WorkerPanicked { tid, message } => {
+                assert_eq!(tid, 2);
+                assert!(message.contains("injected worker failure"), "got: {message:?}");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert!(pool.is_poisoned());
+        // The pool is dead but must fail fast, not hang or panic.
+        assert_eq!(pool.run(|_| {}), Err(PoolError::Poisoned));
+        drop(pool); // and Drop must still join cleanly
+    }
+
+    /// Panics on every worker at once (no barrier involved) must also
+    /// drain cleanly and report one originating panic.
+    #[test]
+    fn all_workers_panicking_reports_first() {
+        let pool = LevelPool::new(8);
+        let err = pool.run(|_| panic!("boom")).expect_err("must fail");
+        match err {
+            PoolError::WorkerPanicked { message, .. } => assert!(message.contains("boom")),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    /// A panic *after* barrier rounds completes past waits already done.
+    #[test]
+    fn panic_after_barrier_rounds_still_reports() {
+        let pool = LevelPool::new(4);
+        let err = pool
+            .run(|ctx| {
+                ctx.barrier().wait();
+                ctx.barrier().wait();
+                if ctx.tid() == 0 {
+                    panic!("late failure");
+                }
+                ctx.barrier().wait();
+            })
+            .expect_err("must fail");
+        match err {
+            PoolError::WorkerPanicked { tid, message } => {
+                assert_eq!(tid, 0);
+                assert!(message.contains("late failure"));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 }

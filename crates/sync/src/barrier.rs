@@ -13,24 +13,46 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+/// Message carried by the panic a poisoned barrier raises in waiters.
+pub const POISON_MSG: &str = "SpinBarrier poisoned: a participant panicked";
+
 /// Reusable sense-reversing barrier for a fixed set of `n` participants.
 #[derive(Debug)]
 pub struct SpinBarrier {
     parties: usize,
     arrived: AtomicUsize,
     sense: AtomicBool,
+    poisoned: AtomicBool,
 }
 
 impl SpinBarrier {
     /// Barrier for `parties >= 1` threads.
     pub fn new(parties: usize) -> Self {
         assert!(parties >= 1, "a barrier needs at least one participant");
-        Self { parties, arrived: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+        Self {
+            parties,
+            arrived: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        }
     }
 
     /// Number of participating threads.
     pub fn parties(&self) -> usize {
         self.parties
+    }
+
+    /// Poison the barrier: every current and future waiter panics with
+    /// [`POISON_MSG`] instead of spinning forever on a participant that
+    /// will never arrive. Used by the worker pool when a job panics; the
+    /// barrier is unusable afterwards.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether [`SpinBarrier::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
     }
 
     /// Wait for all parties. Returns `true` on exactly one thread per
@@ -47,19 +69,36 @@ impl SpinBarrier {
     /// participant before the barrier (and by `serial`) to every
     /// participant after it — this is the synchronization point that makes
     /// the intra-level benign races safe across levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`POISON_MSG`] if the barrier is (or becomes) poisoned,
+    /// so that a panicking participant cannot strand its peers here.
     pub fn wait_then(&self, serial: impl FnOnce()) -> bool {
+        // Fault injection: a simulated store buffer must drain before the
+        // barrier publishes this thread's writes (no-op without the
+        // `chaos` feature or an installed plan).
+        crate::chaos::quiesce();
+        if self.is_poisoned() {
+            panic!("{POISON_MSG}");
+        }
         let my_sense = !self.sense.load(Ordering::Relaxed);
         // AcqRel so that arrivals form a total order and the leader
         // observes every pre-barrier write.
         let pos = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
         if pos == self.parties {
             serial();
+            // Publish the leader's serial-section racy stores too.
+            crate::chaos::quiesce();
             self.arrived.store(0, Ordering::Relaxed);
             self.sense.store(my_sense, Ordering::Release);
             true
         } else {
             let mut spins = 0u32;
             while self.sense.load(Ordering::Acquire) != my_sense {
+                if self.is_poisoned() {
+                    panic!("{POISON_MSG}");
+                }
                 spins += 1;
                 if spins < 128 {
                     std::hint::spin_loop();
@@ -176,5 +215,33 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_parties_panics() {
         let _ = SpinBarrier::new(0);
+    }
+
+    /// A poisoned barrier releases already-spinning waiters (by panic)
+    /// instead of stranding them — the deadlock the worker pool used to
+    /// exhibit when a job panicked.
+    #[test]
+    fn poison_releases_spinning_waiters() {
+        let barrier = Arc::new(SpinBarrier::new(2));
+        let waiter = {
+            let b = Arc::clone(&barrier);
+            std::thread::spawn(move || b.wait())
+        };
+        // Give the waiter time to start spinning, then poison instead of
+        // arriving (simulating a peer that panicked before the barrier).
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        barrier.poison();
+        let err = waiter.join().expect_err("waiter must panic out of a poisoned barrier");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("poisoned"), "unexpected panic payload: {msg:?}");
+        assert!(barrier.is_poisoned());
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn wait_on_poisoned_barrier_panics_immediately() {
+        let b = SpinBarrier::new(1);
+        b.poison();
+        b.wait();
     }
 }

@@ -1,0 +1,558 @@
+//! Deterministic fault injection for the racy cells (`--features chaos`).
+//!
+//! The paper's recovery machinery — invalid-segment retry, the zero-slot
+//! abort, stale-steal re-probing — only runs when racy interleavings
+//! actually happen, and on a lightly loaded machine they almost never do.
+//! This module manufactures them on demand, deterministically, so the
+//! recovery paths can be exercised by ordinary tests.
+//!
+//! # Fault model
+//!
+//! A thread with an installed [`FaultPlan`] perturbs its own racy
+//! operations in three seed-reproducible ways:
+//!
+//! * **Store-buffer staleness**: a racy store is deferred into a
+//!   thread-local simulated store buffer for a bounded number of
+//!   subsequent racy operations before being flushed to memory. The
+//!   owning thread still observes its own program order (store-to-load
+//!   forwarding), but *other* threads keep reading the previous value —
+//!   exactly the TSO-visibility race the paper's §IV argument is about.
+//!   Buffers are flushed ("quiesced") at every [`SpinBarrier`] arrival
+//!   and around every spin-lock critical section, so the injected races
+//!   stay bounded within a BFS level, mirroring real hardware where
+//!   store buffers drain at fences.
+//! * **Delay windows**: short spin/yield pauses injected before racy
+//!   operations, widening race windows.
+//! * **Index skew**: explicitly tagged read sites (currently the
+//!   work-steal descriptor snapshot) receive arbitrarily perturbed index
+//!   values. This is only sound where the algorithm validates indices
+//!   before use — the `f' < r' <= Qin[q'].rear` sanity check — which is
+//!   precisely what the skew is meant to exercise.
+//!
+//! Deferred stores only ever replay values that were actually written, so
+//! the injected behaviour stays inside the paper's fault model (no
+//! out-of-thin-air values, no tearing).
+//!
+//! # Zero cost when off
+//!
+//! Without the `chaos` cargo feature every function in this module is an
+//! `#[inline]` no-op and the racy cell fast paths compile exactly as
+//! before. [`ChaosConfig`] itself is always compiled so higher layers
+//! (e.g. `BfsOptions`) keep a feature-independent shape.
+//!
+//! # Pointer-validity contract
+//!
+//! A deferred store holds a raw pointer to its target cell until the next
+//! flush. Callers that install a plan must therefore quiesce (or
+//! uninstall) before the racy cells the thread wrote can be freed. The
+//! BFS driver satisfies this structurally: every level ends at a barrier
+//! (which quiesces) and the plan is uninstalled before the worker closure
+//! returns, while the queues outlive the whole traversal.
+//!
+//! [`SpinBarrier`]: crate::SpinBarrier
+//! [`FaultPlan`]: self
+
+/// Tuning knobs for a deterministic fault plan. Plain data, always
+/// compiled; only takes effect when the `chaos` feature is enabled and a
+/// plan is installed on the thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Master seed. Each thread derives an independent stream from
+    /// `(seed, stream)` so plans are reproducible per worker.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a racy store is deferred into the
+    /// simulated store buffer.
+    pub defer_chance: f64,
+    /// Maximum number of subsequent racy operations a deferred store
+    /// stays invisible to other threads (its TTL is drawn from
+    /// `1..=stale_window`).
+    pub stale_window: u32,
+    /// Probability in `[0, 1]` of an injected delay before a racy
+    /// operation.
+    pub delay_chance: f64,
+    /// Maximum spin iterations per injected delay (larger draws also
+    /// yield to the scheduler).
+    pub delay_spins: u32,
+    /// Probability in `[0, 1]` that a tagged index-read site returns a
+    /// skewed value.
+    pub skew_chance: f64,
+    /// Maximum absolute additive skew; skew may also return a huge
+    /// out-of-range index to probe bounds checks.
+    pub skew_max: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0FFEE,
+            defer_chance: 0.10,
+            stale_window: 16,
+            delay_chance: 0.02,
+            delay_spins: 64,
+            skew_chance: 0.0,
+            skew_max: 0,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A plan that only defers stores (pure store-buffer staleness).
+    pub fn store_buffer(seed: u64) -> Self {
+        Self { seed, defer_chance: 0.25, stale_window: 24, delay_chance: 0.0, ..Self::default() }
+    }
+
+    /// A plan that only skews tagged index reads (for sanity-check
+    /// coverage of the work-steal snapshot path).
+    pub fn skew_only(seed: u64) -> Self {
+        Self {
+            seed,
+            defer_chance: 0.0,
+            delay_chance: 0.0,
+            skew_chance: 0.5,
+            skew_max: 1 << 20,
+            ..Self::default()
+        }
+    }
+
+    /// Everything at once, dialed high.
+    pub fn aggressive(seed: u64) -> Self {
+        Self {
+            seed,
+            defer_chance: 0.30,
+            stale_window: 32,
+            delay_chance: 0.05,
+            delay_spins: 128,
+            skew_chance: 0.25,
+            skew_max: 1 << 20,
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod active {
+    use super::ChaosConfig;
+    use obfs_util::Xoshiro256StarStar;
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering::Relaxed};
+
+    /// Cap on simultaneously deferred stores per thread; past this,
+    /// stores go straight to memory.
+    const MAX_PENDING: usize = 64;
+
+    enum Target {
+        U32(*const AtomicU32, u32),
+        Usize(*const AtomicUsize, usize),
+    }
+
+    impl Target {
+        fn addr(&self) -> usize {
+            match *self {
+                Target::U32(p, _) => p as usize,
+                Target::Usize(p, _) => p as usize,
+            }
+        }
+
+        /// Perform the real store. Caller upholds the module's
+        /// pointer-validity contract.
+        unsafe fn flush(&self) {
+            match *self {
+                Target::U32(p, v) => (*p).store(v, Relaxed),
+                Target::Usize(p, v) => (*p).store(v, Relaxed),
+            }
+        }
+    }
+
+    struct Pending {
+        target: Target,
+        ttl: u32,
+    }
+
+    pub(super) struct Plan {
+        rng: Xoshiro256StarStar,
+        cfg: ChaosConfig,
+        pending: VecDeque<Pending>,
+        injected: u64,
+    }
+
+    thread_local! {
+        static PLAN: RefCell<Option<Plan>> = const { RefCell::new(None) };
+    }
+
+    pub(super) fn install(cfg: &ChaosConfig, stream: u64) {
+        PLAN.with(|p| {
+            *p.borrow_mut() = Some(Plan {
+                rng: Xoshiro256StarStar::for_stream(cfg.seed, stream),
+                cfg: *cfg,
+                pending: VecDeque::new(),
+                injected: 0,
+            });
+        });
+    }
+
+    pub(super) fn uninstall() -> u64 {
+        PLAN.with(|p| {
+            let mut plan = p.borrow_mut();
+            match plan.take() {
+                Some(mut plan) => {
+                    flush_all(&mut plan);
+                    plan.injected
+                }
+                None => 0,
+            }
+        })
+    }
+
+    pub(super) fn is_active() -> bool {
+        PLAN.with(|p| p.borrow().is_some())
+    }
+
+    pub(super) fn faults_injected() -> u64 {
+        PLAN.with(|p| p.borrow().as_ref().map_or(0, |plan| plan.injected))
+    }
+
+    pub(super) fn quiesce() {
+        PLAN.with(|p| {
+            if let Some(plan) = p.borrow_mut().as_mut() {
+                flush_all(plan);
+            }
+        });
+    }
+
+    fn flush_all(plan: &mut Plan) {
+        for pend in plan.pending.drain(..) {
+            // SAFETY: module contract — cells outlive the window between
+            // installs/quiesces.
+            unsafe { pend.target.flush() };
+        }
+    }
+
+    /// Age the buffer by one racy operation, flushing expired entries in
+    /// FIFO order, and maybe inject a delay window.
+    fn step(plan: &mut Plan) {
+        for pend in plan.pending.iter_mut() {
+            pend.ttl = pend.ttl.saturating_sub(1);
+        }
+        while plan.pending.front().is_some_and(|p| p.ttl == 0) {
+            let pend = plan.pending.pop_front().unwrap();
+            // SAFETY: module contract.
+            unsafe { pend.target.flush() };
+        }
+        if plan.cfg.delay_chance > 0.0 && plan.rng.chance(plan.cfg.delay_chance) {
+            plan.injected += 1;
+            let spins = 1 + plan.rng.next_u32() % plan.cfg.delay_spins.max(1);
+            for i in 0..spins {
+                if i % 32 == 31 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
+    /// Drop pending stores to `addr`: they are being overwritten in the
+    /// owner's program order, so no other thread may legally require the
+    /// intermediate value.
+    fn forget_addr(plan: &mut Plan, addr: usize) {
+        plan.pending.retain(|p| p.target.addr() != addr);
+    }
+
+    fn maybe_defer(plan: &mut Plan, target: Target) -> bool {
+        if plan.pending.len() < MAX_PENDING
+            && plan.cfg.defer_chance > 0.0
+            && plan.rng.chance(plan.cfg.defer_chance)
+        {
+            let ttl = 1 + plan.rng.next_u32() % plan.cfg.stale_window.max(1);
+            plan.injected += 1;
+            forget_addr(plan, target.addr());
+            plan.pending.push_back(Pending { target, ttl });
+            true
+        } else {
+            forget_addr(plan, target.addr());
+            false
+        }
+    }
+
+    /// Hooks called from the racy-cell fast paths (relaxed-atomic backend
+    /// only). Each returns quickly when no plan is installed.
+    #[cfg_attr(feature = "volatile-racy", allow(dead_code))]
+    pub(crate) mod hooks {
+        use super::*;
+
+        #[inline]
+        pub(crate) fn load_u32(cell: &AtomicU32) -> Option<u32> {
+            PLAN.with(|p| {
+                let mut plan = p.borrow_mut();
+                let plan = plan.as_mut()?;
+                step(plan);
+                let addr = cell as *const AtomicU32 as usize;
+                // Store-to-load forwarding: the owner sees its own newest
+                // deferred store (at most one per address survives).
+                plan.pending
+                    .iter()
+                    .rev()
+                    .find(|pend| pend.target.addr() == addr)
+                    .map(|pend| match pend.target {
+                        Target::U32(_, v) => v,
+                        Target::Usize(_, v) => v as u32,
+                    })
+            })
+        }
+
+        #[inline]
+        pub(crate) fn store_u32(cell: &AtomicU32, v: u32) -> bool {
+            PLAN.with(|p| {
+                let mut plan = p.borrow_mut();
+                let Some(plan) = plan.as_mut() else { return false };
+                step(plan);
+                maybe_defer(plan, Target::U32(cell, v))
+            })
+        }
+
+        #[inline]
+        pub(crate) fn load_usize(cell: &AtomicUsize) -> Option<usize> {
+            PLAN.with(|p| {
+                let mut plan = p.borrow_mut();
+                let plan = plan.as_mut()?;
+                step(plan);
+                let addr = cell as *const AtomicUsize as usize;
+                plan.pending
+                    .iter()
+                    .rev()
+                    .find(|pend| pend.target.addr() == addr)
+                    .map(|pend| match pend.target {
+                        Target::U32(_, v) => v as usize,
+                        Target::Usize(_, v) => v,
+                    })
+            })
+        }
+
+        #[inline]
+        pub(crate) fn store_usize(cell: &AtomicUsize, v: usize) -> bool {
+            PLAN.with(|p| {
+                let mut plan = p.borrow_mut();
+                let Some(plan) = plan.as_mut() else { return false };
+                step(plan);
+                maybe_defer(plan, Target::Usize(cell, v))
+            })
+        }
+    }
+
+    pub(super) fn skew_index(i: usize) -> usize {
+        PLAN.with(|p| {
+            let mut plan = p.borrow_mut();
+            let Some(plan) = plan.as_mut() else { return i };
+            if plan.cfg.skew_chance <= 0.0 || !plan.rng.chance(plan.cfg.skew_chance) {
+                return i;
+            }
+            plan.injected += 1;
+            let delta = 1 + plan.rng.below_usize(plan.cfg.skew_max.max(1));
+            match plan.rng.next_u32() % 3 {
+                0 => i.saturating_add(delta),
+                1 => i.saturating_sub(delta),
+                // Out-of-range probe: far beyond any queue capacity but
+                // small enough that index arithmetic cannot wrap.
+                _ => (usize::MAX / 4).saturating_add(i),
+            }
+        })
+    }
+}
+
+#[cfg(feature = "chaos")]
+pub(crate) use active::hooks;
+
+/// Install a fault plan on the current thread. `stream` selects an
+/// independent PRNG stream (pass the worker id). No-op without the
+/// `chaos` feature.
+#[inline]
+pub fn install(cfg: &ChaosConfig, stream: u64) {
+    #[cfg(feature = "chaos")]
+    active::install(cfg, stream);
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = (cfg, stream);
+    }
+}
+
+/// Flush any deferred stores and remove the current thread's plan.
+/// Returns the number of faults the plan injected. No-op returning 0
+/// without the `chaos` feature.
+#[inline]
+pub fn uninstall() -> u64 {
+    #[cfg(feature = "chaos")]
+    {
+        active::uninstall()
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        0
+    }
+}
+
+/// Whether the current thread has an installed fault plan.
+#[inline]
+pub fn is_active() -> bool {
+    #[cfg(feature = "chaos")]
+    {
+        active::is_active()
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        false
+    }
+}
+
+/// Faults injected so far by the current thread's plan.
+#[inline]
+pub fn faults_injected() -> u64 {
+    #[cfg(feature = "chaos")]
+    {
+        active::faults_injected()
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        0
+    }
+}
+
+/// Flush the simulated store buffer, making every deferred store visible.
+/// Called automatically at barrier arrivals and spin-lock boundaries; a
+/// no-op without the `chaos` feature or an installed plan.
+#[inline]
+pub fn quiesce() {
+    #[cfg(feature = "chaos")]
+    active::quiesce();
+}
+
+/// Possibly perturb an index value read at a tagged adversarial site.
+/// Identity without the `chaos` feature or an installed plan. Only call
+/// this where the consumer validates the index before trusting it.
+#[inline]
+pub fn skew_index(i: usize) -> usize {
+    #[cfg(feature = "chaos")]
+    {
+        active::skew_index(i)
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        i
+    }
+}
+
+#[cfg(all(test, feature = "chaos"))]
+mod tests {
+    use super::*;
+    use crate::racy::{RacyU32, RacyUsize};
+
+    fn with_plan(cfg: ChaosConfig, f: impl FnOnce()) -> u64 {
+        install(&cfg, 0);
+        f();
+        uninstall()
+    }
+
+    #[test]
+    fn inactive_thread_is_transparent() {
+        assert!(!is_active());
+        let c = RacyU32::new(1);
+        c.store(2);
+        assert_eq!(c.load(), 2);
+        assert_eq!(skew_index(17), 17);
+        assert_eq!(faults_injected(), 0);
+    }
+
+    /// The owner always sees its own stores (store-to-load forwarding),
+    /// even while they sit in the simulated buffer.
+    #[test]
+    fn forwarding_preserves_program_order() {
+        let cfg = ChaosConfig { defer_chance: 1.0, stale_window: 1000, ..Default::default() };
+        let injected = with_plan(cfg, || {
+            let c = RacyU32::new(0);
+            let u = RacyUsize::new(0);
+            for i in 1..100u32 {
+                c.store(i);
+                u.store(i as usize * 3);
+                assert_eq!(c.load(), i, "owner must read its own newest store");
+                assert_eq!(u.load(), i as usize * 3);
+            }
+        });
+        assert!(injected > 0, "defer_chance=1.0 must inject");
+    }
+
+    /// Deferred stores become visible after quiesce (the barrier hook).
+    #[test]
+    fn quiesce_flushes_deferred_stores() {
+        let c = RacyU32::new(7);
+        install(&ChaosConfig { defer_chance: 1.0, stale_window: 1000, ..Default::default() }, 0);
+        c.store(99);
+        // Bypass the plan: raw view of memory as another thread would
+        // see it. The store is still buffered.
+        let raw = unsafe { &*(&c as *const RacyU32 as *const std::sync::atomic::AtomicU32) };
+        assert_eq!(raw.load(std::sync::atomic::Ordering::Relaxed), 7, "store must be deferred");
+        quiesce();
+        assert_eq!(raw.load(std::sync::atomic::Ordering::Relaxed), 99, "quiesce must flush");
+        uninstall();
+    }
+
+    /// TTL expiry flushes without an explicit quiesce, in FIFO order.
+    #[test]
+    fn ttl_expiry_flushes_fifo() {
+        let a = RacyU32::new(0);
+        install(&ChaosConfig { defer_chance: 1.0, stale_window: 1, ..Default::default() }, 0);
+        a.store(5);
+        let raw = unsafe { &*(&a as *const RacyU32 as *const std::sync::atomic::AtomicU32) };
+        // Each subsequent racy op ages the buffer by one; ttl is in
+        // {1}, so the next op must flush it.
+        let other = RacyU32::new(0);
+        let _ = other.load();
+        assert_eq!(raw.load(std::sync::atomic::Ordering::Relaxed), 5);
+        uninstall();
+    }
+
+    /// A later store to the same cell supersedes the deferred one: the
+    /// stale value can never overwrite the newer value.
+    #[test]
+    fn newer_store_supersedes_deferred() {
+        let c = RacyU32::new(0);
+        let cfg = ChaosConfig { defer_chance: 0.5, stale_window: 4, ..Default::default() };
+        install(&cfg, 0);
+        for i in 1..1000u32 {
+            c.store(i);
+        }
+        uninstall();
+        assert_eq!(c.load(), 999, "final value must be the program-order-last store");
+    }
+
+    #[test]
+    fn skew_perturbs_and_counts() {
+        let cfg = ChaosConfig::skew_only(42);
+        install(&cfg, 0);
+        let mut changed = 0;
+        for _ in 0..200 {
+            if skew_index(1000) != 1000 {
+                changed += 1;
+            }
+        }
+        let injected = uninstall();
+        assert!(changed > 0, "skew_chance=0.5 must perturb some reads");
+        assert_eq!(injected, changed, "every perturbation must be counted");
+    }
+
+    #[test]
+    fn plans_are_seed_reproducible() {
+        let cfg = ChaosConfig::aggressive(7);
+        let run = || {
+            install(&cfg, 3);
+            let c = RacyU32::new(0);
+            let mut trace = Vec::new();
+            for i in 0..500u32 {
+                c.store(i);
+                trace.push(c.load());
+                trace.push(skew_index(i as usize) as u32);
+            }
+            let injected = uninstall();
+            (trace, injected)
+        };
+        assert_eq!(run(), run(), "same seed + stream must reproduce the same fault plan");
+    }
+}

@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod chaos;
 pub mod padded;
 pub mod racy;
 pub mod spinlock;
 pub mod ticket;
 
 pub use barrier::SpinBarrier;
+pub use chaos::ChaosConfig;
 pub use padded::CachePadded;
 pub use racy::{RacyBuf, RacyU32, RacyUsize};
 pub use spinlock::{SpinLock, SpinLockGuard};

@@ -8,6 +8,12 @@
 //!
 //! See the crate docs for the relaxed-atomic vs. volatile backend
 //! discussion.
+//!
+//! With `--features chaos` the relaxed-atomic backend additionally routes
+//! every load/store through the thread's [`crate::chaos`] fault plan (a
+//! cheap thread-local check when no plan is installed; compiled out
+//! entirely without the feature). The volatile backend is never
+//! intercepted — it exists for bit-level fidelity, not fault injection.
 
 #[cfg(not(feature = "volatile-racy"))]
 mod backend {
@@ -27,11 +33,19 @@ mod backend {
         /// Plain racy load.
         #[inline]
         pub fn load(&self) -> u32 {
+            #[cfg(feature = "chaos")]
+            if let Some(v) = crate::chaos::hooks::load_u32(&self.0) {
+                return v;
+            }
             self.0.load(Relaxed)
         }
         /// Plain racy store.
         #[inline]
         pub fn store(&self, v: u32) {
+            #[cfg(feature = "chaos")]
+            if crate::chaos::hooks::store_u32(&self.0, v) {
+                return;
+            }
             self.0.store(v, Relaxed)
         }
     }
@@ -50,11 +64,19 @@ mod backend {
         /// Plain racy load.
         #[inline]
         pub fn load(&self) -> usize {
+            #[cfg(feature = "chaos")]
+            if let Some(v) = crate::chaos::hooks::load_usize(&self.0) {
+                return v;
+            }
             self.0.load(Relaxed)
         }
         /// Plain racy store.
         #[inline]
         pub fn store(&self, v: usize) {
+            #[cfg(feature = "chaos")]
+            if crate::chaos::hooks::store_usize(&self.0, v) {
+                return;
+            }
             self.0.store(v, Relaxed)
         }
     }

@@ -55,6 +55,9 @@ impl<T: ?Sized> SpinLock<T> {
                     .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                // Fault injection: deferred racy stores must not leak
+                // into a critical section (no-op without `chaos`).
+                crate::chaos::quiesce();
                 return SpinLockGuard { lock: self };
             }
             spins += 1;
@@ -77,6 +80,7 @@ impl<T: ?Sized> SpinLock<T> {
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
         {
+            crate::chaos::quiesce();
             Some(SpinLockGuard { lock: self })
         } else {
             None
@@ -114,6 +118,10 @@ impl<T: ?Sized> DerefMut for SpinLockGuard<'_, T> {
 impl<T: ?Sized> Drop for SpinLockGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // Fault injection: racy stores made inside the critical section
+        // must be visible before the lock is released (no-op without
+        // `chaos`), preserving the exactness of the locked variants.
+        crate::chaos::quiesce();
         self.lock.locked.store(false, Ordering::Release);
     }
 }

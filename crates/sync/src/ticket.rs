@@ -57,6 +57,9 @@ impl<T: ?Sized> TicketLock<T> {
                 spins = 0;
             }
         }
+        // Fault injection: no deferred racy stores may leak into the
+        // critical section (no-op without `chaos`).
+        crate::chaos::quiesce();
         TicketGuard { lock: self }
     }
 
@@ -69,6 +72,7 @@ impl<T: ?Sized> TicketLock<T> {
             .compare_exchange(serving, serving + 1, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
+            crate::chaos::quiesce();
             Some(TicketGuard { lock: self })
         } else {
             None
@@ -108,6 +112,9 @@ impl<T: ?Sized> DerefMut for TicketGuard<'_, T> {
 impl<T: ?Sized> Drop for TicketGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // Fault injection: publish critical-section racy stores before
+        // release (no-op without `chaos`).
+        crate::chaos::quiesce();
         let t = self.lock.now_serving.load(Ordering::Relaxed);
         self.lock.now_serving.store(t.wrapping_add(1), Ordering::Release);
     }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Sanitizer + fault-injection gate (invoked by .github/workflows/ci.yml,
+# runnable locally from anywhere in the repo).
+#
+# Two legs:
+#   1. The chaos suite: every parallel algorithm under deterministic
+#      fault plans, asserting exact results AND that each recovery
+#      counter fires (tests/chaos.rs + the chaos-gated unit tests).
+#   2. ThreadSanitizer over the relaxed-atomic racy backend. That
+#      backend is data-race-free by construction (relaxed atomics are
+#      not data races), so TSan verifies no unintended plain-memory
+#      race snuck into the queues, barrier, worker pool, or driver.
+#      Requires nightly + rust-src (-Zbuild-std instruments std too);
+#      skipped with a warning when unavailable (e.g. offline sandboxes).
+#
+# The volatile backend is intentionally NOT run under TSan: its whole
+# point is bit-level fidelity to the paper's deliberate C++ data races,
+# which TSan would (correctly) report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== leg 1: chaos fault-injection suite (default backend) =="
+cargo test --features chaos --quiet
+
+echo "== leg 2: ThreadSanitizer on the relaxed-atomic backend =="
+host="$(rustc -vV | sed -n 's/^host: //p')"
+src_lock="$(rustc +nightly --print sysroot 2>/dev/null)/lib/rustlib/src/rust/library/Cargo.lock"
+if [[ -f "$src_lock" ]]; then
+    # --lib --tests: doctests don't link against the instrumented std.
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$host" \
+        -p obfs-sync -p obfs-runtime -p obfs-core --lib --tests --quiet
+else
+    echo "warning: nightly rust-src not installed; skipping the TSan leg" >&2
+    echo "         (rustup component add rust-src --toolchain nightly)" >&2
+fi
+
+echo "sanitize.sh: all gates passed"

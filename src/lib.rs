@@ -27,7 +27,9 @@ pub use obfs_util as util;
 pub mod prelude {
     pub use obfs_core::{
         run_bfs, serial::serial_bfs, Algorithm, BfsOptions, BfsResult, DedupMode, SegmentPolicy,
+        WatchdogPolicy,
     };
     pub use obfs_graph::{gen, CsrGraph, GraphBuilder};
+    pub use obfs_sync::ChaosConfig;
     pub use obfs_util::Xoshiro256StarStar;
 }

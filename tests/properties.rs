@@ -1,18 +1,30 @@
-//! Property-based tests (proptest): randomized graphs, sources and
-//! tuning options against the serial reference, plus structural
-//! invariants of the bag and the frontier queues.
+//! Randomized property tests: seeded graphs, sources and tuning options
+//! against the serial reference, plus structural invariants of the bag
+//! and the frontier queues.
+//!
+//! The build is fully offline, so instead of an external property-test
+//! framework these use the workspace's own deterministic PRNG
+//! ([`obfs_util::Xoshiro256StarStar`]): each property runs a fixed number
+//! of seeded random cases, and every failure message carries the case
+//! index so a regression is reproducible by construction.
 
 use obfs::prelude::*;
 use obfs_baselines::Bag;
 use obfs_core::serial::serial_bfs;
-use proptest::prelude::*;
+use obfs_util::Xoshiro256StarStar;
 
-/// Random directed graph as (n, edge list).
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..120).prop_flat_map(|n| {
-        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..(n * 6));
-        (Just(n), edges)
-    })
+/// Number of random cases per property (mirrors the old proptest config).
+const CASES: u64 = 48;
+
+/// Random directed graph: `n ∈ [2, 120)`, up to `6n` arbitrary edges
+/// (self-loops and duplicates allowed — the builder must cope).
+fn arb_graph(rng: &mut Xoshiro256StarStar) -> (usize, Vec<(u32, u32)>) {
+    let n = 2 + rng.below_usize(118);
+    let m = rng.below_usize(n * 6);
+    let edges = (0..m)
+        .map(|_| (rng.below(n as u64) as u32, rng.below(n as u64) as u32))
+        .collect();
+    (n, edges)
 }
 
 fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
@@ -21,39 +33,52 @@ fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Every parallel algorithm equals serial BFS on arbitrary graphs,
-    /// sources, and thread counts.
-    #[test]
-    fn parallel_equals_serial((n, edges) in arb_graph(), src_raw in 0u32..120, threads in 1usize..6) {
+/// Every parallel algorithm equals serial BFS on arbitrary graphs,
+/// sources, and thread counts.
+#[test]
+fn parallel_equals_serial() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::for_stream(0x9A11, case);
+        let (n, edges) = arb_graph(&mut rng);
         let g = build(n, &edges);
-        let src = src_raw % n as u32;
+        let src = rng.below(n as u64) as u32;
+        let threads = 1 + rng.below_usize(5);
         let reference = serial_bfs(&g, src);
         let opts = BfsOptions { threads, ..BfsOptions::default() };
         for algo in Algorithm::ALL {
             let r = run_bfs(algo, &g, src, &opts);
-            prop_assert_eq!(&r.levels, &reference.levels, "{} (p={})", algo, threads);
+            assert_eq!(r.levels, reference.levels, "case {case}: {algo} (p={threads})");
         }
     }
+}
 
-    /// Parents always form a valid BFS tree, whichever tree the races
-    /// picked.
-    #[test]
-    fn parents_always_valid((n, edges) in arb_graph(), threads in 1usize..5) {
+/// Parents always form a valid BFS tree, whichever tree the races picked.
+#[test]
+fn parents_always_valid() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::for_stream(0x9A12, case);
+        let (n, edges) = arb_graph(&mut rng);
         let g = build(n, &edges);
+        let threads = 1 + rng.below_usize(4);
         let opts = BfsOptions { threads, record_parents: true, ..BfsOptions::default() };
         for algo in [Algorithm::Bfscl, Algorithm::Bfswl, Algorithm::Bfswsl] {
             let r = run_bfs(algo, &g, 0, &opts);
-            prop_assert!(obfs::core::validate::check_self_consistent(&g, 0, &r).is_ok());
+            assert!(
+                obfs::core::validate::check_self_consistent(&g, 0, &r).is_ok(),
+                "case {case}: {algo} (p={threads})"
+            );
         }
     }
+}
 
-    /// Scale-free two-phase handling is correct for every hub threshold.
-    #[test]
-    fn any_hub_threshold_is_correct((n, edges) in arb_graph(), thr in 0usize..32) {
+/// Scale-free two-phase handling is correct for every hub threshold.
+#[test]
+fn any_hub_threshold_is_correct() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::for_stream(0x9A13, case);
+        let (n, edges) = arb_graph(&mut rng);
         let g = build(n, &edges);
+        let thr = rng.below_usize(32);
         let reference = serial_bfs(&g, 0);
         let opts = BfsOptions {
             threads: 4,
@@ -62,65 +87,87 @@ proptest! {
         };
         for algo in [Algorithm::Bfsws, Algorithm::Bfswsl] {
             let r = run_bfs(algo, &g, 0, &opts);
-            prop_assert_eq!(&r.levels, &reference.levels, "{} thr={}", algo, thr);
+            assert_eq!(r.levels, reference.levels, "case {case}: {algo} thr={thr}");
         }
     }
+}
 
-    /// Bag insert/union/split maintain the element multiset and the
-    /// binary-counter size law.
-    #[test]
-    fn bag_multiset_invariants(xs in prop::collection::vec(0u32..10_000, 0..400), cut in 0usize..400) {
-        let cut = cut.min(xs.len());
+/// Bag insert/union/split maintain the element multiset and the
+/// binary-counter size law.
+#[test]
+fn bag_multiset_invariants() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::for_stream(0x9A14, case);
+        let len = rng.below_usize(400);
+        let xs: Vec<u32> = (0..len).map(|_| rng.below(10_000) as u32).collect();
+        let cut = rng.below_usize(400).min(xs.len());
         let mut a = Bag::new();
         let mut b = Bag::new();
-        for &x in &xs[..cut] { a.insert(x); }
-        for &x in &xs[cut..] { b.insert(x); }
-        prop_assert_eq!(a.len(), cut);
-        prop_assert_eq!(b.len(), xs.len() - cut);
+        for &x in &xs[..cut] {
+            a.insert(x);
+        }
+        for &x in &xs[cut..] {
+            b.insert(x);
+        }
+        assert_eq!(a.len(), cut, "case {case}");
+        assert_eq!(b.len(), xs.len() - cut, "case {case}");
         a.union(b);
-        prop_assert_eq!(a.len(), xs.len());
+        assert_eq!(a.len(), xs.len(), "case {case}");
         let mut expect = xs.clone();
         expect.sort_unstable();
-        prop_assert_eq!(a.to_sorted_vec(), expect.clone());
+        assert_eq!(a.to_sorted_vec(), expect, "case {case}");
         // Split preserves the multiset and halves evenly.
         let other = a.split();
-        prop_assert!(a.len().abs_diff(other.len()) <= 1);
+        assert!(a.len().abs_diff(other.len()) <= 1, "case {case}");
         let mut merged = a.to_sorted_vec();
         merged.extend(other.to_sorted_vec());
         merged.sort_unstable();
-        prop_assert_eq!(merged, expect);
+        assert_eq!(merged, expect, "case {case}");
     }
+}
 
-    /// CSR construction is faithful: neighbors(v) is exactly the multiset
-    /// of targets of v's edges, and transpose twice is the identity.
-    #[test]
-    fn csr_faithful((n, edges) in arb_graph()) {
+/// CSR construction is faithful: neighbors(v) is exactly the multiset of
+/// targets of v's edges, and transpose twice is the identity.
+#[test]
+fn csr_faithful() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::for_stream(0x9A15, case);
+        let (n, edges) = arb_graph(&mut rng);
         let g = build(n, &edges);
-        prop_assert_eq!(g.num_edges() as usize, edges.len());
+        assert_eq!(g.num_edges() as usize, edges.len(), "case {case}");
         let mut expected: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for &(u, v) in &edges { expected[u as usize].push(v); }
+        for &(u, v) in &edges {
+            expected[u as usize].push(v);
+        }
         for v in 0..n as u32 {
             let mut got = g.neighbors(v).to_vec();
             got.sort_unstable();
             expected[v as usize].sort_unstable();
-            prop_assert_eq!(&got, &expected[v as usize]);
+            assert_eq!(got, expected[v as usize], "case {case}: vertex {v}");
         }
-        prop_assert_eq!(g.transpose().transpose(), g);
+        assert_eq!(g.transpose().transpose(), g, "case {case}");
     }
+}
 
-    /// Reached counts are monotone under edge addition (BFS sanity).
-    #[test]
-    fn reachability_monotone((n, edges) in arb_graph(), extra in prop::collection::vec((0u32..120, 0u32..120), 1..10)) {
+/// Reached counts are monotone under edge addition (BFS sanity).
+#[test]
+fn reachability_monotone() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::for_stream(0x9A16, case);
+        let (n, edges) = arb_graph(&mut rng);
         let g1 = build(n, &edges);
+        let extra = 1 + rng.below_usize(9);
         let mut all = edges.clone();
-        all.extend(extra.iter().map(|&(u, v)| (u % n as u32, v % n as u32)));
+        all.extend(
+            (0..extra).map(|_| (rng.below(n as u64) as u32, rng.below(n as u64) as u32)),
+        );
         let g2 = build(n, &all);
         let r1 = serial_bfs(&g1, 0);
         let r2 = serial_bfs(&g2, 0);
-        prop_assert!(r2.reached() >= r1.reached());
+        assert!(r2.reached() >= r1.reached(), "case {case}");
         // and levels can only shrink
         for v in 0..n {
-            prop_assert!(r2.levels[v] <= r1.levels[v]);
+            assert!(r2.levels[v] <= r1.levels[v], "case {case}: vertex {v}");
         }
     }
 }
