@@ -4,9 +4,10 @@
 
 use obfs_baselines::hong::HongVariant;
 use obfs_bench::env::HostInfo;
-use obfs_bench::harness::{measure, pick_sources, to_json};
+use obfs_bench::harness::{measure, measure_with_series, pick_sources, to_json};
+use obfs_bench::json::{self, Json};
 use obfs_bench::table::{teps, Table};
-use obfs_bench::{BenchArgs, Contender, ContenderPool};
+use obfs_bench::{BenchArgs, BenchReport, Contender, ContenderPool};
 use obfs_core::{Algorithm, BfsOptions};
 use obfs_graph::gen::suite::PaperGraph;
 
@@ -44,6 +45,7 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = Table::new(&header_refs);
 
+    let mut report = args.json.then(|| BenchReport::new("fig3", &args));
     for kind in kinds {
         if let Some(only) = &args.only_graph {
             if kind.name() != only {
@@ -54,9 +56,16 @@ fn main() {
         let sources = pick_sources(&graph, args.sources, args.seed);
         let mut row = vec![kind.name().to_string()];
         for c in contenders {
-            let m = measure(&mut pool, c, &graph, kind.name(), &sources, &opts);
+            let m = if args.json {
+                measure_with_series(&mut pool, c, &graph, kind.name(), &sources, &opts)
+            } else {
+                measure(&mut pool, c, &graph, kind.name(), &sources, &opts)
+            };
             if args.json {
                 println!("{}", to_json(&m));
+            }
+            if let Some(report) = &mut report {
+                report.add_measurement(&m);
             }
             row.push(teps(m.teps));
         }
@@ -64,6 +73,12 @@ fn main() {
     }
     assert!(!t.is_empty(), "no graph matched --graph {:?}", args.only_graph);
     println!("{}", t.render());
+    if let Some(report) = &report {
+        let path = report.write().expect("write BENCH_fig3.json");
+        json::validate_report(&Json::parse(&report.render()).unwrap())
+            .expect("emitted report fails its own schema validation");
+        println!("wrote {}", path.display());
+    }
     println!(
         "Paper expectations (shape): our best implementation reaches the highest TEPS \
          on every real-world graph; the lock-free scale-free variant leads on \

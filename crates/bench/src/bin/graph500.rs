@@ -10,13 +10,35 @@
 use obfs_baselines::beamer::beamer_bfs_on_pool;
 use obfs_baselines::hong::HongVariant;
 use obfs_bench::env::HostInfo;
+use obfs_bench::json::{self, Json};
 use obfs_bench::table::{teps, Table};
-use obfs_bench::{BenchArgs, Contender, ContenderPool};
+use obfs_bench::{BenchArgs, BenchReport, Contender, ContenderPool};
 use obfs_core::serial::serial_bfs;
-use obfs_core::{Algorithm, BfsOptions};
+use obfs_core::{Algorithm, BfsOptions, StealCounters};
 use obfs_graph::gen::{rmat, RmatParams};
 use obfs_graph::stats::sample_sources;
 use obfs_runtime::LevelPool;
+use obfs_util::OnlineStats;
+
+/// Build one `results[]` entry from the per-key accumulators.
+#[allow(clippy::too_many_arguments)]
+fn result_json(
+    name: &str,
+    graph: &str,
+    per_key_ms: &OnlineStats,
+    hmean_teps: f64,
+    dup: f64,
+    steal: &StealCounters,
+) -> Json {
+    Json::Obj(vec![
+        ("contender".to_string(), Json::Str(name.to_string())),
+        ("graph".to_string(), Json::Str(graph.to_string())),
+        ("time_ms".to_string(), json::summary_json(&per_key_ms.summary())),
+        ("teps".to_string(), Json::Num(hmean_teps)),
+        ("duplicate_overhead".to_string(), Json::Num(dup)),
+        ("steal".to_string(), json::steal_json(steal)),
+    ])
+}
 
 fn main() {
     let args = BenchArgs::parse();
@@ -65,10 +87,14 @@ fn main() {
         Contender::Baseline2(HongVariant::LocalQueueReadBitmap),
     ];
 
+    let graph_name = format!("rmat{scale}");
+    let mut report = args.json.then(|| BenchReport::new("graph500", &args));
     let mut t = Table::new(&["contender", "harmonic-TEPS", "mean ms/key"]);
     for c in &contenders {
         let mut inv_teps_sum = 0.0f64;
-        let mut total_ms = 0.0f64;
+        let mut per_key = OnlineStats::new();
+        let mut dup = OnlineStats::new();
+        let mut steal = StealCounters::default();
         for (i, &src) in sources.iter().enumerate() {
             let r = pool.run(*c, &graph, src, &opts);
             if i == 0 {
@@ -76,19 +102,30 @@ fn main() {
             }
             let tp = r.stats.teps(references[i].1);
             inv_teps_sum += 1.0 / tp;
-            total_ms += r.stats.traversal_time.as_secs_f64() * 1e3;
+            per_key.push(r.stats.traversal_time.as_secs_f64() * 1e3);
+            dup.push(
+                (r.stats.totals.vertices_explored as f64 / r.reached().max(1) as f64 - 1.0)
+                    .max(0.0),
+            );
+            steal.merge(&r.stats.totals.steal);
         }
         let hmean = sources.len() as f64 / inv_teps_sum;
-        t.row(vec![
-            c.name(),
-            teps(hmean),
-            format!("{:.3}", total_ms / sources.len() as f64),
-        ]);
+        if let Some(report) = &mut report {
+            report.add_result(result_json(
+                &c.name(),
+                &graph_name,
+                &per_key,
+                hmean,
+                dup.mean(),
+                &steal,
+            ));
+        }
+        t.row(vec![c.name(), teps(hmean), format!("{:.3}", per_key.mean())]);
     }
     // Beamer runs outside ContenderPool (needs the transpose).
     {
         let mut inv_teps_sum = 0.0f64;
-        let mut total_ms = 0.0f64;
+        let mut per_key = OnlineStats::new();
         for (i, &src) in sources.iter().enumerate() {
             let r = beamer_bfs_on_pool(&graph, &transpose, src, &beamer_pool);
             if i == 0 {
@@ -96,16 +133,32 @@ fn main() {
             }
             let tp = r.bfs.stats.teps(references[i].1);
             inv_teps_sum += 1.0 / tp;
-            total_ms += r.bfs.stats.traversal_time.as_secs_f64() * 1e3;
+            per_key.push(r.bfs.stats.traversal_time.as_secs_f64() * 1e3);
         }
         let hmean = sources.len() as f64 / inv_teps_sum;
+        if let Some(report) = &mut report {
+            report.add_result(result_json(
+                "Beamer[direction-opt]",
+                &graph_name,
+                &per_key,
+                hmean,
+                0.0, // direction-opt never re-explores
+                &StealCounters::default(),
+            ));
+        }
         t.row(vec![
             "Beamer[direction-opt]".to_string(),
             teps(hmean),
-            format!("{:.3}", total_ms / sources.len() as f64),
+            format!("{:.3}", per_key.mean()),
         ]);
     }
     println!("{}", t.render());
+    if let Some(report) = &report {
+        let path = report.write().expect("write BENCH_graph500.json");
+        json::validate_report(&Json::parse(&report.render()).unwrap())
+            .expect("emitted report fails its own schema validation");
+        println!("wrote {}", path.display());
+    }
     println!(
         "Note: dense low-diameter RMAT is the regime where the paper concedes the \
          bitmap-based Baseline2 (and modern direction-optimization, which skips most \

@@ -26,7 +26,7 @@ fn main() {
     let src = sample_sources(&graph, 1, args.seed)[0];
     let opts = BfsOptions {
         threads: args.threads,
-        collect_level_trace: true,
+        collect_level_stats: true,
         ..Default::default()
     };
 
@@ -36,7 +36,7 @@ fn main() {
     );
     let r = run_bfs(Algorithm::Bfswsl, &graph, src, &opts);
     let mut t = Table::new(&["level", "frontier", "discovered", "time(us)", "us/vertex"]);
-    for e in &r.stats.level_trace {
+    for e in &r.stats.level_stats {
         let us = e.duration.as_secs_f64() * 1e6;
         t.row(vec![
             e.level.to_string(),
@@ -65,7 +65,7 @@ fn main() {
         let g = kind.generate(args.divisor, args.seed);
         let s = sample_sources(&g, 1, args.seed)[0];
         let r = run_bfs(Algorithm::Bfscl, &g, s, &opts);
-        let tr = &r.stats.level_trace;
+        let tr = &r.stats.level_stats;
         if tr.is_empty() {
             continue;
         }

@@ -11,11 +11,13 @@
 
 use obfs_bench::env::HostInfo;
 use obfs_bench::harness::pick_sources;
+use obfs_bench::json::{self, Json};
 use obfs_bench::table::{count, pct, Table};
-use obfs_bench::{BenchArgs, Contender, ContenderPool};
+use obfs_bench::{BenchArgs, BenchReport, Contender, ContenderPool};
 use obfs_core::{Algorithm, BfsOptions, StealCounters, ThreadStats, WatchdogPolicy};
 use obfs_graph::gen::suite::PaperGraph;
 use obfs_sync::ChaosConfig;
+use obfs_util::OnlineStats;
 use std::time::Duration;
 
 const REPS: usize = 5;
@@ -47,6 +49,7 @@ fn main() {
         ..Default::default()
     };
 
+    let mut report = args.json.then(|| BenchReport::new("table6", &args));
     let mut t = Table::new(&[
         "program",
         "time(ms)",
@@ -68,6 +71,9 @@ fn main() {
         let mut recovery = ThreadStats::default();
         let mut degraded = 0u64;
         let mut time_ms = 0.0f64;
+        let mut per_source = OnlineStats::new();
+        let mut teps = OnlineStats::new();
+        let mut dup = OnlineStats::new();
         for rep in 0..REPS {
             let sources = pick_sources(&graph, args.sources, args.seed ^ (rep as u64) << 8);
             for &src in &sources {
@@ -75,7 +81,15 @@ fn main() {
                 total.merge(&r.stats.totals.steal);
                 recovery.merge(&r.stats.totals);
                 degraded += u64::from(r.stats.degraded_levels);
-                time_ms += r.stats.traversal_time.as_secs_f64() * 1e3;
+                let ms = r.stats.traversal_time.as_secs_f64() * 1e3;
+                time_ms += ms;
+                per_source.push(ms);
+                teps.push(r.stats.teps(r.stats.totals.edges_scanned));
+                dup.push(
+                    (r.stats.totals.vertices_explored as f64 / r.reached().max(1) as f64
+                        - 1.0)
+                        .max(0.0),
+                );
             }
         }
         assert!(total.is_consistent(), "{algo}: steal counters inconsistent: {total:?}");
@@ -116,8 +130,42 @@ fn main() {
                 degraded
             );
         }
+        if let Some(report) = &mut report {
+            // One extra (untimed) collection run supplies the per-level
+            // series with file-internally checkable conservation sums.
+            let collect = BfsOptions { collect_level_stats: true, ..opts.clone() };
+            let src = pick_sources(&graph, 1, args.seed)[0];
+            let r = pool.run(Contender::Ours(algo), &graph, src, &collect);
+            let mut members = vec![
+                ("contender".to_string(), Json::Str(algo.name().to_string())),
+                ("graph".to_string(), Json::Str(graph_kind.name().to_string())),
+                ("time_ms".to_string(), json::summary_json(&per_source.summary())),
+                ("teps".to_string(), Json::Num(teps.mean())),
+                ("duplicate_overhead".to_string(), Json::Num(dup.mean())),
+                ("steal".to_string(), json::steal_json(&total)),
+                ("recovery".to_string(), json::thread_stats_json(&recovery)),
+                ("degraded_levels".to_string(), Json::Num(degraded as f64)),
+            ];
+            if !r.stats.level_stats.is_empty() {
+                members.push((
+                    "series".to_string(),
+                    json::series_json(
+                        &r.stats.level_stats,
+                        &r.stats.totals,
+                        r.stats.degraded_levels,
+                    ),
+                ));
+            }
+            report.add_result(Json::Obj(members));
+        }
     }
     println!("{}", t.render());
+    if let Some(report) = &report {
+        let path = report.write().expect("write BENCH_table6.json");
+        json::validate_report(&Json::parse(&report.render()).unwrap())
+            .expect("emitted report fails its own schema validation");
+        println!("wrote {}", path.display());
+    }
     println!(
         "Paper expectations (shape): BFSWS fails on 'victim locked' (N/A for BFSWSL); \
          BFSWSL instead shows stale/invalid failures at a far smaller rate; success \

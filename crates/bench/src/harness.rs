@@ -9,6 +9,21 @@ use obfs_core::BfsOptions;
 use obfs_graph::{stats::sample_sources, CsrGraph, VertexId};
 use obfs_util::OnlineStats;
 
+/// Per-level series captured by one dedicated collection run (not the
+/// timed runs, so enabling it cannot perturb the reported times). The
+/// totals come from the *same* run, so summing the per-level counter
+/// deltas reproduces `totals` exactly — the conservation invariant
+/// `json::validate_report` checks.
+#[derive(Debug, Clone)]
+pub struct SeriesRun {
+    /// Per-level counter deltas merged across workers.
+    pub levels: Vec<obfs_core::LevelStats>,
+    /// The collection run's merged totals.
+    pub totals: obfs_core::ThreadStats,
+    /// Levels the watchdog degraded in the collection run.
+    pub degraded_levels: u32,
+}
+
 /// Aggregated result of measuring one contender on one graph.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -34,6 +49,9 @@ pub struct Measurement {
     pub stale_slot_aborts: u64,
     /// Total pops skipped by the owner-array dedup.
     pub dedup_skips: u64,
+    /// Per-level series from one extra collection run; `None` unless
+    /// measured via [`measure_with_series`].
+    pub series: Option<SeriesRun>,
 }
 
 /// Measure `contender` on `graph` over `sources` random sources.
@@ -93,7 +111,34 @@ pub fn measure(
         fetch_retries,
         stale_slot_aborts,
         dedup_skips,
+        series: None,
     }
+}
+
+/// [`measure`], then one extra (untimed) run with
+/// [`BfsOptions::collect_level_stats`] to attach the per-level series.
+pub fn measure_with_series(
+    pool: &mut ContenderPool,
+    contender: Contender,
+    graph: &CsrGraph,
+    graph_name: &str,
+    sources: &[VertexId],
+    opts: &BfsOptions,
+) -> Measurement {
+    let mut m = measure(pool, contender, graph, graph_name, sources, opts);
+    let collect = BfsOptions { collect_level_stats: true, ..opts.clone() };
+    let r = pool.run(contender, graph, sources[0], &collect);
+    // Serial runs and external baselines produce no per-level stats;
+    // leave the series out rather than attach an empty one whose sums
+    // cannot match the totals.
+    if !r.stats.level_stats.is_empty() {
+        m.series = Some(SeriesRun {
+            levels: r.stats.level_stats,
+            totals: r.stats.totals,
+            degraded_levels: r.stats.degraded_levels,
+        });
+    }
+    m
 }
 
 /// Sample `k` non-zero-degree sources deterministically.

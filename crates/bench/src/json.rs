@@ -1,0 +1,810 @@
+//! Hand-rolled JSON for the machine-readable benchmark pipeline.
+//!
+//! The workspace is dependency-free (see DESIGN.md dependency policy),
+//! so both directions are implemented here: a compact serializer used by
+//! the `BENCH_<name>.json` emitter, and a recursive-descent parser used
+//! by the golden-schema tests and the CI smoke check to validate what
+//! the emitter wrote. [`validate_report`] holds the shared schema +
+//! conservation-invariant checks so the tests and CI agree on what a
+//! well-formed report is.
+
+use crate::harness::Measurement;
+use crate::BenchArgs;
+use obfs_core::{LevelStats, StealCounters, ThreadStats};
+use obfs_util::Summary;
+
+/// A JSON value. Objects keep insertion order (Vec of pairs) so emitted
+/// files are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64; integers survive to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => render_num(*x, out),
+            Json::Str(s) => render_str(s, out),
+            Json::Arr(v) => {
+                out.push('[');
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    e.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_str(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_num(x: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !x.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Inf
+    } else if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) {
+        let _ = write!(out, "{}", x as i64);
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            // surrogate pair: expect \uXXXX low half
+                            if b.get(*pos + 1) != Some(&b'\\') || b.get(*pos + 2) != Some(&b'u') {
+                                return Err("lone high surrogate".into());
+                            }
+                            let lo = parse_hex4(b, *pos + 3)?;
+                            *pos += 6;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("bad low surrogate".into());
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(cp).ok_or_else(|| "bad \\u escape".to_string())?,
+                        );
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 char (input is a valid &str).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    let chunk = b.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+    u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape {s:?}"))
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        out.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report building
+// ---------------------------------------------------------------------
+
+/// Current report schema version (bump on breaking layout changes).
+pub const SCHEMA_VERSION: u64 = 1;
+
+fn num(x: f64) -> Json {
+    Json::Num(x)
+}
+
+fn int(x: u64) -> Json {
+    Json::Num(x as f64)
+}
+
+fn s(text: &str) -> Json {
+    Json::Str(text.to_string())
+}
+
+/// `{count, mean, stddev, min, max}` for a time summary. A single
+/// sample has no dispersion (`OnlineStats` reports NaN below two
+/// samples); emit 0 so the field stays a number under the schema.
+pub fn summary_json(x: &Summary) -> Json {
+    let stddev = if x.stddev.is_nan() { 0.0 } else { x.stddev };
+    Json::Obj(vec![
+        ("count".into(), int(x.count)),
+        ("mean".into(), num(x.mean)),
+        ("stddev".into(), num(stddev)),
+        ("min".into(), num(x.min)),
+        ("max".into(), num(x.max)),
+    ])
+}
+
+/// The Table VI outcome buckets.
+pub fn steal_json(x: &StealCounters) -> Json {
+    Json::Obj(vec![
+        ("attempts".into(), int(x.attempts)),
+        ("success".into(), int(x.success)),
+        ("victim_locked".into(), int(x.victim_locked)),
+        ("victim_idle".into(), int(x.victim_idle)),
+        ("too_small".into(), int(x.too_small)),
+        ("stale".into(), int(x.stale)),
+        ("invalid".into(), int(x.invalid)),
+    ])
+}
+
+/// Every [`ThreadStats`] counter, steal buckets nested.
+pub fn thread_stats_json(x: &ThreadStats) -> Json {
+    Json::Obj(vec![
+        ("vertices_explored".into(), int(x.vertices_explored)),
+        ("edges_scanned".into(), int(x.edges_scanned)),
+        ("vertices_discovered".into(), int(x.vertices_discovered)),
+        ("duplicate_explorations".into(), int(x.duplicate_explorations)),
+        ("stale_slot_aborts".into(), int(x.stale_slot_aborts)),
+        ("segments_fetched".into(), int(x.segments_fetched)),
+        ("fetch_retries".into(), int(x.fetch_retries)),
+        ("dedup_skips".into(), int(x.dedup_skips)),
+        ("lock_acquisitions".into(), int(x.lock_acquisitions)),
+        ("injected_faults".into(), int(x.injected_faults)),
+        ("steal".into(), steal_json(&x.steal)),
+    ])
+}
+
+/// One per-level series entry.
+pub fn level_json(e: &LevelStats) -> Json {
+    Json::Obj(vec![
+        ("level".into(), int(u64::from(e.level))),
+        ("frontier".into(), int(e.frontier as u64)),
+        ("discovered".into(), int(e.discovered as u64)),
+        ("time_us".into(), num(e.duration.as_secs_f64() * 1e6)),
+        ("degraded".into(), Json::Bool(e.degraded)),
+        ("counters".into(), thread_stats_json(&e.counters)),
+    ])
+}
+
+/// The `series` block from one dedicated collection run: per-level
+/// deltas plus the same run's totals so the conservation invariant
+/// (sum over levels == totals) is checkable file-internally.
+pub fn series_json(levels: &[LevelStats], totals: &ThreadStats, degraded_levels: u32) -> Json {
+    Json::Obj(vec![
+        ("degraded_levels".into(), int(u64::from(degraded_levels))),
+        ("totals".into(), thread_stats_json(totals)),
+        ("levels".into(), Json::Arr(levels.iter().map(level_json).collect())),
+    ])
+}
+
+/// One `results[]` entry from an aggregated [`Measurement`].
+pub fn measurement_json(m: &Measurement) -> Json {
+    let mut members = vec![
+        ("contender".into(), s(&m.contender)),
+        ("graph".into(), s(&m.graph)),
+        ("time_ms".into(), summary_json(&m.time_ms)),
+        ("teps".into(), num(m.teps)),
+        ("duplicate_overhead".into(), num(m.duplicate_overhead)),
+        ("levels".into(), num(m.levels)),
+        ("steal".into(), steal_json(&m.steal)),
+        (
+            "counters".into(),
+            Json::Obj(vec![
+                ("segments_fetched".into(), int(m.segments_fetched)),
+                ("fetch_retries".into(), int(m.fetch_retries)),
+                ("stale_slot_aborts".into(), int(m.stale_slot_aborts)),
+                ("dedup_skips".into(), int(m.dedup_skips)),
+            ]),
+        ),
+    ];
+    if let Some(series) = &m.series {
+        members.push((
+            "series".into(),
+            series_json(&series.levels, &series.totals, series.degraded_levels),
+        ));
+    }
+    Json::Obj(members)
+}
+
+/// Accumulates `results[]` entries and writes `BENCH_<name>.json`.
+pub struct BenchReport {
+    name: String,
+    params: Json,
+    results: Vec<Json>,
+}
+
+impl BenchReport {
+    /// Start a report for bench binary `name` with the run's parameters.
+    pub fn new(name: &str, args: &BenchArgs) -> Self {
+        Self {
+            name: name.to_string(),
+            params: Json::Obj(vec![
+                ("divisor".into(), int(args.divisor)),
+                ("threads".into(), int(args.threads as u64)),
+                ("sources".into(), int(args.sources as u64)),
+                ("seed".into(), int(args.seed)),
+            ]),
+            results: Vec::new(),
+        }
+    }
+
+    /// Append a prebuilt `results[]` entry.
+    pub fn add_result(&mut self, result: Json) {
+        self.results.push(result);
+    }
+
+    /// Append a measurement (convenience over [`measurement_json`]).
+    pub fn add_measurement(&mut self, m: &Measurement) {
+        self.results.push(measurement_json(m));
+    }
+
+    /// The complete report document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), int(SCHEMA_VERSION)),
+            ("bench".into(), s(&self.name)),
+            ("params".into(), self.params.clone()),
+            ("results".into(), Json::Arr(self.results.clone())),
+        ])
+    }
+
+    /// Serialize the report.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Write `BENCH_<name>.json` into the current directory, returning
+    /// the path written.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = std::path::PathBuf::from(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render() + "\n")?;
+        Ok(path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema validation (shared by the golden tests and the CI smoke run)
+// ---------------------------------------------------------------------
+
+fn req<'a>(v: &'a Json, key: &str, at: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("{at}: missing key {key:?}"))
+}
+
+fn req_u64(v: &Json, key: &str, at: &str) -> Result<u64, String> {
+    req(v, key, at)?.as_u64().ok_or_else(|| format!("{at}.{key}: not an integer"))
+}
+
+fn req_f64(v: &Json, key: &str, at: &str) -> Result<f64, String> {
+    req(v, key, at)?.as_f64().ok_or_else(|| format!("{at}.{key}: not a number"))
+}
+
+fn steal_of(v: &Json, at: &str) -> Result<StealCounters, String> {
+    Ok(StealCounters {
+        attempts: req_u64(v, "attempts", at)?,
+        success: req_u64(v, "success", at)?,
+        victim_locked: req_u64(v, "victim_locked", at)?,
+        victim_idle: req_u64(v, "victim_idle", at)?,
+        too_small: req_u64(v, "too_small", at)?,
+        stale: req_u64(v, "stale", at)?,
+        invalid: req_u64(v, "invalid", at)?,
+    })
+}
+
+/// The scalar `ThreadStats` keys every counters object must carry.
+const COUNTER_KEYS: &[&str] = &[
+    "vertices_explored",
+    "edges_scanned",
+    "vertices_discovered",
+    "duplicate_explorations",
+    "stale_slot_aborts",
+    "segments_fetched",
+    "fetch_retries",
+    "dedup_skips",
+    "lock_acquisitions",
+    "injected_faults",
+];
+
+const STEAL_KEYS: &[&str] = &[
+    "attempts",
+    "success",
+    "victim_locked",
+    "victim_idle",
+    "too_small",
+    "stale",
+    "invalid",
+];
+
+/// Validate a parsed `BENCH_*.json` document: required schema keys plus
+/// the counter conservation invariants (steal buckets sum to attempts;
+/// per-level series counters sum to the series totals; degraded flags
+/// sum to `degraded_levels`).
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    let version = req_u64(doc, "schema_version", "report")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    req(doc, "bench", "report")?.as_str().ok_or("report.bench: not a string")?;
+    let params = req(doc, "params", "report")?;
+    for key in ["divisor", "threads", "sources", "seed"] {
+        req_u64(params, key, "params")?;
+    }
+    let results =
+        req(doc, "results", "report")?.as_arr().ok_or("report.results: not an array")?;
+    if results.is_empty() {
+        return Err("report.results: empty".into());
+    }
+    for (i, r) in results.iter().enumerate() {
+        let at = format!("results[{i}]");
+        r.get("contender")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}.contender: missing or not a string"))?;
+        r.get("graph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}.graph: missing or not a string"))?;
+        let time = req(r, "time_ms", &at)?;
+        let count = req_u64(time, "count", &format!("{at}.time_ms"))?;
+        if count == 0 {
+            return Err(format!("{at}.time_ms.count: zero samples"));
+        }
+        for key in ["mean", "stddev", "min", "max"] {
+            req_f64(time, key, &format!("{at}.time_ms"))?;
+        }
+        req_f64(r, "teps", &at)?;
+        req_f64(r, "duplicate_overhead", &at)?;
+        let steal = steal_of(req(r, "steal", &at)?, &format!("{at}.steal"))?;
+        if !steal.is_consistent() {
+            return Err(format!("{at}.steal: buckets do not sum to attempts: {steal:?}"));
+        }
+        if let Some(series) = r.get("series") {
+            validate_series(series, &at)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_series(series: &Json, at: &str) -> Result<(), String> {
+    let at = format!("{at}.series");
+    let degraded_levels = req_u64(series, "degraded_levels", &at)?;
+    let totals = req(series, "totals", &at)?;
+    let levels = req(series, "levels", &at)?
+        .as_arr()
+        .ok_or_else(|| format!("{at}.levels: not an array"))?;
+    let mut degraded_sum = 0u64;
+    let mut counter_sums = vec![0u64; COUNTER_KEYS.len()];
+    let mut steal_sums = vec![0u64; STEAL_KEYS.len()];
+    for (i, e) in levels.iter().enumerate() {
+        let lat = format!("{at}.levels[{i}]");
+        req_u64(e, "level", &lat)?;
+        req_u64(e, "frontier", &lat)?;
+        req_u64(e, "discovered", &lat)?;
+        req_f64(e, "time_us", &lat)?;
+        let degraded = req(e, "degraded", &lat)?
+            .as_bool()
+            .ok_or_else(|| format!("{lat}.degraded: not a bool"))?;
+        degraded_sum += u64::from(degraded);
+        let counters = req(e, "counters", &lat)?;
+        for (j, key) in COUNTER_KEYS.iter().enumerate() {
+            counter_sums[j] += req_u64(counters, key, &format!("{lat}.counters"))?;
+        }
+        let steal_at = format!("{lat}.counters.steal");
+        let steal = steal_of(req(counters, "steal", &steal_at)?, &steal_at)?;
+        if !steal.is_consistent() {
+            return Err(format!("{steal_at}: buckets do not sum to attempts: {steal:?}"));
+        }
+        for (j, key) in STEAL_KEYS.iter().enumerate() {
+            steal_sums[j] += req_u64(req(counters, "steal", &steal_at)?, key, &steal_at)?;
+        }
+    }
+    if degraded_sum != degraded_levels {
+        return Err(format!(
+            "{at}: degraded flags sum to {degraded_sum} but degraded_levels = {degraded_levels}"
+        ));
+    }
+    for (j, key) in COUNTER_KEYS.iter().enumerate() {
+        let total = req_u64(totals, key, &format!("{at}.totals"))?;
+        if counter_sums[j] != total {
+            return Err(format!(
+                "{at}: sum of per-level {key} = {} but totals.{key} = {total}",
+                counter_sums[j]
+            ));
+        }
+    }
+    let totals_steal = req(totals, "steal", &format!("{at}.totals"))?;
+    for (j, key) in STEAL_KEYS.iter().enumerate() {
+        let total = req_u64(totals_steal, key, &format!("{at}.totals.steal"))?;
+        if steal_sums[j] != total {
+            return Err(format!(
+                "{at}: sum of per-level steal.{key} = {} but totals.steal.{key} = {total}",
+                steal_sums[j]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_scalars_and_nesting() {
+        let text = r#"{"a": [1, -2.5, 1e3, true, false, null], "b": {"c": "x"}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 6);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(-2.5));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(1000.0));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
+        // Serialize → reparse → identical tree.
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = Json::parse(r#""a\"b\\c\ndA😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA\u{1F600}"));
+        // Round-trip through the serializer too.
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2", "{\"a\":1,}",
+            "\"unterminated", "{'a':1}", "[1]]",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert_eq!(Json::Num(42.0).render(), "42");
+        assert_eq!(Json::Num(-7.0).render(), "-7");
+        assert_eq!(Json::Num(2.5).render(), "2.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    fn tiny_series(levels: Vec<Json>, totals: Json, degraded: u64) -> Json {
+        Json::Obj(vec![
+            ("degraded_levels".into(), int(degraded)),
+            ("totals".into(), totals),
+            ("levels".into(), Json::Arr(levels)),
+        ])
+    }
+
+    fn level_entry(counters: &ThreadStats, degraded: bool) -> Json {
+        Json::Obj(vec![
+            ("level".into(), int(0)),
+            ("frontier".into(), int(1)),
+            ("discovered".into(), int(2)),
+            ("time_us".into(), num(3.5)),
+            ("degraded".into(), Json::Bool(degraded)),
+            ("counters".into(), thread_stats_json(counters)),
+        ])
+    }
+
+    fn report_with_series(series: Json) -> Json {
+        let steal = StealCounters { attempts: 3, success: 1, victim_idle: 2, ..Default::default() };
+        Json::Obj(vec![
+            ("schema_version".into(), int(SCHEMA_VERSION)),
+            ("bench".into(), s("test")),
+            (
+                "params".into(),
+                Json::Obj(vec![
+                    ("divisor".into(), int(128)),
+                    ("threads".into(), int(4)),
+                    ("sources".into(), int(2)),
+                    ("seed".into(), int(1)),
+                ]),
+            ),
+            (
+                "results".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("contender".into(), s("BFS_WSL")),
+                    ("graph".into(), s("wikipedia")),
+                    (
+                        "time_ms".into(),
+                        summary_json(&Summary {
+                            count: 2,
+                            mean: 1.0,
+                            stddev: 0.1,
+                            min: 0.9,
+                            max: 1.1,
+                        }),
+                    ),
+                    ("teps".into(), num(1e6)),
+                    ("duplicate_overhead".into(), num(0.01)),
+                    ("steal".into(), steal_json(&steal)),
+                    ("series".into(), series),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn validate_accepts_conserving_report() {
+        let a = ThreadStats { edges_scanned: 10, segments_fetched: 2, ..Default::default() };
+        let b = ThreadStats { edges_scanned: 5, fetch_retries: 1, ..Default::default() };
+        let mut totals = a;
+        totals.merge(&b);
+        let series = tiny_series(
+            vec![level_entry(&a, false), level_entry(&b, true)],
+            thread_stats_json(&totals),
+            1,
+        );
+        validate_report(&report_with_series(series)).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_broken_conservation() {
+        let a = ThreadStats { edges_scanned: 10, ..Default::default() };
+        let mut wrong = a;
+        wrong.edges_scanned += 1; // totals disagree with the level sum
+        let series =
+            tiny_series(vec![level_entry(&a, false)], thread_stats_json(&wrong), 0);
+        let err = validate_report(&report_with_series(series)).unwrap_err();
+        assert!(err.contains("edges_scanned"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_degraded_mismatch_and_bad_steal() {
+        let a = ThreadStats::default();
+        let series =
+            tiny_series(vec![level_entry(&a, true)], thread_stats_json(&a), 0);
+        let err = validate_report(&report_with_series(series)).unwrap_err();
+        assert!(err.contains("degraded"), "{err}");
+
+        let mut bad = ThreadStats::default();
+        bad.steal.attempts = 5; // no outcomes recorded
+        let series =
+            tiny_series(vec![level_entry(&bad, false)], thread_stats_json(&bad), 0);
+        let err = validate_report(&report_with_series(series)).unwrap_err();
+        assert!(err.contains("buckets"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_keys() {
+        let doc = Json::parse(r#"{"schema_version":1,"bench":"x"}"#).unwrap();
+        assert!(validate_report(&doc).is_err());
+        let doc = Json::parse(r#"{"schema_version":99}"#).unwrap();
+        assert!(validate_report(&doc).unwrap_err().contains("schema_version"));
+    }
+}

@@ -20,9 +20,11 @@ pub mod args;
 pub mod contender;
 pub mod env;
 pub mod harness;
+pub mod json;
 pub mod micro;
 pub mod table;
 
 pub use args::BenchArgs;
 pub use contender::{Contender, ContenderPool};
-pub use harness::{measure, Measurement};
+pub use harness::{measure, measure_with_series, Measurement};
+pub use json::{BenchReport, Json};

@@ -17,7 +17,7 @@ pub fn usage() -> String {
      [--edge-factor k] [--gamma g] [--seed s] --out FILE\n\
        stats      --in FILE\n\
        bfs        --in FILE --algo NAME [--src v] [--threads p] [--validate] \
-     [--parents] [--trace]\n\
+     [--parents] [--trace [OUT.json]]\n\
        components --in FILE [--threads p] [--algo NAME]\n\
        bipartite  --in FILE [--threads p]\n\
        bc         --in FILE [--samples k] [--seed s] [--top t]\n\
@@ -186,7 +186,7 @@ fn bfs_opts(flags: &HashMap<String, String>) -> Result<BfsOptions, String> {
     Ok(BfsOptions {
         threads,
         record_parents: has(flags, "parents"),
-        collect_level_trace: has(flags, "trace"),
+        collect_level_stats: has(flags, "trace"),
         ..BfsOptions::default()
     })
 }
@@ -205,7 +205,14 @@ fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
     if src as usize >= g.num_vertices() {
         return Err(format!("--src {src} out of range (n={})", g.num_vertices()));
     }
-    let opts = bfs_opts(flags)?;
+    let mut opts = bfs_opts(flags)?;
+    // `--trace` alone prints the per-level table; `--trace OUT.json`
+    // additionally arms the flight recorder and writes a
+    // chrome://tracing file (needs the `trace` cargo feature to record).
+    let trace_path = flags.get("trace").filter(|v| v.as_str() != "true");
+    if trace_path.is_some() {
+        opts.flight_recorder = Some(obfs_core::flight::DEFAULT_FLIGHT_CAPACITY);
+    }
     let r = run_bfs(algo, &g, src, &opts);
     let mut out = String::new();
     let _ = writeln!(
@@ -231,7 +238,7 @@ fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
     );
     if has(flags, "trace") {
         let _ = writeln!(out, "level  frontier  discovered   time(us)");
-        for e in &r.stats.level_trace {
+        for e in &r.stats.level_stats {
             let _ = writeln!(
                 out,
                 "{:>5}  {:>8}  {:>10}  {:>9.1}",
@@ -240,6 +247,28 @@ fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
                 e.discovered,
                 e.duration.as_secs_f64() * 1e6
             );
+        }
+    }
+    if let Some(path) = trace_path {
+        match &r.stats.flight {
+            Some(rec) => {
+                let json = obfs_core::flight::to_chrome_trace(rec);
+                std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "wrote trace {path}: {} events ({} dropped) across {} workers",
+                    rec.total_events(),
+                    rec.total_dropped(),
+                    rec.workers.len()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "no trace written: this build lacks the `trace` feature \
+                     (rebuild with --features trace)"
+                );
+            }
         }
     }
     if has(flags, "validate") {
@@ -352,6 +381,31 @@ mod tests {
         .unwrap();
         assert!(rep.contains("validated against serial BFS: OK"), "{rep}");
         assert!(rep.contains("level  frontier"), "trace table missing: {rep}");
+    }
+
+    #[test]
+    fn bfs_trace_flag_with_path_writes_or_explains() {
+        let path = tmp("tracegraph.bin");
+        dispatch(&strs(&[
+            "gen", "--model", "er", "--n", "300", "--edge-factor", "5", "--out", &path,
+        ]))
+        .unwrap();
+        let trace = tmp("trace.json");
+        let rep = dispatch(&strs(&[
+            "bfs", "--in", &path, "--threads", "2", "--trace", &trace,
+        ]))
+        .unwrap();
+        // The per-level table is printed either way.
+        assert!(rep.contains("level  frontier"), "{rep}");
+        #[cfg(feature = "trace")]
+        {
+            assert!(rep.contains("wrote trace"), "{rep}");
+            let body = std::fs::read_to_string(&trace).unwrap();
+            assert!(body.starts_with("{\"displayTimeUnit\""), "not a chrome trace: {body:.40}");
+            assert!(body.contains("\"traceEvents\""));
+        }
+        #[cfg(not(feature = "trace"))]
+        assert!(rep.contains("no trace written"), "{rep}");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::frontier::{decode, QueueSet, EMPTY_SLOT};
 use crate::state::RunState;
 use crate::stats::ThreadStats;
 use obfs_runtime::WorkerCtx;
+use obfs_sync::flight;
 use obfs_util::Xoshiro256StarStar;
 
 /// BFSC — centralized dispatch with a global lock.
@@ -78,6 +79,7 @@ impl Strategy for CentralLocked {
                 (k, f0, end)
             };
             ts.segments_fetched += 1;
+            flight::record(flight::kind::SEGMENT_FETCH, env.level, k as u64, (end - f0) as u64);
             let queue = qin.queue(k);
             for i in f0..end {
                 // Locked dispatch hands out disjoint ranges of live slots;
@@ -160,6 +162,7 @@ pub(crate) fn consume_pool_lockfree(
             let r = queue.rear();
             if f >= r {
                 ts.fetch_retries += 1;
+                flight::record(flight::kind::FETCH_RETRY, level, k as u64, 0);
                 if st.watchdog_retry(&mut wd_retries) {
                     return; // retry budget exhausted: degrade the level
                 }
@@ -176,6 +179,7 @@ pub(crate) fn consume_pool_lockfree(
             break (k, f, s);
         };
         ts.segments_fetched += 1;
+        flight::record(flight::kind::SEGMENT_FETCH, level, k as u64, s as u64);
         // --- walk the segment under the zero-on-read protocol ---
         let queue = qin.queue(k);
         let live_end = queue.rear(); // for stale accounting only
@@ -192,6 +196,7 @@ pub(crate) fn consume_pool_lockfree(
                     if i < live_end {
                         // Cleared mid-queue: segment replayed or co-walked.
                         ts.stale_slot_aborts += 1;
+                        flight::record(flight::kind::STALE_ABORT, level, k as u64, i as u64);
                     }
                     break;
                 }

@@ -13,6 +13,7 @@ use crate::centralized::consume_pool_lockfree;
 use crate::driver::{LevelEnv, Strategy};
 use crate::stats::ThreadStats;
 use obfs_runtime::WorkerCtx;
+use obfs_sync::flight;
 use obfs_util::Xoshiro256StarStar;
 
 /// BFSDL strategy (pool count from [`crate::BfsOptions::pools`]).
@@ -120,6 +121,7 @@ fn find_nonempty_pool(
                 return Some(j);
             }
             ts.fetch_retries += 1;
+            flight::record(flight::kind::FETCH_RETRY, env.level, j as u64, 1);
             if st.watchdog_retry(&mut wd_retries) {
                 return None; // degraded: stop probing
             }
@@ -134,6 +136,7 @@ fn find_nonempty_pool(
             return Some(j);
         }
         ts.fetch_retries += 1;
+        flight::record(flight::kind::FETCH_RETRY, env.level, j as u64, 1);
         if st.watchdog_retry(&mut wd_retries) {
             return None; // degraded: stop probing
         }

@@ -26,6 +26,7 @@ use crate::stats::{RunStats, ThreadStats};
 use crate::{BfsResult, UNVISITED};
 use obfs_graph::{CsrGraph, VertexId, INVALID_VERTEX};
 use obfs_runtime::{LevelPool, WorkerCtx};
+use obfs_sync::flight;
 use obfs_util::Xoshiro256StarStar;
 
 /// Per-thread, per-level working context handed to strategies.
@@ -110,6 +111,17 @@ pub fn drive<S: Strategy>(
     let mut st = RunState::new(graph, opts);
     let stats = PerThread::new(opts.threads, |_| ThreadStats::default());
     let deepest = PerThread::new(opts.threads, |_| 0u32);
+    // Per-level counter snapshots: each worker copies its cumulative
+    // ThreadStats here right before the level-end barrier so the leader
+    // can merge a consistent cross-thread view without aliasing the
+    // workers' live `&mut` stats.
+    let level_snap = st
+        .opts
+        .collect_level_stats
+        .then(|| PerThread::new(opts.threads, |_| ThreadStats::default()));
+    // Drained flight-recorder rings, filled by each worker on exit.
+    let flight_dumps =
+        PerThread::new(opts.threads, |_| None::<obfs_sync::flight::RingDump>);
 
     let t0 = std::time::Instant::now();
     pool.run(|ctx| {
@@ -124,6 +136,12 @@ pub fn drive<S: Strategy>(
             // (no-op unless built with the `chaos` feature).
             obfs_sync::chaos::install(cfg, tid as u64);
         }
+        if let Some(cap) = st.opts.flight_recorder {
+            // Shared epoch so all workers' timelines line up (no-op
+            // unless built with the `trace` feature).
+            obfs_sync::flight::install(cap, t0);
+        }
+        flight::record(flight::kind::WORKER_BEGIN, 0, tid as u64, 0);
 
         st.init_chunk(tid);
         ctx.barrier().wait_then(|| {
@@ -159,10 +177,30 @@ pub fn drive<S: Strategy>(
             let env = LevelEnv { st: &st, parity, level };
             strategy.level_start(&env, tid);
             ctx.barrier().wait();
+            flight::record(
+                flight::kind::LEVEL_START,
+                level,
+                st.qin(parity).queue(tid).rear() as u64,
+                0,
+            );
             strategy.consume(&env, &ctx, tid, &mut out_rear, &mut rng, ts);
+            flight::record(flight::kind::LEVEL_END, level, 0, 0);
+            if st.opts.chaos.is_some() {
+                // Keep injected_faults cumulative at level granularity so
+                // the per-level deltas below stay conservative. (Nothing
+                // between here and the barrier injects: quiesce only
+                // flushes.)
+                ts.injected_faults = obfs_sync::chaos::faults_injected();
+            }
+            if let Some(snap) = &level_snap {
+                // SAFETY: own slot only; the borrow ends before the
+                // barrier, where the leader reads the peers' slots.
+                unsafe { *snap.get_mut(tid) = *ts };
+            }
             let this_level = level;
             ctx.barrier().wait_then(|| {
-                if st.watchdog_tripped() {
+                let degraded = st.watchdog_tripped();
+                if degraded {
                     // Degraded level: finish it serially before counting
                     // the next frontier. SAFETY: barrier serial section.
                     unsafe {
@@ -176,18 +214,36 @@ pub fn drive<S: Strategy>(
                             ts,
                         );
                     }
+                    flight::record(flight::kind::DEGRADED, this_level, 0, 0);
                 }
                 let produced = st.qout(parity).total_entries();
                 st.next_total.store(produced);
-                if let Some(tr) = &st.trace {
-                    // SAFETY: barrier serial section.
+                if st.opts.chaos.is_some() {
+                    // The leader sweep above may have injected; re-snapshot
+                    // its own count so this level's delta includes it.
+                    ts.injected_faults = obfs_sync::chaos::faults_injected();
+                }
+                if let (Some(tr), Some(snap)) = (&st.trace, &level_snap) {
+                    // SAFETY: barrier serial section; every peer is parked
+                    // at the barrier and published its snapshot (its own
+                    // `get_mut` borrow ended) before arriving.
                     let t = unsafe { tr.get_mut() };
                     let now = std::time::Instant::now();
-                    t.entries.push(crate::stats::LevelTraceEntry {
+                    let mut sum = *ts; // leader's own live counters
+                    for k in 0..st.threads {
+                        if k != tid {
+                            sum.merge(unsafe { snap.get(k) });
+                        }
+                    }
+                    let counters = sum.diff(&t.prev_totals);
+                    t.prev_totals = sum;
+                    t.entries.push(crate::stats::LevelStats {
                         level: this_level,
                         frontier: t.frontier_in,
                         discovered: produced,
                         duration: now - t.mark,
+                        degraded,
+                        counters,
                     });
                     t.mark = now;
                     t.frontier_in = produced;
@@ -214,9 +270,22 @@ pub fn drive<S: Strategy>(
                 unsafe { st.watchdog_arm() };
             });
         }
+        flight::record(flight::kind::WORKER_END, 0, tid as u64, 0);
         // Credit this worker's faults and drop its plan so a later run on
-        // the same pool starts clean (returns 0 without `chaos`).
-        ts.injected_faults += obfs_sync::chaos::uninstall();
+        // the same pool starts clean (returns 0 without `chaos`). With
+        // level stats on, keep the last per-level snapshot instead: the
+        // handful of racy ops after the final level barrier would
+        // otherwise break the sum(level deltas) == totals invariant.
+        let injected_total = obfs_sync::chaos::uninstall();
+        if st.trace.is_none() {
+            ts.injected_faults = injected_total;
+        }
+        if st.opts.flight_recorder.is_some() {
+            if let Some(dump) = obfs_sync::flight::uninstall() {
+                // SAFETY: own slot only.
+                unsafe { *flight_dumps.get_mut(tid) = Some(dump) };
+            }
+        }
     })
     .unwrap_or_else(|e| panic!("BFS worker pool failed: {e}"));
     let traversal_time = t0.elapsed();
@@ -242,7 +311,16 @@ pub fn drive<S: Strategy>(
     stats.degraded_levels = unsafe { *st.wd_degraded.get() };
     if let Some(tr) = st.trace.take() {
         // Workers are done (pool.run returned); sole owner.
-        stats.level_trace = tr.into_inner().entries;
+        stats.level_stats = tr.into_inner().entries;
+    }
+    let dumps = flight_dumps.into_values();
+    if dumps.iter().any(|d| d.is_some()) {
+        // Only present when the recorder actually captured something —
+        // i.e. requested AND built with the `trace` feature — so callers
+        // can distinguish "feature off" from "empty trace".
+        stats.flight = Some(crate::flight::FlightRecording {
+            workers: dumps.into_iter().map(Option::unwrap_or_default).collect(),
+        });
     }
     BfsResult { levels, parents, stats }
 }
@@ -274,15 +352,15 @@ mod tests {
     use obfs_graph::gen;
 
     #[test]
-    fn level_trace_matches_frontier_profile() {
+    fn level_stats_match_frontier_profile() {
         let g = gen::binary_tree(127); // frontiers 1,2,4,...,64
         let opts = BfsOptions {
             threads: 3,
-            collect_level_trace: true,
+            collect_level_stats: true,
             ..Default::default()
         };
         let r = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
-        let tr = &r.stats.level_trace;
+        let tr = &r.stats.level_stats;
         assert_eq!(tr.len() as u32, r.stats.levels);
         // Single-parent tree: no duplicate pushes possible, so the trace
         // frontier sizes are exact powers of two.
@@ -294,6 +372,7 @@ mod tests {
             } else {
                 assert_eq!(e.discovered, 0, "last level discovers nothing");
             }
+            assert!(!e.degraded, "no watchdog configured");
         }
         // Consumed totals match: sum of frontiers = reached vertices.
         let consumed: usize = tr.iter().map(|e| e.frontier).sum();
@@ -301,24 +380,48 @@ mod tests {
     }
 
     #[test]
-    fn trace_off_by_default() {
+    fn level_stats_off_by_default() {
         let g = gen::path(10);
         let r = run_bfs(Algorithm::Bfswl, &g, 0, &BfsOptions::default());
-        assert!(r.stats.level_trace.is_empty());
+        assert!(r.stats.level_stats.is_empty());
+        assert!(r.stats.flight.is_none());
     }
 
     #[test]
-    fn trace_works_for_all_parallel_algorithms() {
+    fn level_stats_work_for_all_parallel_algorithms() {
         let g = gen::erdos_renyi(300, 2100, 4);
         let opts = BfsOptions {
             threads: 4,
-            collect_level_trace: true,
+            collect_level_stats: true,
             ..Default::default()
         };
         for algo in Algorithm::ALL.into_iter().filter(|a| *a != Algorithm::Serial) {
             let r = run_bfs(algo, &g, 0, &opts);
-            assert_eq!(r.stats.level_trace.len() as u32, r.stats.levels, "{algo}");
-            assert!(r.stats.level_trace.iter().all(|e| e.frontier > 0), "{algo}");
+            assert_eq!(r.stats.level_stats.len() as u32, r.stats.levels, "{algo}");
+            assert!(r.stats.level_stats.iter().all(|e| e.frontier > 0), "{algo}");
+        }
+    }
+
+    /// The per-level counter deltas must sum back to the merged totals —
+    /// the conservation invariant the bench schema leans on.
+    #[test]
+    fn level_stats_counters_conserve_totals() {
+        let g = gen::erdos_renyi(400, 3000, 9);
+        for algo in Algorithm::ALL.into_iter().filter(|a| *a != Algorithm::Serial) {
+            let opts = BfsOptions {
+                threads: 4,
+                collect_level_stats: true,
+                ..Default::default()
+            };
+            let r = run_bfs(algo, &g, 0, &opts);
+            let mut sum = crate::stats::ThreadStats::default();
+            for e in &r.stats.level_stats {
+                assert!(e.counters.steal.is_consistent(), "{algo} level {}", e.level);
+                sum.merge(&e.counters);
+            }
+            assert_eq!(sum, r.stats.totals, "{algo}: level deltas must sum to totals");
+            let degraded: u32 = r.stats.level_stats.iter().map(|e| u32::from(e.degraded)).sum();
+            assert_eq!(degraded, r.stats.degraded_levels, "{algo}");
         }
     }
 }

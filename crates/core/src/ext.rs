@@ -22,6 +22,7 @@ use crate::state::RunState;
 use crate::stats::ThreadStats;
 use obfs_graph::VertexId;
 use obfs_runtime::WorkerCtx;
+use obfs_sync::flight;
 use obfs_util::Xoshiro256StarStar;
 
 /// The `EdgeCL` strategy.
@@ -107,6 +108,7 @@ pub(crate) fn consume_edge_ranges(
         let end = (c + es).min(total);
         st.edge_cursor.store(end as usize);
         ts.segments_fetched += 1;
+        flight::record(flight::kind::SEGMENT_FETCH, level, c, end - c);
 
         // Map edge range [c, end) onto (vertex, adjacency slice) pieces.
         let mut vi = prefix.partition_point(|&x| x <= c) - 1;

@@ -30,6 +30,7 @@ pub mod centralized;
 pub mod decentralized;
 pub mod driver;
 pub mod ext;
+pub mod flight;
 pub mod frontier;
 pub mod options;
 pub mod perthread;
@@ -40,8 +41,9 @@ pub mod stats;
 pub mod validate;
 pub mod worksteal;
 
+pub use flight::FlightRecording;
 pub use options::{Algorithm, BfsOptions, DedupMode, SegmentPolicy, WatchdogPolicy};
-pub use stats::{RunStats, StealCounters, ThreadStats};
+pub use stats::{LevelStats, RunStats, StealCounters, ThreadStats};
 
 use obfs_graph::CsrGraph;
 use obfs_graph::VertexId;

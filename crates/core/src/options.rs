@@ -203,9 +203,16 @@ pub struct BfsOptions {
     pub topology: Option<Topology>,
     /// Seed for victim selection and pool choice randomness.
     pub seed: u64,
-    /// Record per-level frontier sizes and durations into
-    /// [`crate::RunStats::level_trace`] (leader-side, near-zero cost).
-    pub collect_level_trace: bool,
+    /// Record per-level frontier sizes, durations and merged counter
+    /// deltas into [`crate::RunStats::level_stats`] (leader-side,
+    /// near-zero cost).
+    pub collect_level_stats: bool,
+    /// Install a flight recorder per worker with this many event slots
+    /// (see `obfs_sync::flight`); the drained rings land in
+    /// [`crate::RunStats::flight`]. Only effective on builds with the
+    /// `trace` feature — without it the option is carried but the run
+    /// records nothing and `flight` stays `None`.
+    pub flight_recorder: Option<usize>,
     /// Deterministic fault-injection plan installed per worker (stream =
     /// thread id). Only honoured when the crate is built with the `chaos`
     /// feature; without it the plan is carried but never activates.
@@ -228,7 +235,8 @@ impl Default for BfsOptions {
             phase2_steal: false,
             topology: None,
             seed: 0x0BF5,
-            collect_level_trace: false,
+            collect_level_stats: false,
+            flight_recorder: None,
             chaos: None,
             watchdog: None,
         }

@@ -49,20 +49,28 @@ impl<T> SerialCell<T> {
     }
 }
 
-/// Leader-side accumulator for the optional per-level trace.
+/// Leader-side accumulator for the optional per-level stats series.
 #[derive(Debug)]
 pub struct TraceState {
     /// Finished level entries.
-    pub entries: Vec<crate::stats::LevelTraceEntry>,
+    pub entries: Vec<crate::stats::LevelStats>,
     /// Start instant of the level in progress.
     pub mark: std::time::Instant,
     /// Frontier size entering the level in progress.
     pub frontier_in: usize,
+    /// Merged cumulative counters at the previous level boundary; the
+    /// per-level delta is the difference against this snapshot.
+    pub prev_totals: ThreadStats,
 }
 
 impl Default for TraceState {
     fn default() -> Self {
-        Self { entries: Vec::new(), mark: std::time::Instant::now(), frontier_in: 0 }
+        Self {
+            entries: Vec::new(),
+            mark: std::time::Instant::now(),
+            frontier_in: 0,
+            prev_totals: ThreadStats::default(),
+        }
     }
 }
 
@@ -167,7 +175,7 @@ impl<'g> RunState<'g> {
             hubs: PerThread::new(p, |_| Vec::new()),
             flat_vertices: SerialCell::new(Vec::new()),
             flat_prefix: SerialCell::new(Vec::new()),
-            trace: opts.collect_level_trace.then(|| SerialCell::new(TraceState::default())),
+            trace: opts.collect_level_stats.then(|| SerialCell::new(TraceState::default())),
             wd_abort: AtomicBool::new(false),
             wd_deadline: SerialCell::new(None),
             wd_degraded: SerialCell::new(0),

@@ -39,6 +39,20 @@ impl StealCounters {
         self.invalid += o.invalid;
     }
 
+    /// Field-wise difference against an earlier snapshot of the same
+    /// monotonically increasing counters.
+    pub fn diff(&self, earlier: &StealCounters) -> StealCounters {
+        StealCounters {
+            attempts: self.attempts - earlier.attempts,
+            success: self.success - earlier.success,
+            victim_locked: self.victim_locked - earlier.victim_locked,
+            victim_idle: self.victim_idle - earlier.victim_idle,
+            too_small: self.too_small - earlier.too_small,
+            stale: self.stale - earlier.stale,
+            invalid: self.invalid - earlier.invalid,
+        }
+    }
+
     /// Total failed attempts.
     pub fn failed(&self) -> u64 {
         self.victim_locked + self.victim_idle + self.too_small + self.stale + self.invalid
@@ -95,12 +109,33 @@ impl ThreadStats {
         self.injected_faults += o.injected_faults;
         self.steal.merge(&o.steal);
     }
+
+    /// Field-wise difference against an earlier snapshot of the same
+    /// monotonically increasing counters. Used by the driver to turn
+    /// cumulative per-thread totals into per-level deltas.
+    pub fn diff(&self, earlier: &ThreadStats) -> ThreadStats {
+        ThreadStats {
+            vertices_explored: self.vertices_explored - earlier.vertices_explored,
+            edges_scanned: self.edges_scanned - earlier.edges_scanned,
+            vertices_discovered: self.vertices_discovered - earlier.vertices_discovered,
+            duplicate_explorations: self.duplicate_explorations - earlier.duplicate_explorations,
+            stale_slot_aborts: self.stale_slot_aborts - earlier.stale_slot_aborts,
+            segments_fetched: self.segments_fetched - earlier.segments_fetched,
+            fetch_retries: self.fetch_retries - earlier.fetch_retries,
+            dedup_skips: self.dedup_skips - earlier.dedup_skips,
+            lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
+            injected_faults: self.injected_faults - earlier.injected_faults,
+            steal: self.steal.diff(&earlier.steal),
+        }
+    }
 }
 
 /// One level's telemetry (collected when
-/// [`crate::BfsOptions::collect_level_trace`] is set).
+/// [`crate::BfsOptions::collect_level_stats`] is set): the frontier
+/// profile plus every [`ThreadStats`] counter as a per-level delta
+/// merged across workers.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LevelTraceEntry {
+pub struct LevelStats {
     /// BFS depth of the vertices consumed this level.
     pub level: u32,
     /// Queue entries consumed (frontier size incl. duplicate pushes).
@@ -109,6 +144,12 @@ pub struct LevelTraceEntry {
     pub discovered: usize,
     /// Wall time of the level (barrier to barrier).
     pub duration: std::time::Duration,
+    /// Whether the watchdog finished this level with the serial sweep.
+    pub degraded: bool,
+    /// This level's counter deltas, merged across all workers. Summing
+    /// `counters` over all levels reproduces [`RunStats::totals`]
+    /// exactly (the conservation invariant the schema tests check).
+    pub counters: ThreadStats,
 }
 
 /// Aggregated result statistics for one BFS run.
@@ -126,9 +167,13 @@ pub struct RunStats {
     /// (0 unless [`crate::BfsOptions::watchdog`] tripped).
     pub degraded_levels: u32,
     /// Per-level telemetry; empty unless
-    /// [`crate::BfsOptions::collect_level_trace`] was set (and always
+    /// [`crate::BfsOptions::collect_level_stats`] was set (and always
     /// empty for serial runs).
-    pub level_trace: Vec<LevelTraceEntry>,
+    pub level_stats: Vec<LevelStats>,
+    /// Flight-recorder event rings, one per worker; `None` unless
+    /// [`crate::BfsOptions::flight_recorder`] was set on a build with
+    /// the `trace` feature.
+    pub flight: Option<crate::flight::FlightRecording>,
 }
 
 impl RunStats {
@@ -148,7 +193,8 @@ impl RunStats {
             levels,
             traversal_time,
             degraded_levels: 0,
-            level_trace: Vec::new(),
+            level_stats: Vec::new(),
+            flight: None,
         }
     }
 

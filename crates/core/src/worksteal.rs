@@ -31,6 +31,7 @@ use crate::state::RunState;
 use crate::stats::ThreadStats;
 use obfs_graph::VertexId;
 use obfs_runtime::WorkerCtx;
+use obfs_sync::flight;
 use obfs_util::Xoshiro256StarStar;
 
 /// Strategy covering all four work-stealing variants.
@@ -146,6 +147,12 @@ impl WorkStealing {
                 None => {
                     if seg.f < queue.rear() {
                         ts.stale_slot_aborts += 1;
+                        flight::record(
+                            flight::kind::STALE_ABORT,
+                            env.level,
+                            seg.q as u64,
+                            seg.f as u64,
+                        );
                     }
                     return;
                 }
@@ -241,9 +248,15 @@ impl WorkStealing {
             } else {
                 self.try_steal_optimistic(env, tid, victim, ts)
             };
-            if stolen.is_some() {
+            if let Some(seg) = stolen {
                 ts.steal.success += 1;
-                return stolen;
+                flight::record(
+                    flight::kind::STEAL_SUCCESS,
+                    env.level,
+                    victim as u64,
+                    (seg.r - seg.f) as u64,
+                );
+                return Some(seg);
             }
         }
         None
@@ -262,6 +275,12 @@ impl WorkStealing {
         let (q, mid, r) = {
             let Some(_g) = st.desc_locks[victim].try_lock() else {
                 ts.steal.victim_locked += 1;
+                flight::record(
+                    flight::kind::STEAL_FAIL,
+                    env.level,
+                    victim as u64,
+                    flight::kind::STEAL_LOCKED,
+                );
                 return None;
             };
             ts.lock_acquisitions += 1;
@@ -269,10 +288,22 @@ impl WorkStealing {
             let r = vd.r.load();
             if f >= r {
                 ts.steal.victim_idle += 1;
+                flight::record(
+                    flight::kind::STEAL_FAIL,
+                    env.level,
+                    victim as u64,
+                    flight::kind::STEAL_IDLE,
+                );
                 return None;
             }
             if r - f < st.opts.steal_min {
                 ts.steal.too_small += 1;
+                flight::record(
+                    flight::kind::STEAL_FAIL,
+                    env.level,
+                    victim as u64,
+                    flight::kind::STEAL_TOO_SMALL,
+                );
                 return None;
             }
             let mid = f + (r - f) / 2;
@@ -303,6 +334,12 @@ impl WorkStealing {
         let (q, f, r) = st.descs[victim].snapshot();
         if f >= r {
             ts.steal.victim_idle += 1;
+            flight::record(
+                flight::kind::STEAL_FAIL,
+                env.level,
+                victim as u64,
+                flight::kind::STEAL_IDLE,
+            );
             return None;
         }
         // Sanity check: f < r (above) and r within the victim queue's
@@ -310,10 +347,22 @@ impl WorkStealing {
         // between our three loads) fails here and we retry elsewhere.
         if q >= st.threads || r > qin.queue(q).rear() {
             ts.steal.invalid += 1;
+            flight::record(
+                flight::kind::STEAL_FAIL,
+                env.level,
+                victim as u64,
+                flight::kind::STEAL_INVALID,
+            );
             return None;
         }
         if r - f < st.opts.steal_min {
             ts.steal.too_small += 1;
+            flight::record(
+                flight::kind::STEAL_FAIL,
+                env.level,
+                victim as u64,
+                flight::kind::STEAL_TOO_SMALL,
+            );
             return None;
         }
         let mid = f + (r - f) / 2;
@@ -325,6 +374,12 @@ impl WorkStealing {
         if qin.queue(q).slot(mid) == EMPTY_SLOT {
             // Already consumed: the snapshot was stale.
             ts.steal.stale += 1;
+            flight::record(
+                flight::kind::STEAL_FAIL,
+                env.level,
+                victim as u64,
+                flight::kind::STEAL_STALE,
+            );
             return None;
         }
         Some(OwnedSegment { q, f: mid, r })

@@ -253,6 +253,11 @@ fn worker_loop(tid: usize, shared: &Shared) {
         let f = unsafe { &*job.0 };
         let outcome = catch_unwind(AssertUnwindSafe(|| f(WorkerCtx { tid, shared })));
         if let Err(payload) = outcome {
+            // A panicking closure never reaches its own instrumentation
+            // teardown; drop any thread-local chaos plan or flight ring it
+            // installed so the next run on this OS thread starts clean.
+            let _ = obfs_sync::chaos::uninstall();
+            let _ = obfs_sync::flight::uninstall();
             let message = payload_msg(payload.as_ref());
             {
                 let mut st = shared.lock_state();

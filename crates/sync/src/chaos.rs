@@ -241,6 +241,12 @@ mod active {
         if plan.cfg.delay_chance > 0.0 && plan.rng.chance(plan.cfg.delay_chance) {
             plan.injected += 1;
             let spins = 1 + plan.rng.next_u32() % plan.cfg.delay_spins.max(1);
+            crate::flight::record(
+                crate::flight::kind::FAULT,
+                0,
+                crate::flight::kind::FAULT_DELAY,
+                u64::from(spins),
+            );
             for i in 0..spins {
                 if i % 32 == 31 {
                     std::thread::yield_now();
@@ -265,6 +271,12 @@ mod active {
         {
             let ttl = 1 + plan.rng.next_u32() % plan.cfg.stale_window.max(1);
             plan.injected += 1;
+            crate::flight::record(
+                crate::flight::kind::FAULT,
+                0,
+                crate::flight::kind::FAULT_DEFER,
+                u64::from(ttl),
+            );
             forget_addr(plan, target.addr());
             plan.pending.push_back(Pending { target, ttl });
             true
@@ -348,6 +360,12 @@ mod active {
             }
             plan.injected += 1;
             let delta = 1 + plan.rng.below_usize(plan.cfg.skew_max.max(1));
+            crate::flight::record(
+                crate::flight::kind::FAULT,
+                0,
+                crate::flight::kind::FAULT_SKEW,
+                delta as u64,
+            );
             match plan.rng.next_u32() % 3 {
                 0 => i.saturating_add(delta),
                 1 => i.saturating_sub(delta),

@@ -32,6 +32,7 @@
 
 pub mod barrier;
 pub mod chaos;
+pub mod flight;
 pub mod padded;
 pub mod racy;
 pub mod spinlock;

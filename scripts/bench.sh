@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Regenerate every recorded benchmark artifact: the human-readable tables
+# in results/*.txt and the machine-readable BENCH_*.json reports (table6,
+# fig3, graph500 — the bins wired to the BenchReport emitter). Run from
+# anywhere in the repo; artifacts land in results/ and the repo root.
+#
+# The flag values below are the ones the committed results were recorded
+# with; override via env, e.g.
+#
+#   DIVISOR=128 THREADS=4 ./scripts/bench.sh        # quicker smoke pass
+#   ONLY=table6 ./scripts/bench.sh                  # one benchmark
+#
+# Every emitted BENCH_*.json is schema-validated by the bin itself before
+# it exits (and again by tests/bench_schema.rs), so a bad report fails
+# this script rather than landing in a commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIVISOR="${DIVISOR:-64}"
+THREADS="${THREADS:-12}"
+SOURCES="${SOURCES:-8}"
+SEED="${SEED:-1}"
+ONLY="${ONLY:-}"
+
+run() {
+    local name="$1"
+    shift
+    if [[ -n "$ONLY" && "$ONLY" != "$name" ]]; then
+        return
+    fi
+    echo "== bench: $name =="
+    cargo run --release -q -p obfs-bench --bin "$name" -- "$@"
+}
+
+mkdir -p results
+
+# Tables and figures of the paper (text artifacts).
+run table4 --divisor "$DIVISOR" --seed "$SEED" \
+    | tee results/table4.txt
+run table5 --divisor "$DIVISOR" --threads 12 --sources "$SOURCES" --seed "$SEED" \
+    | tee results/table5_p12.txt
+run table5 --divisor "$DIVISOR" --threads 32 --sources "$SOURCES" --seed "$SEED" \
+    | tee results/table5_p32.txt
+run fig2 --divisor "$DIVISOR" --sources 5 --seed "$SEED" \
+    | tee results/fig2.txt
+run levels --divisor "$DIVISOR" --threads "$THREADS" --seed "$SEED" \
+    | tee results/levels.txt
+run ablations --divisor "$DIVISOR" --threads "$THREADS" --sources "$SOURCES" --seed "$SEED" \
+    | tee results/ablations.txt
+
+# The three bins with machine-readable reports (BENCH_<name>.json in CWD).
+run table6 --json --divisor "$DIVISOR" --threads "$THREADS" --sources 20 --seed "$SEED" \
+    | tee results/table6.txt
+run fig3 --json --divisor "$DIVISOR" --threads "$THREADS" --sources "$SOURCES" --seed "$SEED" \
+    | tee results/fig3.txt
+run graph500 --json --divisor 32 --threads "$THREADS" --sources 16 --seed "$SEED" \
+    | tee results/graph500.txt
+
+echo "bench.sh: done (tables in results/, reports in BENCH_*.json)"

@@ -114,6 +114,72 @@ fn option_grid_does_not_break_correctness() {
     }
 }
 
+/// Deterministic option matrix: every parallel algorithm × thread count
+/// {1, 2, 4, 8} × watchdog {off, armed-generous} × segment policy, all
+/// with fixed seeds so a failure reproduces bit-for-bit from the assert
+/// message. Runners are cached per thread count so the sweep reuses
+/// pools instead of respawning workers for each of the ~500 runs.
+#[test]
+fn deterministic_matrix_sweep() {
+    let graphs = [
+        ("erdos-renyi", gen::erdos_renyi(600, 4200, 29)),
+        ("grid2d", gen::grid2d(24, 25)),
+    ];
+    let parallel: Vec<Algorithm> =
+        Algorithm::ALL.into_iter().filter(|a| *a != Algorithm::Serial).collect();
+    let segments = [SegmentPolicy::Fixed(8), SegmentPolicy::default()];
+    let mut runners: Vec<(usize, obfs::core::BfsRunner)> = Vec::new();
+    for (name, g) in &graphs {
+        let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+        let reference = serial_bfs(g, src);
+        for &threads in &[1usize, 2, 4, 8] {
+            let runner = match runners.iter().position(|(t, _)| *t == threads) {
+                Some(i) => &runners[i].1,
+                None => {
+                    runners.push((threads, obfs::core::BfsRunner::new(threads)));
+                    &runners.last().unwrap().1
+                }
+            };
+            for watchdog_on in [false, true] {
+                for segment in segments {
+                    let opts = BfsOptions {
+                        threads,
+                        segment,
+                        // A generous deadline arms the watchdog machinery
+                        // (the per-level deadline checks run) without
+                        // actually degrading any level.
+                        watchdog: watchdog_on.then(|| {
+                            WatchdogPolicy::deadline(std::time::Duration::from_secs(60))
+                        }),
+                        record_parents: true,
+                        seed: 0xC0FFEE ^ (threads as u64) << 8,
+                        ..BfsOptions::default()
+                    };
+                    for &algo in &parallel {
+                        let r = runner.run(algo, g, src, &opts);
+                        assert_eq!(
+                            r.levels, reference.levels,
+                            "{algo} wrong on {name}: threads={threads} \
+                             watchdog={watchdog_on} segment={segment:?}"
+                        );
+                        obfs::core::validate::check_self_consistent(g, src, &r)
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "{algo} invalid tree on {name}: threads={threads} \
+                                     watchdog={watchdog_on} segment={segment:?}: {e}"
+                                )
+                            });
+                        assert_eq!(
+                            r.stats.degraded_levels, 0,
+                            "{algo} on {name}: generous watchdog must never trip"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn single_vertex_and_isolated_source() {
     let single = CsrGraph::from_edges(1, &[]);

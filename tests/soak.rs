@@ -72,15 +72,20 @@ fn soak_smoke() {
     }
 }
 
-/// The real soak: hundreds of randomized rounds.
+/// The real soak: hundreds of randomized rounds (300 by default;
+/// override with `OBFS_SOAK_ROUNDS`, which the scheduled CI job uses).
 #[test]
 #[ignore = "long-running; use cargo test --release --test soak -- --ignored"]
 fn soak_full() {
+    let rounds: u64 = std::env::var("OBFS_SOAK_ROUNDS")
+        .ok()
+        .map(|v| v.parse().expect("OBFS_SOAK_ROUNDS must be an integer"))
+        .unwrap_or(300);
     let mut cache = Vec::new();
-    for seed in 0..300 {
+    for seed in 0..rounds {
         round(seed, &mut cache);
         if seed % 50 == 0 {
-            eprintln!("soak round {seed}/300");
+            eprintln!("soak round {seed}/{rounds}");
         }
     }
 }

@@ -1,0 +1,173 @@
+//! Flight-recorder integration tests (`--features trace`).
+//!
+//! The recorder must (1) capture the worker lifecycle with exact event
+//! counts, (2) stay off unless requested, and (3) — together with the
+//! `chaos` feature — show injected faults and watchdog degradations as
+//! events that agree with the aggregate counters and the per-level
+//! series, so the three observability surfaces (RunStats, LevelStats,
+//! flight events) can never silently diverge.
+#![cfg(feature = "trace")]
+
+use obfs::core::flight::{kind, to_chrome_trace};
+use obfs::prelude::*;
+
+/// Every worker's ring must hold its lifecycle: one WORKER_BEGIN/END
+/// pair, one LEVEL_START/END pair per executed level, monotone
+/// timestamps, and no unknown kind codes — while the traversal itself
+/// stays correct.
+#[test]
+fn recorder_captures_worker_lifecycle_exactly() {
+    let g = gen::erdos_renyi(700, 4900, 19);
+    let reference = serial_bfs(&g, 0);
+    let threads = 4usize;
+    let opts = BfsOptions {
+        threads,
+        flight_recorder: Some(1 << 14),
+        ..Default::default()
+    };
+    for algo in [Algorithm::Bfscl, Algorithm::Bfswsl, Algorithm::EdgeCl] {
+        let r = run_bfs(algo, &g, 0, &opts);
+        assert_eq!(r.levels, reference.levels, "{algo}");
+        let rec = r.stats.flight.as_ref().unwrap_or_else(|| panic!("{algo}: no recording"));
+        assert_eq!(rec.workers.len(), threads, "{algo}: one ring per worker");
+        assert_eq!(rec.total_dropped(), 0, "{algo}: ring wrapped on a small graph");
+        assert_eq!(rec.count(kind::WORKER_BEGIN), threads, "{algo}");
+        assert_eq!(rec.count(kind::WORKER_END), threads, "{algo}");
+        let levels_run = r.stats.levels as usize;
+        assert_eq!(rec.count(kind::LEVEL_START), threads * levels_run, "{algo}");
+        assert_eq!(rec.count(kind::LEVEL_END), threads * levels_run, "{algo}");
+        assert_eq!(rec.count(kind::DEGRADED), 0, "{algo}: no watchdog armed");
+        for (tid, w) in rec.workers.iter().enumerate() {
+            assert!(!w.events.is_empty(), "{algo}: worker {tid} recorded nothing");
+            assert!(
+                w.events.windows(2).all(|p| p[0].ts_us <= p[1].ts_us),
+                "{algo}: worker {tid} timestamps not monotone"
+            );
+            for e in &w.events {
+                assert_ne!(kind::name(e.kind), "unknown", "{algo}: kind {}", e.kind);
+            }
+        }
+        // The exporter must accept whatever a real run produced.
+        let trace = to_chrome_trace(rec);
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\""));
+        assert!(trace.contains("\"name\":\"worker\""));
+    }
+}
+
+/// Steal-heavy variants must leave steal events in the rings, and the
+/// event counts must agree with the merged `StealCounters`.
+#[test]
+fn steal_events_match_steal_counters() {
+    let g = gen::barabasi_albert(900, 4, 31);
+    let opts = BfsOptions {
+        threads: 4,
+        flight_recorder: Some(1 << 15),
+        ..Default::default()
+    };
+    for algo in [Algorithm::Bfsws, Algorithm::Bfswsl] {
+        let r = run_bfs(algo, &g, 0, &opts);
+        let rec = r.stats.flight.as_ref().unwrap();
+        assert_eq!(rec.total_dropped(), 0, "{algo}: ring too small for exact counts");
+        let steal = &r.stats.totals.steal;
+        assert_eq!(
+            rec.count(kind::STEAL_SUCCESS) as u64,
+            steal.success,
+            "{algo}: success events != success counter"
+        );
+        assert_eq!(
+            rec.count(kind::STEAL_FAIL) as u64,
+            steal.failed(),
+            "{algo}: fail events != failed() counter"
+        );
+    }
+}
+
+/// Without the option the recorder must not run, even on trace builds.
+#[test]
+fn no_recording_unless_requested() {
+    let g = gen::grid2d(20, 20);
+    let opts = BfsOptions { threads: 3, ..Default::default() };
+    let r = run_bfs(Algorithm::Bfswl, &g, 0, &opts);
+    assert!(r.stats.flight.is_none());
+}
+
+/// Serial BFS never spawns workers, so it never records.
+#[test]
+fn serial_never_records() {
+    let g = gen::path(200);
+    let opts = BfsOptions {
+        threads: 1,
+        flight_recorder: Some(1024),
+        ..Default::default()
+    };
+    let r = run_bfs(Algorithm::Serial, &g, 0, &opts);
+    assert!(r.stats.flight.is_none());
+}
+
+/// Chaos × trace interaction: faults and degradations must be visible in
+/// all three observability surfaces at once, and the surfaces must agree.
+#[cfg(feature = "chaos")]
+mod chaos_interaction {
+    use super::*;
+
+    /// Injected faults appear as FAULT events, and the per-level series'
+    /// `injected_faults` deltas sum to the run total.
+    #[test]
+    fn faults_are_events_and_series_conserves_them() {
+        let g = gen::erdos_renyi(600, 4200, 5);
+        let reference = serial_bfs(&g, 0);
+        let opts = BfsOptions {
+            threads: 4,
+            chaos: Some(ChaosConfig::store_buffer(0xFA17)),
+            flight_recorder: Some(1 << 15),
+            collect_level_stats: true,
+            ..Default::default()
+        };
+        let r = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
+        assert_eq!(r.levels, reference.levels);
+        let total = r.stats.totals.injected_faults;
+        assert!(total > 0, "plan installed but no faults injected");
+        let rec = r.stats.flight.as_ref().unwrap();
+        assert!(rec.count(kind::FAULT) > 0, "faults injected but no FAULT events");
+        let series_sum: u64 =
+            r.stats.level_stats.iter().map(|l| l.counters.injected_faults).sum();
+        assert_eq!(series_sum, total, "per-level fault deltas must sum to the total");
+        // Fault events carry a valid cause code.
+        for w in &rec.workers {
+            for e in w.events.iter().filter(|e| e.kind == kind::FAULT) {
+                assert!(
+                    (kind::FAULT_DELAY..=kind::FAULT_SKEW).contains(&e.a),
+                    "bad fault cause {}",
+                    e.a
+                );
+            }
+        }
+    }
+
+    /// A zero deadline degrades every level; the DEGRADED events, the
+    /// series' degraded flags, and `RunStats::degraded_levels` must all
+    /// report the same count.
+    #[test]
+    fn degraded_levels_agree_across_surfaces() {
+        let g = gen::erdos_renyi(500, 3500, 9);
+        let reference = serial_bfs(&g, 0);
+        let opts = BfsOptions {
+            threads: 4,
+            watchdog: Some(WatchdogPolicy::deadline(std::time::Duration::ZERO)),
+            flight_recorder: Some(1 << 15),
+            collect_level_stats: true,
+            ..Default::default()
+        };
+        let r = run_bfs(Algorithm::Bfswsl, &g, 0, &opts);
+        assert_eq!(r.levels, reference.levels);
+        assert_eq!(r.stats.degraded_levels, r.stats.levels);
+        let rec = r.stats.flight.as_ref().unwrap();
+        assert_eq!(
+            rec.count(kind::DEGRADED) as u32,
+            r.stats.degraded_levels,
+            "one leader-recorded DEGRADED event per degraded level"
+        );
+        let flagged = r.stats.level_stats.iter().filter(|l| l.degraded).count() as u32;
+        assert_eq!(flagged, r.stats.degraded_levels, "series flags disagree");
+    }
+}
