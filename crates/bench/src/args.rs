@@ -23,6 +23,9 @@ pub struct BenchArgs {
     /// Per-level watchdog deadline in milliseconds (degraded levels are
     /// reported in the recovery columns).
     pub watchdog_ms: Option<u64>,
+    /// Also run direction-optimizing hybrid rows for the optimistic
+    /// algorithms (α/β heuristic with the default constants).
+    pub hybrid: bool,
 }
 
 impl Default for BenchArgs {
@@ -36,6 +39,7 @@ impl Default for BenchArgs {
             only_graph: None,
             chaos_seed: None,
             watchdog_ms: None,
+            hybrid: false,
         }
     }
 }
@@ -61,6 +65,7 @@ impl BenchArgs {
                 "--seed" => out.seed = parse_num(&value("--seed"), "--seed"),
                 "--graph" => out.only_graph = Some(value("--graph")),
                 "--json" => out.json = true,
+                "--hybrid" => out.hybrid = true,
                 "--chaos-seed" => {
                     out.chaos_seed = Some(parse_num(&value("--chaos-seed"), "--chaos-seed"))
                 }
@@ -70,7 +75,7 @@ impl BenchArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --divisor <k> --threads <p> --sources <s> --seed <x> \
-                         --graph <name> --json --chaos-seed <x> --watchdog-ms <ms>"
+                         --graph <name> --json --hybrid --chaos-seed <x> --watchdog-ms <ms>"
                     );
                     std::process::exit(0);
                 }
@@ -124,6 +129,12 @@ mod tests {
         let a = BenchArgs::parse_from(strs(&["--chaos-seed", "9", "--watchdog-ms", "250"]));
         assert_eq!(a.chaos_seed, Some(9));
         assert_eq!(a.watchdog_ms, Some(250));
+    }
+
+    #[test]
+    fn hybrid_flag() {
+        assert!(!BenchArgs::parse_from(strs(&[])).hybrid);
+        assert!(BenchArgs::parse_from(strs(&["--hybrid"])).hybrid);
     }
 
     #[test]

@@ -79,13 +79,17 @@ fn main() {
     let beamer_pool = LevelPool::new(args.threads);
     let opts = BfsOptions { threads: args.threads, ..Default::default() };
 
-    let contenders: Vec<Contender> = vec![
+    // The hybrid rows always run here: dense low-diameter RMAT is
+    // exactly the regime direction optimization targets, so this binary
+    // is where the top-down vs hybrid crossover is measured.
+    let mut contenders: Vec<Contender> = vec![
         Contender::Ours(Algorithm::Serial),
         Contender::Ours(Algorithm::Bfscl),
         Contender::Ours(Algorithm::Bfswsl),
-        Contender::Baseline1,
-        Contender::Baseline2(HongVariant::LocalQueueReadBitmap),
     ];
+    contenders.extend(Contender::hybrid_roster());
+    contenders.push(Contender::Baseline1);
+    contenders.push(Contender::Baseline2(HongVariant::LocalQueueReadBitmap));
 
     let graph_name = format!("rmat{scale}");
     let mut report = args.json.then(|| BenchReport::new("graph500", &args));
@@ -96,7 +100,7 @@ fn main() {
         let mut dup = OnlineStats::new();
         let mut steal = StealCounters::default();
         for (i, &src) in sources.iter().enumerate() {
-            let r = pool.run(*c, &graph, src, &opts);
+            let r = pool.run_with_transpose(*c, &graph, Some(&transpose), src, &opts);
             if i == 0 {
                 assert_eq!(r.levels, references[0].0, "{c} validation failed");
             }

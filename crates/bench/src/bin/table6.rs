@@ -7,7 +7,9 @@
 //! `--sources` (per repetition) as needed. `--chaos-seed` installs a
 //! store-buffer fault plan (active in `--features chaos` builds) and
 //! `--watchdog-ms` arms the per-level watchdog, so the recovery columns
-//! can be driven on demand.
+//! can be driven on demand. `--hybrid` appends direction-optimizing rows
+//! (BFS_CL+hyb, BFS_WSL+hyb) so the steal/recovery columns can be
+//! compared across top-down-only and hybrid execution.
 
 use obfs_bench::env::HostInfo;
 use obfs_bench::harness::pick_sources;
@@ -66,7 +68,20 @@ fn main() {
         "injected",
         "degraded",
     ]);
-    for algo in [Algorithm::Bfsws, Algorithm::Bfswsl] {
+    let mut rows =
+        vec![Contender::Ours(Algorithm::Bfsws), Contender::Ours(Algorithm::Bfswsl)];
+    if args.hybrid {
+        rows.extend(Contender::hybrid_roster());
+    }
+    // Hybrid rows borrow one shared transpose instead of rebuilding it
+    // inside every run.
+    let transpose = args.hybrid.then(|| graph.transpose());
+    for c in rows {
+        let locked_applies = matches!(c, Contender::Ours(Algorithm::Bfsws));
+        let lockfree_steals = matches!(
+            c,
+            Contender::Ours(Algorithm::Bfswsl) | Contender::OursHybrid(Algorithm::Bfswsl)
+        );
         let mut total = StealCounters::default();
         let mut recovery = ThreadStats::default();
         let mut degraded = 0u64;
@@ -77,7 +92,7 @@ fn main() {
         for rep in 0..REPS {
             let sources = pick_sources(&graph, args.sources, args.seed ^ (rep as u64) << 8);
             for &src in &sources {
-                let r = pool.run(Contender::Ours(algo), &graph, src, &opts);
+                let r = pool.run_with_transpose(c, &graph, transpose.as_ref(), src, &opts);
                 total.merge(&r.stats.totals.steal);
                 recovery.merge(&r.stats.totals);
                 degraded += u64::from(r.stats.degraded_levels);
@@ -92,17 +107,17 @@ fn main() {
                 );
             }
         }
-        assert!(total.is_consistent(), "{algo}: steal counters inconsistent: {total:?}");
+        assert!(total.is_consistent(), "{c}: steal counters inconsistent: {total:?}");
         let a = total.attempts;
         t.row(vec![
-            algo.name().to_string(),
+            c.name(),
             format!("{:.1}", time_ms / REPS as f64),
             format!("{} (100.00%)", count(a)),
-            fmt_cell(total.victim_locked, a, algo == Algorithm::Bfsws),
+            fmt_cell(total.victim_locked, a, locked_applies),
             fmt_cell(total.victim_idle, a, true),
             fmt_cell(total.too_small, a, true),
-            fmt_cell(total.stale, a, algo == Algorithm::Bfswsl),
-            fmt_cell(total.invalid, a, algo == Algorithm::Bfswsl),
+            fmt_cell(total.stale, a, lockfree_steals),
+            fmt_cell(total.invalid, a, lockfree_steals),
             format!("{} ({})", count(total.failed()), pct(total.failed(), a)),
             format!("{} ({})", count(total.success), pct(total.success, a)),
             count(recovery.fetch_retries),
@@ -116,7 +131,7 @@ fn main() {
                  \"victim_idle\":{},\"too_small\":{},\"stale\":{},\"invalid\":{},\
                  \"fetch_retries\":{},\"stale_slot_aborts\":{},\"injected_faults\":{},\
                  \"degraded_levels\":{}}}",
-                algo.name(),
+                c.name(),
                 a,
                 total.success,
                 total.victim_locked,
@@ -135,9 +150,9 @@ fn main() {
             // series with file-internally checkable conservation sums.
             let collect = BfsOptions { collect_level_stats: true, ..opts.clone() };
             let src = pick_sources(&graph, 1, args.seed)[0];
-            let r = pool.run(Contender::Ours(algo), &graph, src, &collect);
+            let r = pool.run_with_transpose(c, &graph, transpose.as_ref(), src, &collect);
             let mut members = vec![
-                ("contender".to_string(), Json::Str(algo.name().to_string())),
+                ("contender".to_string(), Json::Str(c.name())),
                 ("graph".to_string(), Json::Str(graph_kind.name().to_string())),
                 ("time_ms".to_string(), json::summary_json(&per_source.summary())),
                 ("teps".to_string(), Json::Num(teps.mean())),

@@ -3,7 +3,7 @@
 
 use obfs_baselines::hong::{hong_bfs_on_pool, HongVariant};
 use obfs_baselines::pbfs::PbfsRunner;
-use obfs_core::{run_bfs, Algorithm, BfsOptions, BfsResult, BfsRunner};
+use obfs_core::{run_bfs, Algorithm, BfsOptions, BfsResult, BfsRunner, HybridPolicy};
 use obfs_graph::{CsrGraph, VertexId};
 use obfs_runtime::LevelPool;
 
@@ -12,6 +12,9 @@ use obfs_runtime::LevelPool;
 pub enum Contender {
     /// One of this paper's algorithms.
     Ours(Algorithm),
+    /// One of this paper's algorithms with the direction-optimizing
+    /// hybrid enabled (default α/β heuristic).
+    OursHybrid(Algorithm),
     /// Leiserson–Schardl bag PBFS.
     Baseline1,
     /// A Hong et al. multicore variant.
@@ -29,10 +32,20 @@ impl Contender {
         v
     }
 
+    /// The direction-optimizing hybrid rows (`--hybrid` benches): the
+    /// two headline optimistic algorithms with the α/β heuristic on.
+    pub fn hybrid_roster() -> Vec<Contender> {
+        vec![
+            Contender::OursHybrid(Algorithm::Bfscl),
+            Contender::OursHybrid(Algorithm::Bfswsl),
+        ]
+    }
+
     /// Display name used as the table row label.
     pub fn name(&self) -> String {
         match self {
             Contender::Ours(a) => a.name().to_string(),
+            Contender::OursHybrid(a) => format!("{}+hyb", a.name()),
             Contender::Baseline1 => "Baseline1[bag]".to_string(),
             Contender::Baseline2(v) => format!("Baseline2/{v}"),
         }
@@ -83,11 +96,32 @@ impl ContenderPool {
         src: VertexId,
         opts: &BfsOptions,
     ) -> BfsResult {
+        self.run_with_transpose(contender, graph, None, src, opts)
+    }
+
+    /// Execute one BFS run, lending a precomputed transpose to hybrid
+    /// contenders so the bottom-up kernel does not rebuild it per run.
+    pub fn run_with_transpose(
+        &mut self,
+        contender: Contender,
+        graph: &CsrGraph,
+        transpose: Option<&CsrGraph>,
+        src: VertexId,
+        opts: &BfsOptions,
+    ) -> BfsResult {
         match contender {
             Contender::Ours(Algorithm::Serial) => run_bfs(Algorithm::Serial, graph, src, opts),
             Contender::Ours(a) => {
                 let opts = BfsOptions { threads: self.threads, ..opts.clone() };
                 self.ours.run(a, graph, src, &opts)
+            }
+            Contender::OursHybrid(a) => {
+                let opts = BfsOptions {
+                    threads: self.threads,
+                    hybrid: Some(HybridPolicy::default()),
+                    ..opts.clone()
+                };
+                self.ours.run_with_transpose(a, graph, transpose, src, &opts)
             }
             Contender::Baseline1 => self.pbfs.run(graph, src),
             Contender::Baseline2(v) => hong_bfs_on_pool(v, graph, src, &self.hong_pool),
@@ -118,6 +152,27 @@ mod tests {
         for c in Contender::roster() {
             let r = pool.run(c, &g, 0, &opts);
             assert_eq!(r.levels, ser.levels, "{c} produced wrong levels");
+        }
+    }
+
+    #[test]
+    fn hybrid_contenders_run_with_and_without_a_lent_transpose() {
+        let g = gen::erdos_renyi(400, 2800, 5);
+        let ser = serial_bfs(&g, 0);
+        let transpose = g.transpose();
+        let mut pool = ContenderPool::new(4);
+        let opts = BfsOptions { threads: 4, ..Default::default() };
+        for c in Contender::hybrid_roster() {
+            assert!(c.name().ends_with("+hyb"), "{c}");
+            let lent = pool.run_with_transpose(c, &g, Some(&transpose), 0, &opts);
+            assert_eq!(lent.levels, ser.levels, "{c} wrong with a lent transpose");
+            let owned = pool.run(c, &g, 0, &opts);
+            assert_eq!(owned.levels, ser.levels, "{c} wrong with an owned transpose");
+            assert_eq!(
+                lent.stats.directions.len() as u32,
+                lent.stats.levels,
+                "{c}: hybrid runs must record a direction per level"
+            );
         }
     }
 

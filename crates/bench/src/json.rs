@@ -333,7 +333,9 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 // ---------------------------------------------------------------------
 
 /// Current report schema version (bump on breaking layout changes).
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: hybrid direction-optimizing support — `frontier_edges` counter,
+/// per-level `direction` ("td"/"bu"), `hybrid` run parameter.
+pub const SCHEMA_VERSION: u64 = 2;
 
 fn num(x: f64) -> Json {
     Json::Num(x)
@@ -387,6 +389,7 @@ pub fn thread_stats_json(x: &ThreadStats) -> Json {
         ("dedup_skips".into(), int(x.dedup_skips)),
         ("lock_acquisitions".into(), int(x.lock_acquisitions)),
         ("injected_faults".into(), int(x.injected_faults)),
+        ("frontier_edges".into(), int(x.frontier_edges)),
         ("steal".into(), steal_json(&x.steal)),
     ])
 }
@@ -399,6 +402,7 @@ pub fn level_json(e: &LevelStats) -> Json {
         ("discovered".into(), int(e.discovered as u64)),
         ("time_us".into(), num(e.duration.as_secs_f64() * 1e6)),
         ("degraded".into(), Json::Bool(e.degraded)),
+        ("direction".into(), s(e.direction.label())),
         ("counters".into(), thread_stats_json(&e.counters)),
     ])
 }
@@ -460,6 +464,7 @@ impl BenchReport {
                 ("threads".into(), int(args.threads as u64)),
                 ("sources".into(), int(args.sources as u64)),
                 ("seed".into(), int(args.seed)),
+                ("hybrid".into(), Json::Bool(args.hybrid)),
             ]),
             results: Vec::new(),
         }
@@ -539,6 +544,7 @@ const COUNTER_KEYS: &[&str] = &[
     "dedup_skips",
     "lock_acquisitions",
     "injected_faults",
+    "frontier_edges",
 ];
 
 const STEAL_KEYS: &[&str] = &[
@@ -565,6 +571,7 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
     for key in ["divisor", "threads", "sources", "seed"] {
         req_u64(params, key, "params")?;
     }
+    req(params, "hybrid", "params")?.as_bool().ok_or("params.hybrid: not a bool")?;
     let results =
         req(doc, "results", "report")?.as_arr().ok_or("report.results: not an array")?;
     if results.is_empty() {
@@ -619,6 +626,12 @@ fn validate_series(series: &Json, at: &str) -> Result<(), String> {
             .as_bool()
             .ok_or_else(|| format!("{lat}.degraded: not a bool"))?;
         degraded_sum += u64::from(degraded);
+        let direction = req(e, "direction", &lat)?
+            .as_str()
+            .ok_or_else(|| format!("{lat}.direction: not a string"))?;
+        if direction != "td" && direction != "bu" {
+            return Err(format!("{lat}.direction: {direction:?} is not \"td\"/\"bu\""));
+        }
         let counters = req(e, "counters", &lat)?;
         for (j, key) in COUNTER_KEYS.iter().enumerate() {
             counter_sums[j] += req_u64(counters, key, &format!("{lat}.counters"))?;
@@ -717,6 +730,7 @@ mod tests {
             ("discovered".into(), int(2)),
             ("time_us".into(), num(3.5)),
             ("degraded".into(), Json::Bool(degraded)),
+            ("direction".into(), s("td")),
             ("counters".into(), thread_stats_json(counters)),
         ])
     }
@@ -733,6 +747,7 @@ mod tests {
                     ("threads".into(), int(4)),
                     ("sources".into(), int(2)),
                     ("seed".into(), int(1)),
+                    ("hybrid".into(), Json::Bool(false)),
                 ]),
             ),
             (
@@ -798,6 +813,22 @@ mod tests {
             tiny_series(vec![level_entry(&bad, false)], thread_stats_json(&bad), 0);
         let err = validate_report(&report_with_series(series)).unwrap_err();
         assert!(err.contains("buckets"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_direction() {
+        let a = ThreadStats::default();
+        let mut entry = level_entry(&a, false);
+        if let Json::Obj(members) = &mut entry {
+            for (k, v) in members.iter_mut() {
+                if k == "direction" {
+                    *v = s("sideways");
+                }
+            }
+        }
+        let series = tiny_series(vec![entry], thread_stats_json(&a), 0);
+        let err = validate_report(&report_with_series(series)).unwrap_err();
+        assert!(err.contains("direction"), "{err}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 #![warn(missing_docs)]
 
-use obfs_core::{run_bfs, serial::serial_bfs, Algorithm, BfsOptions};
+use obfs_core::{run_bfs, serial::serial_bfs, Algorithm, BfsOptions, HybridPolicy};
 use obfs_graph::{gen, io, stats, CsrGraph};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -17,7 +17,7 @@ pub fn usage() -> String {
      [--edge-factor k] [--gamma g] [--seed s] --out FILE\n\
        stats      --in FILE\n\
        bfs        --in FILE --algo NAME [--src v] [--threads p] [--validate] \
-     [--parents] [--trace [OUT.json]]\n\
+     [--parents] [--trace [OUT.json]] [--hybrid] [--alpha a] [--beta b]\n\
        components --in FILE [--threads p] [--algo NAME]\n\
        bipartite  --in FILE [--threads p]\n\
        bc         --in FILE [--samples k] [--seed s] [--top t]\n\
@@ -183,10 +183,22 @@ fn bfs_opts(flags: &HashMap<String, String>) -> Result<BfsOptions, String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    // `--hybrid` enables the direction-optimizing driver; `--alpha` /
+    // `--beta` tune Beamer's switch constants (defaults 14 / 24) and
+    // imply `--hybrid`.
+    let defaults = HybridPolicy::default();
+    let alpha: u64 = get_num(flags, "alpha", defaults.alpha)?;
+    let beta: u64 = get_num(flags, "beta", defaults.beta)?;
+    if alpha == 0 || beta == 0 {
+        return Err("--alpha and --beta must be at least 1".into());
+    }
+    let hybrid = (has(flags, "hybrid") || has(flags, "alpha") || has(flags, "beta"))
+        .then(|| HybridPolicy::with_constants(alpha, beta));
     Ok(BfsOptions {
         threads,
         record_parents: has(flags, "parents"),
         collect_level_stats: has(flags, "trace"),
+        hybrid,
         ..BfsOptions::default()
     })
 }
@@ -236,13 +248,23 @@ fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
         t.steal.success,
         t.steal.attempts
     );
+    if opts.hybrid.is_some() {
+        let dirs: Vec<&str> = r.stats.directions.iter().map(|d| d.label()).collect();
+        let _ = writeln!(
+            out,
+            "hybrid directions: {} ({} switch(es))",
+            dirs.join(","),
+            r.stats.direction_switches
+        );
+    }
     if has(flags, "trace") {
-        let _ = writeln!(out, "level  frontier  discovered   time(us)");
+        let _ = writeln!(out, "level  dir  frontier  discovered   time(us)");
         for e in &r.stats.level_stats {
             let _ = writeln!(
                 out,
-                "{:>5}  {:>8}  {:>10}  {:>9.1}",
+                "{:>5}  {:>3}  {:>8}  {:>10}  {:>9.1}",
                 e.level,
+                e.direction.label(),
                 e.frontier,
                 e.discovered,
                 e.duration.as_secs_f64() * 1e6
@@ -380,7 +402,34 @@ mod tests {
         ]))
         .unwrap();
         assert!(rep.contains("validated against serial BFS: OK"), "{rep}");
-        assert!(rep.contains("level  frontier"), "trace table missing: {rep}");
+        assert!(rep.contains("level  dir  frontier"), "trace table missing: {rep}");
+    }
+
+    #[test]
+    fn hybrid_flags_validate_and_report_directions() {
+        let path = tmp("hyb.bin");
+        dispatch(&strs(&[
+            "gen", "--model", "er", "--n", "400", "--edge-factor", "20", "--out", &path,
+        ]))
+        .unwrap();
+        let rep = dispatch(&strs(&[
+            "bfs", "--in", &path, "--algo", "BFS_CL", "--threads", "2", "--hybrid",
+            "--validate", "--parents", "--trace",
+        ]))
+        .unwrap();
+        assert!(rep.contains("validated against serial BFS: OK"), "{rep}");
+        assert!(rep.contains("hybrid directions:"), "{rep}");
+        // Dense ER at edge-factor 20 must flip bottom-up at least once.
+        assert!(rep.contains("bu"), "no bottom-up level reported: {rep}");
+        // --alpha alone implies --hybrid.
+        let rep = dispatch(&strs(&[
+            "bfs", "--in", &path, "--threads", "2", "--alpha", "1000000", "--validate",
+        ]))
+        .unwrap();
+        assert!(rep.contains("hybrid directions:"), "{rep}");
+        // Bad knobs are rejected.
+        assert!(dispatch(&strs(&["bfs", "--in", &path, "--alpha", "0"])).is_err());
+        assert!(dispatch(&strs(&["bfs", "--in", &path, "--beta", "nope"])).is_err());
     }
 
     #[test]
@@ -396,7 +445,7 @@ mod tests {
         ]))
         .unwrap();
         // The per-level table is printed either way.
-        assert!(rep.contains("level  frontier"), "{rep}");
+        assert!(rep.contains("level  dir  frontier"), "{rep}");
         #[cfg(feature = "trace")]
         {
             assert!(rep.contains("wrote trace"), "{rep}");

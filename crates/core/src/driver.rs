@@ -19,7 +19,7 @@
 //! paper's races to within a single level.
 
 use crate::frontier::decode;
-use crate::options::{Algorithm, BfsOptions};
+use crate::options::{Algorithm, BfsOptions, Direction};
 use crate::perthread::PerThread;
 use crate::state::RunState;
 use crate::stats::{RunStats, ThreadStats};
@@ -73,30 +73,56 @@ pub fn run_on_pool(
     opts: &BfsOptions,
     pool: &LevelPool,
 ) -> BfsResult {
+    run_on_pool_with_transpose(algo, graph, src, opts, pool, None)
+}
+
+/// As [`run_on_pool`], but probing hybrid bottom-up levels through a
+/// caller-provided in-edge graph (must be `graph.transpose()`, or the
+/// graph itself for symmetric graphs; benchmarks amortize it across
+/// runs). Ignored unless [`BfsOptions::hybrid`] is set; when hybrid is
+/// set and no transpose is given, one is built before the traversal
+/// timer starts.
+pub fn run_on_pool_with_transpose<'g>(
+    algo: Algorithm,
+    graph: &'g CsrGraph,
+    src: VertexId,
+    opts: &BfsOptions,
+    pool: &LevelPool,
+    transpose: Option<&'g CsrGraph>,
+) -> BfsResult {
     assert_eq!(opts.threads, pool.threads(), "options/pool thread mismatch");
     assert!(
         (src as usize) < graph.num_vertices(),
         "source {src} out of range for n={}",
         graph.num_vertices()
     );
+    let t = transpose;
     match algo {
         Algorithm::Serial => crate::serial::serial_bfs_with_opts(graph, src, opts),
-        Algorithm::Bfsc => drive(&crate::centralized::CentralLocked, graph, src, opts, pool),
-        Algorithm::Bfscl => drive(&crate::centralized::CentralLockfree, graph, src, opts, pool),
-        Algorithm::Bfsdl => drive(&crate::decentralized::Decentralized, graph, src, opts, pool),
+        Algorithm::Bfsc => {
+            drive_with_transpose(&crate::centralized::CentralLocked, graph, src, opts, pool, t)
+        }
+        Algorithm::Bfscl => {
+            drive_with_transpose(&crate::centralized::CentralLockfree, graph, src, opts, pool, t)
+        }
+        Algorithm::Bfsdl => {
+            drive_with_transpose(&crate::decentralized::Decentralized, graph, src, opts, pool, t)
+        }
         Algorithm::Bfsw => {
-            drive(&crate::worksteal::WorkStealing { locked: true, scale_free: false }, graph, src, opts, pool)
+            drive_with_transpose(&crate::worksteal::WorkStealing { locked: true, scale_free: false }, graph, src, opts, pool, t)
         }
         Algorithm::Bfswl => {
-            drive(&crate::worksteal::WorkStealing { locked: false, scale_free: false }, graph, src, opts, pool)
+            drive_with_transpose(&crate::worksteal::WorkStealing { locked: false, scale_free: false }, graph, src, opts, pool, t)
         }
         Algorithm::Bfsws => {
-            drive(&crate::worksteal::WorkStealing { locked: true, scale_free: true }, graph, src, opts, pool)
+            drive_with_transpose(&crate::worksteal::WorkStealing { locked: true, scale_free: true }, graph, src, opts, pool, t)
         }
         Algorithm::Bfswsl => {
-            drive(&crate::worksteal::WorkStealing { locked: false, scale_free: true }, graph, src, opts, pool)
+            drive_with_transpose(&crate::worksteal::WorkStealing { locked: false, scale_free: true }, graph, src, opts, pool, t)
         }
-        Algorithm::EdgeCl => drive(&crate::ext::EdgePartitioned, graph, src, opts, pool),
+        Algorithm::EdgeCl => {
+            drive_with_transpose(&crate::ext::EdgePartitioned, graph, src, opts, pool, t)
+        }
     }
 }
 
@@ -108,16 +134,28 @@ pub fn drive<S: Strategy>(
     opts: &BfsOptions,
     pool: &LevelPool,
 ) -> BfsResult {
-    let mut st = RunState::new(graph, opts);
+    drive_with_transpose(strategy, graph, src, opts, pool, None)
+}
+
+/// As [`drive`], with an optional caller-provided in-edge graph for
+/// hybrid bottom-up levels (see [`run_on_pool_with_transpose`]).
+pub fn drive_with_transpose<'g, S: Strategy>(
+    strategy: &S,
+    graph: &'g CsrGraph,
+    src: VertexId,
+    opts: &BfsOptions,
+    pool: &LevelPool,
+    transpose: Option<&'g CsrGraph>,
+) -> BfsResult {
+    let mut st = RunState::new_with_transpose(graph, opts, transpose);
     let stats = PerThread::new(opts.threads, |_| ThreadStats::default());
     let deepest = PerThread::new(opts.threads, |_| 0u32);
     // Per-level counter snapshots: each worker copies its cumulative
     // ThreadStats here right before the level-end barrier so the leader
     // can merge a consistent cross-thread view without aliasing the
-    // workers' live `&mut` stats.
-    let level_snap = st
-        .opts
-        .collect_level_stats
+    // workers' live `&mut` stats. The hybrid heuristic needs the same
+    // snapshots for its cross-thread frontier-edge sums.
+    let level_snap = (st.opts.collect_level_stats || st.opts.hybrid.is_some())
         .then(|| PerThread::new(opts.threads, |_| ThreadStats::default()));
     // Drained flight-recorder rings, filled by each worker on exit.
     let flight_dumps =
@@ -159,6 +197,23 @@ pub fn drive<S: Strategy>(
             let mut rear = 0usize;
             queue.push(&mut rear, src);
             st.next_total.store(1);
+            if let (Some(hyb), Some(pol)) = (&st.hyb, st.opts.hybrid) {
+                // Level-0 direction: Beamer's rule with nf = 1,
+                // mf = degree(src), mu = m (nothing explored yet) —
+                // the same inputs the baseline uses for its first level.
+                // SAFETY: barrier serial section.
+                let ctl = unsafe { hyb.ctl.get_mut() };
+                let dir0 = pol.decide(
+                    Direction::TopDown,
+                    1,
+                    st.graph.degree(src) as u64,
+                    ctl.unexplored_edges,
+                    st.graph.num_vertices() as u64,
+                );
+                ctl.directions.push(dir0);
+                // SAFETY: barrier serial section.
+                unsafe { *hyb.direction.get_mut() = dir0 };
+            }
             if let Some(tr) = &st.trace {
                 // SAFETY: barrier serial section.
                 let t = unsafe { tr.get_mut() };
@@ -174,6 +229,20 @@ pub fn drive<S: Strategy>(
         let mut level = 0u32;
         let mut out_rear = 0usize;
         loop {
+            // Direction the leader picked for this level (always top-down
+            // without hybrid). SAFETY: written only in the previous
+            // barrier's serial section; read only between barriers.
+            let dir = match &st.hyb {
+                Some(h) => unsafe { *h.direction.get() },
+                None => Direction::TopDown,
+            };
+            if dir == Direction::BottomUp {
+                // Rebuild this worker's share of the frontier bitmap from
+                // the level[] stores the last barrier published (under
+                // chaos, that barrier also flushed every deferred store —
+                // including the leader's degraded-sweep writes).
+                st.fill_bitmap_chunk(level, tid);
+            }
             let env = LevelEnv { st: &st, parity, level };
             strategy.level_start(&env, tid);
             ctx.barrier().wait();
@@ -183,7 +252,19 @@ pub fn drive<S: Strategy>(
                 st.qin(parity).queue(tid).rear() as u64,
                 0,
             );
-            strategy.consume(&env, &ctx, tid, &mut out_rear, &mut rng, ts);
+            if dir == Direction::BottomUp {
+                // All threads take this branch (they read the same cell),
+                // so strategies with internal barriers stay aligned.
+                st.bottom_up_level(
+                    level,
+                    tid,
+                    st.qout(parity).queue(tid),
+                    &mut out_rear,
+                    ts,
+                );
+            } else {
+                strategy.consume(&env, &ctx, tid, &mut out_rear, &mut rng, ts);
+            }
             flight::record(flight::kind::LEVEL_END, level, 0, 0);
             if st.opts.chaos.is_some() {
                 // Keep injected_faults cumulative at level granularity so
@@ -223,6 +304,53 @@ pub fn drive<S: Strategy>(
                     // its own count so this level's delta includes it.
                     ts.injected_faults = obfs_sync::chaos::faults_injected();
                 }
+                if let (Some(hyb), Some(pol)) = (&st.hyb, st.opts.hybrid) {
+                    // SAFETY: barrier serial section.
+                    let ctl = unsafe { hyb.ctl.get_mut() };
+                    // Cross-thread frontier edge volume: the leader's live
+                    // counters (which include any sweep above) plus the
+                    // peers' pre-barrier snapshots.
+                    let mut fe = ts.frontier_edges;
+                    if let Some(snap) = &level_snap {
+                        for k in 0..st.threads {
+                            if k != tid {
+                                // SAFETY: peers are parked at the barrier
+                                // and published their snapshots.
+                                fe += unsafe { snap.get(k) }.frontier_edges;
+                            }
+                        }
+                    }
+                    let mf = fe - ctl.prev_frontier_edges;
+                    ctl.prev_frontier_edges = fe;
+                    // Beamer's bookkeeping order: retire the next
+                    // frontier's edges from mu first, then decide.
+                    ctl.unexplored_edges -= mf.min(ctl.unexplored_edges);
+                    if produced > 0 {
+                        let next_dir = pol.decide(
+                            dir,
+                            produced as u64,
+                            mf,
+                            ctl.unexplored_edges,
+                            st.graph.num_vertices() as u64,
+                        );
+                        if next_dir != dir {
+                            ctl.switches += 1;
+                            let code = |d: Direction| match d {
+                                Direction::TopDown => flight::kind::DIR_TOP_DOWN,
+                                Direction::BottomUp => flight::kind::DIR_BOTTOM_UP,
+                            };
+                            flight::record(
+                                flight::kind::DIR_SWITCH,
+                                this_level + 1,
+                                code(next_dir),
+                                code(dir),
+                            );
+                        }
+                        ctl.directions.push(next_dir);
+                        // SAFETY: barrier serial section.
+                        unsafe { *hyb.direction.get_mut() = next_dir };
+                    }
+                }
                 if let (Some(tr), Some(snap)) = (&st.trace, &level_snap) {
                     // SAFETY: barrier serial section; every peer is parked
                     // at the barrier and published its snapshot (its own
@@ -243,6 +371,7 @@ pub fn drive<S: Strategy>(
                         discovered: produced,
                         duration: now - t.mark,
                         degraded,
+                        direction: dir,
                         counters,
                     });
                     t.mark = now;
@@ -309,6 +438,17 @@ pub fn drive<S: Strategy>(
     // SAFETY: workers are done (pool.run returned); no serial section can
     // be mutating the cell.
     stats.degraded_levels = unsafe { *st.wd_degraded.get() };
+    if let Some(hyb) = st.hyb.take() {
+        // Workers are done (pool.run returned); sole owner.
+        let ctl = hyb.ctl.into_inner();
+        debug_assert_eq!(
+            ctl.directions.len() as u32,
+            levels_run,
+            "one recorded direction per executed level"
+        );
+        stats.directions = ctl.directions;
+        stats.direction_switches = ctl.switches;
+    }
     if let Some(tr) = st.trace.take() {
         // Workers are done (pool.run returned); sole owner.
         stats.level_stats = tr.into_inner().entries;

@@ -128,6 +128,72 @@ impl FrontierQueue {
     }
 }
 
+/// Bit-per-vertex frontier for the hybrid's bottom-up levels, stored in
+/// racy `u32` words so it lives under the same optimistic memory model
+/// (and chaos interception) as every other shared structure.
+///
+/// Ownership protocol per bottom-up level: the driver statically
+/// partitions the word range across workers, each worker **rebuilds only
+/// its own words** from the shared `level[]` array (single writer per
+/// word, no read-modify-write needed), and a level barrier separates the
+/// fill from the probes — so reads during the bottom-up scan race with
+/// nothing.
+pub struct FrontierBitmap {
+    words: RacyBuf,
+    len: usize,
+}
+
+/// Bits per bitmap word.
+pub const BITMAP_WORD_BITS: usize = 32;
+
+impl FrontierBitmap {
+    /// Bitmap covering `len` vertices.
+    pub fn new(len: usize) -> Self {
+        Self { words: RacyBuf::new(len.div_ceil(BITMAP_WORD_BITS).max(1)), len }
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of `u32` words backing the bitmap.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Racy test of vertex `v`'s bit.
+    #[inline]
+    pub fn test(&self, v: usize) -> bool {
+        debug_assert!(v < self.len);
+        self.words.get(v / BITMAP_WORD_BITS) >> (v % BITMAP_WORD_BITS) & 1 == 1
+    }
+
+    /// Store a whole word (the single-writer fill path).
+    #[inline]
+    pub fn set_word(&self, wi: usize, bits: u32) {
+        self.words.set(wi, bits);
+    }
+
+    /// Racy read of a whole word.
+    #[inline]
+    pub fn word(&self, wi: usize) -> u32 {
+        self.words.get(wi)
+    }
+
+    /// Test/diagnostic helper: the set bits as vertex ids, ascending.
+    pub fn snapshot_ones(&self) -> Vec<usize> {
+        (0..self.len).filter(|&v| self.test(v)).collect()
+    }
+}
+
 /// The `Qin[p]` / `Qout[p]` array of queues.
 pub struct QueueSet {
     queues: Vec<FrontierQueue>,
@@ -288,6 +354,30 @@ mod tests {
         qs.queue(2).push(&mut r2, 9);
         qs.queue(2).push(&mut r2, 1);
         assert_eq!(qs.total_entries(), 3);
+    }
+
+    #[test]
+    fn bitmap_words_and_bits() {
+        let b = FrontierBitmap::new(70);
+        assert_eq!(b.len(), 70);
+        assert_eq!(b.word_count(), 3);
+        b.set_word(0, 1 << 5 | 1); // vertices 0 and 5
+        b.set_word(2, 1 << 3); // vertex 67
+        assert!(b.test(0) && b.test(5) && b.test(67));
+        assert!(!b.test(1) && !b.test(64));
+        assert_eq!(b.snapshot_ones(), vec![0, 5, 67]);
+        b.set_word(0, 0);
+        assert_eq!(b.snapshot_ones(), vec![67]);
+    }
+
+    #[test]
+    fn bitmap_handles_tiny_and_exact_sizes() {
+        let b = FrontierBitmap::new(1);
+        assert_eq!(b.word_count(), 1);
+        b.set_word(0, 1);
+        assert!(b.test(0));
+        let b = FrontierBitmap::new(64);
+        assert_eq!(b.word_count(), 2);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub mod validate;
 pub mod worksteal;
 
 pub use flight::FlightRecording;
-pub use options::{Algorithm, BfsOptions, DedupMode, SegmentPolicy, WatchdogPolicy};
+pub use options::{
+    Algorithm, BfsOptions, DedupMode, Direction, ForcedDirection, HybridPolicy, SegmentPolicy,
+    WatchdogPolicy,
+};
 pub use stats::{LevelStats, RunStats, StealCounters, ThreadStats};
 
 use obfs_graph::CsrGraph;
@@ -122,5 +125,29 @@ impl BfsRunner {
             "BfsOptions::threads must match the runner's pool size"
         );
         driver::run_on_pool(algo, graph, src, opts, &self.pool)
+    }
+
+    /// As [`BfsRunner::run`], but probing hybrid bottom-up levels
+    /// through a caller-provided in-edge graph (must be
+    /// `graph.transpose()`, or the graph itself for symmetric graphs) so
+    /// repeated runs amortize the transpose. Ignored unless
+    /// [`BfsOptions::hybrid`] is set.
+    pub fn run_with_transpose<'g>(
+        &self,
+        algo: Algorithm,
+        graph: &'g CsrGraph,
+        transpose: Option<&'g CsrGraph>,
+        src: VertexId,
+        opts: &BfsOptions,
+    ) -> BfsResult {
+        if algo == Algorithm::Serial {
+            return serial::serial_bfs_with_opts(graph, src, opts);
+        }
+        assert_eq!(
+            opts.threads,
+            self.pool.threads(),
+            "BfsOptions::threads must match the runner's pool size"
+        );
+        driver::run_on_pool_with_transpose(algo, graph, src, opts, &self.pool, transpose)
     }
 }

@@ -141,6 +141,97 @@ impl SegmentPolicy {
     }
 }
 
+/// Traversal direction of one BFS level (direction-optimizing hybrid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Parent-to-child frontier expansion (the paper's algorithms).
+    #[default]
+    TopDown,
+    /// Child-to-parent frontier probing: each unvisited vertex scans its
+    /// in-edges for a parent at the current level (plain idempotent
+    /// stores, no atomics — the optimistic memory model carries over).
+    BottomUp,
+}
+
+impl Direction {
+    /// Short stable label ("td" / "bu") used by the bench JSON schema.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Direction::TopDown => "td",
+            Direction::BottomUp => "bu",
+        }
+    }
+}
+
+/// Override for the hybrid direction heuristic (testing / ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForcedDirection {
+    /// Every level runs top-down (hybrid plumbing active, switch never
+    /// fires — isolates the bitmap/telemetry overhead).
+    AlwaysTopDown,
+    /// Every level after the source seed runs bottom-up.
+    AlwaysBottomUp,
+}
+
+/// Direction-optimizing hybrid configuration (Beamer-style α/β switch
+/// heuristic over the live frontier-density estimates of the per-level
+/// driver). `None` in [`BfsOptions::hybrid`] keeps the paper's pure
+/// top-down behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridPolicy {
+    /// Switch to bottom-up when the frontier's out-edge volume exceeds
+    /// `unexplored_edges / alpha` (Beamer's published α = 14).
+    pub alpha: u64,
+    /// Switch back to top-down when the frontier shrinks below
+    /// `n / beta` (Beamer's published β = 24).
+    pub beta: u64,
+    /// Force a fixed direction instead of the heuristic (tests /
+    /// ablations); `None` runs the α/β rule.
+    pub force: Option<ForcedDirection>,
+}
+
+impl Default for HybridPolicy {
+    fn default() -> Self {
+        Self { alpha: 14, beta: 24, force: None }
+    }
+}
+
+impl HybridPolicy {
+    /// The heuristic with custom switch constants.
+    pub fn with_constants(alpha: u64, beta: u64) -> Self {
+        Self { alpha: alpha.max(1), beta: beta.max(1), force: None }
+    }
+
+    /// A policy pinned to one direction.
+    pub fn forced(dir: ForcedDirection) -> Self {
+        Self { force: Some(dir), ..Self::default() }
+    }
+
+    /// The α/β switch rule, in one place so the driver and the tests
+    /// replaying recorded series agree exactly: given the direction of
+    /// the finished level, the next frontier's vertex count `nf` and
+    /// out-edge volume `mf`, the remaining unexplored edge volume `mu`,
+    /// and the vertex count `n`, decide the next level's direction.
+    pub fn decide(&self, was: Direction, nf: u64, mf: u64, mu: u64, n: u64) -> Direction {
+        match self.force {
+            Some(ForcedDirection::AlwaysTopDown) => Direction::TopDown,
+            Some(ForcedDirection::AlwaysBottomUp) => Direction::BottomUp,
+            None => {
+                let go_bottom_up = if was == Direction::BottomUp {
+                    nf >= n / self.beta.max(1) // stay until the frontier shrinks
+                } else {
+                    mf > mu / self.alpha.max(1)
+                };
+                if go_bottom_up {
+                    Direction::BottomUp
+                } else {
+                    Direction::TopDown
+                }
+            }
+        }
+    }
+}
+
 /// Per-level watchdog limits for graceful degradation (DESIGN.md §7).
 ///
 /// The optimistic dispatchers recover from racy corruption by retrying;
@@ -219,6 +310,10 @@ pub struct BfsOptions {
     pub chaos: Option<ChaosConfig>,
     /// Per-level watchdog; `None` (default) disables all polling.
     pub watchdog: Option<WatchdogPolicy>,
+    /// Direction-optimizing hybrid: `Some` lets the per-level driver run
+    /// dense levels bottom-up (BFSCL/BFSWSL and every other driver-based
+    /// variant); `None` (default) keeps the paper's pure top-down runs.
+    pub hybrid: Option<HybridPolicy>,
 }
 
 impl Default for BfsOptions {
@@ -239,6 +334,7 @@ impl Default for BfsOptions {
             flight_recorder: None,
             chaos: None,
             watchdog: None,
+            hybrid: None,
         }
     }
 }
@@ -306,6 +402,29 @@ mod tests {
         assert_eq!(opts.resolved_hub_threshold(&g), 64);
         let opts2 = BfsOptions { hub_threshold: Some(5), ..Default::default() };
         assert_eq!(opts2.resolved_hub_threshold(&g), 5);
+    }
+
+    #[test]
+    fn hybrid_decide_matches_beamer_rule() {
+        let pol = HybridPolicy::default();
+        // Top-down stays top-down while the frontier is edge-sparse.
+        assert_eq!(pol.decide(Direction::TopDown, 10, 10, 1000, 100), Direction::TopDown);
+        // mf > mu/α flips to bottom-up.
+        assert_eq!(pol.decide(Direction::TopDown, 10, 200, 1000, 100), Direction::BottomUp);
+        // Bottom-up holds while nf >= n/β ...
+        assert_eq!(pol.decide(Direction::BottomUp, 50, 0, 0, 240), Direction::BottomUp);
+        // ... and returns top-down once the frontier shrinks below n/β.
+        assert_eq!(pol.decide(Direction::BottomUp, 5, 0, 0, 240), Direction::TopDown);
+    }
+
+    #[test]
+    fn hybrid_forced_overrides_heuristic() {
+        let td = HybridPolicy::forced(ForcedDirection::AlwaysTopDown);
+        let bu = HybridPolicy::forced(ForcedDirection::AlwaysBottomUp);
+        assert_eq!(td.decide(Direction::TopDown, 10, 1 << 40, 1, 100), Direction::TopDown);
+        assert_eq!(bu.decide(Direction::BottomUp, 0, 0, 1 << 40, 100), Direction::BottomUp);
+        assert_eq!(Direction::TopDown.label(), "td");
+        assert_eq!(Direction::BottomUp.label(), "bu");
     }
 
     #[test]

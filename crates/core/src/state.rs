@@ -1,8 +1,10 @@
 //! Shared run state and the discovery fast path common to every parallel
 //! BFS variant.
 
-use crate::frontier::{decode, FrontierQueue, QueueSet, SegmentDesc, EMPTY_SLOT};
-use crate::options::{BfsOptions, DedupMode};
+use crate::frontier::{
+    decode, FrontierBitmap, FrontierQueue, QueueSet, SegmentDesc, BITMAP_WORD_BITS, EMPTY_SLOT,
+};
+use crate::options::{BfsOptions, DedupMode, Direction};
 use crate::perthread::PerThread;
 use crate::stats::ThreadStats;
 use crate::UNVISITED;
@@ -74,6 +76,58 @@ impl Default for TraceState {
     }
 }
 
+/// The in-edge graph a hybrid run probes during bottom-up levels: either
+/// borrowed from the caller (benchmarks amortize the transpose across
+/// runs) or built once per run before the timed traversal starts.
+pub enum TransposeRef<'g> {
+    /// Caller-provided transpose (`graph.transpose()`, or the graph
+    /// itself for symmetric graphs).
+    Borrowed(&'g CsrGraph),
+    /// Transpose computed by [`RunState::new_with_transpose`].
+    Owned(Box<CsrGraph>),
+}
+
+impl TransposeRef<'_> {
+    /// The in-edge graph.
+    #[inline]
+    pub fn graph(&self) -> &CsrGraph {
+        match self {
+            TransposeRef::Borrowed(g) => g,
+            TransposeRef::Owned(g) => g,
+        }
+    }
+}
+
+/// Leader-side bookkeeping for the hybrid α/β switch heuristic, written
+/// only in barrier serial sections.
+#[derive(Debug)]
+pub struct HybridCtl {
+    /// Edge volume not yet claimed by any discovered frontier (`mu`).
+    pub unexplored_edges: u64,
+    /// Cumulative cross-thread `frontier_edges` at the previous level
+    /// boundary; the per-level `mf` is the difference against this.
+    pub prev_frontier_edges: u64,
+    /// Direction of every executed level, in order.
+    pub directions: Vec<Direction>,
+    /// Number of adjacent level pairs that ran in different directions.
+    pub switches: u32,
+}
+
+/// Everything the hybrid mode adds to a run: the in-edge graph, the
+/// frontier bitmap for bottom-up levels, and the leader's heuristic
+/// state. Present iff [`BfsOptions::hybrid`] is set.
+pub struct HybridState<'g> {
+    /// In-edge graph probed by the bottom-up kernel.
+    pub transpose: TransposeRef<'g>,
+    /// Frontier-membership bitmap, rebuilt per bottom-up level.
+    pub bitmap: FrontierBitmap,
+    /// Direction of the upcoming/current level (leader-written in the
+    /// level-end serial section, worker-read between barriers).
+    pub direction: SerialCell<Direction>,
+    /// Heuristic bookkeeping (leader-only).
+    pub ctl: SerialCell<HybridCtl>,
+}
+
 /// Cursor state of the lock-based centralized dispatcher (BFSC): the
 /// `⟨q, f⟩` pair of the paper, protected by one global lock.
 #[derive(Debug, Clone, Copy, Default)]
@@ -121,6 +175,13 @@ pub struct RunState<'g> {
     pub flat_prefix: SerialCell<Vec<u64>>,
     /// Leader-side per-level telemetry (when requested).
     pub trace: Option<SerialCell<TraceState>>,
+    /// Direction-optimizing hybrid state; `None` unless
+    /// [`BfsOptions::hybrid`] is set.
+    pub hyb: Option<HybridState<'g>>,
+    /// Cached `opts.hybrid.is_some()` so the `frontier_edges` accounting
+    /// in [`RunState::try_discover`] is one predictable branch (and the
+    /// paper's top-down hot path pays nothing when hybrid is off).
+    count_frontier_edges: bool,
     /// Watchdog trip flag. Deliberately a *real* atomic: the watchdog is
     /// control plane, not part of the paper's optimistically-racy state,
     /// so it must stay reliable even under fault injection.
@@ -141,8 +202,24 @@ pub struct RunState<'g> {
 }
 
 impl<'g> RunState<'g> {
-    /// Allocate all shared state for one BFS run.
+    /// Allocate all shared state for one BFS run. When
+    /// [`BfsOptions::hybrid`] is set the in-edge graph is computed here
+    /// (before the driver starts its traversal timer); callers that
+    /// already hold a transpose should use
+    /// [`RunState::new_with_transpose`] instead.
     pub fn new(graph: &'g CsrGraph, opts: &BfsOptions) -> Self {
+        Self::new_with_transpose(graph, opts, None)
+    }
+
+    /// Like [`RunState::new`], but probing bottom-up levels through the
+    /// caller-provided in-edge graph (must be `graph.transpose()`, or
+    /// `graph` itself when the graph is symmetric). Ignored unless
+    /// [`BfsOptions::hybrid`] is set.
+    pub fn new_with_transpose(
+        graph: &'g CsrGraph,
+        opts: &BfsOptions,
+        transpose: Option<&'g CsrGraph>,
+    ) -> Self {
         let n = graph.num_vertices();
         assert!(n >= 1, "BFS needs at least one vertex");
         assert!(
@@ -160,6 +237,29 @@ impl<'g> RunState<'g> {
             );
         }
         let pools = opts.pools.clamp(1, p);
+        let hyb = opts.hybrid.map(|_| {
+            if let Some(t) = transpose {
+                assert_eq!(
+                    t.num_vertices(),
+                    n,
+                    "transpose vertex count must match the graph"
+                );
+            }
+            HybridState {
+                transpose: match transpose {
+                    Some(t) => TransposeRef::Borrowed(t),
+                    None => TransposeRef::Owned(Box::new(graph.transpose())),
+                },
+                bitmap: FrontierBitmap::new(n),
+                direction: SerialCell::new(Direction::TopDown),
+                ctl: SerialCell::new(HybridCtl {
+                    unexplored_edges: graph.num_edges() as u64,
+                    prev_frontier_edges: 0,
+                    directions: Vec::new(),
+                    switches: 0,
+                }),
+            }
+        });
         Self {
             graph,
             levels: RacyBuf::new(n),
@@ -176,6 +276,8 @@ impl<'g> RunState<'g> {
             flat_vertices: SerialCell::new(Vec::new()),
             flat_prefix: SerialCell::new(Vec::new()),
             trace: opts.collect_level_stats.then(|| SerialCell::new(TraceState::default())),
+            hyb,
+            count_frontier_edges: opts.hybrid.is_some(),
             wd_abort: AtomicBool::new(false),
             wd_deadline: SerialCell::new(None),
             wd_degraded: SerialCell::new(0),
@@ -261,6 +363,9 @@ impl<'g> RunState<'g> {
             }
             out.push(out_rear, w);
             ts.vertices_discovered += 1;
+            if self.count_frontier_edges {
+                ts.frontier_edges += self.graph.degree(w) as u64;
+            }
         }
     }
 
@@ -403,6 +508,95 @@ impl<'g> RunState<'g> {
         // carried v (duplicate push) or a stale segment replay.
         if self.levels.get(v as usize) != level {
             ts.duplicate_explorations += 1;
+        }
+    }
+
+    /// Rebuild thread `tid`'s share of the frontier bitmap from the
+    /// `level[]` array: bit `v` is set iff `level[v] == level`.
+    ///
+    /// The bitmap is partitioned by *word*, so each worker is the only
+    /// writer of its words — no races at all. Call between the barrier
+    /// that published this level's `level[]` stores and the barrier that
+    /// starts the bottom-up probes.
+    pub fn fill_bitmap_chunk(&self, level: u32, tid: usize) {
+        let hyb = self.hyb.as_ref().expect("hybrid state not armed");
+        let words = hyb.bitmap.word_count();
+        let per = obfs_util::div_ceil(words, self.threads);
+        let wlo = (tid * per).min(words);
+        let whi = ((tid + 1) * per).min(words);
+        let n = self.graph.num_vertices();
+        for wi in wlo..whi {
+            let base = wi * BITMAP_WORD_BITS;
+            let mut bits: u32 = 0;
+            for b in 0..BITMAP_WORD_BITS.min(n - base.min(n)) {
+                if self.levels.get(base + b) == level {
+                    bits |= 1 << b;
+                }
+            }
+            hyb.bitmap.set_word(wi, bits);
+        }
+    }
+
+    /// One bottom-up level for thread `tid`: scan this worker's
+    /// word-aligned share of the vertex range, and for every unvisited
+    /// vertex probe its in-edges until a parent on the current frontier
+    /// (bitmap bit set) is found.
+    ///
+    /// The vertex partition is word-aligned and static, so each vertex —
+    /// and each `level[]`/`parents[]`/queue slot it writes — has exactly
+    /// one writer: the kernel needs no atomics *and* has no races to be
+    /// optimistic about. Discoveries go through the same plain stores as
+    /// [`RunState::try_discover`] and land in this worker's own output
+    /// queue, so queue state after a bottom-up level is exactly what a
+    /// top-down level would need (switch-back and the watchdog sweep work
+    /// unchanged).
+    pub fn bottom_up_level(
+        &self,
+        level: u32,
+        tid: usize,
+        out: &FrontierQueue,
+        out_rear: &mut usize,
+        ts: &mut ThreadStats,
+    ) {
+        let hyb = self.hyb.as_ref().expect("hybrid state not armed");
+        let tg = hyb.transpose.graph();
+        let n = self.graph.num_vertices();
+        let words = hyb.bitmap.word_count();
+        let per = obfs_util::div_ceil(words, self.threads);
+        let lo = ((tid * per).min(words)) * BITMAP_WORD_BITS;
+        let hi = ((((tid + 1) * per).min(words)) * BITMAP_WORD_BITS).min(n);
+        let next = level + 1;
+        for v in lo..hi {
+            if v & 0xFF == 0 && self.watchdog_tripped() {
+                // Abandon the scan; the leader sweep re-explores the
+                // (never-consumed) input queues top-down, which is
+                // idempotent with everything done so far.
+                return;
+            }
+            if self.levels.get(v) != UNVISITED {
+                continue;
+            }
+            let neigh = tg.neighbors(v as VertexId);
+            let mut probes = 0u64;
+            for &u in neigh {
+                probes += 1;
+                if hyb.bitmap.test(u as usize) {
+                    self.levels.set(v, next);
+                    if let Some(p) = &self.parents {
+                        p.set(v, u);
+                    }
+                    if let Some(o) = &self.owner {
+                        o.set(v, tid as u32 + 1);
+                    }
+                    out.push(out_rear, v as VertexId);
+                    ts.vertices_discovered += 1;
+                    if self.count_frontier_edges {
+                        ts.frontier_edges += self.graph.degree(v as VertexId) as u64;
+                    }
+                    break;
+                }
+            }
+            ts.edges_scanned += probes;
         }
     }
 }

@@ -90,6 +90,11 @@ pub struct ThreadStats {
     /// Faults injected into this worker by the `chaos` backend (deferred
     /// stores, delay windows, index skews); always 0 without the feature.
     pub injected_faults: u64,
+    /// Sum of out-degrees of the vertices this worker discovered — the
+    /// next frontier's edge volume, which drives the hybrid α/β switch
+    /// heuristic. Counted only when [`crate::BfsOptions::hybrid`] is set
+    /// (0 otherwise, so the paper's top-down hot path pays nothing).
+    pub frontier_edges: u64,
     /// Steal outcomes (work-stealing variants).
     pub steal: StealCounters,
 }
@@ -107,6 +112,7 @@ impl ThreadStats {
         self.dedup_skips += o.dedup_skips;
         self.lock_acquisitions += o.lock_acquisitions;
         self.injected_faults += o.injected_faults;
+        self.frontier_edges += o.frontier_edges;
         self.steal.merge(&o.steal);
     }
 
@@ -125,6 +131,7 @@ impl ThreadStats {
             dedup_skips: self.dedup_skips - earlier.dedup_skips,
             lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
             injected_faults: self.injected_faults - earlier.injected_faults,
+            frontier_edges: self.frontier_edges - earlier.frontier_edges,
             steal: self.steal.diff(&earlier.steal),
         }
     }
@@ -146,6 +153,10 @@ pub struct LevelStats {
     pub duration: std::time::Duration,
     /// Whether the watchdog finished this level with the serial sweep.
     pub degraded: bool,
+    /// Direction the level ran in; always
+    /// [`crate::options::Direction::TopDown`] unless
+    /// [`crate::BfsOptions::hybrid`] was set.
+    pub direction: crate::options::Direction,
     /// This level's counter deltas, merged across all workers. Summing
     /// `counters` over all levels reproduces [`RunStats::totals`]
     /// exactly (the conservation invariant the schema tests check).
@@ -166,6 +177,12 @@ pub struct RunStats {
     /// Levels the watchdog finished with the leader's serial sweep
     /// (0 unless [`crate::BfsOptions::watchdog`] tripped).
     pub degraded_levels: u32,
+    /// Direction each executed level ran in; empty unless
+    /// [`crate::BfsOptions::hybrid`] was set.
+    pub directions: Vec<crate::options::Direction>,
+    /// Number of adjacent level pairs that ran in different directions
+    /// (0 unless [`crate::BfsOptions::hybrid`] was set).
+    pub direction_switches: u32,
     /// Per-level telemetry; empty unless
     /// [`crate::BfsOptions::collect_level_stats`] was set (and always
     /// empty for serial runs).
@@ -193,6 +210,8 @@ impl RunStats {
             levels,
             traversal_time,
             degraded_levels: 0,
+            directions: Vec::new(),
+            direction_switches: 0,
             level_stats: Vec::new(),
             flight: None,
         }

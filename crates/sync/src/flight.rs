@@ -71,6 +71,11 @@ pub mod kind {
     pub const WORKER_BEGIN: u16 = 12;
     /// A worker's BFS closure finished (`a` = tid).
     pub const WORKER_END: u16 = 13;
+    /// The hybrid driver switched traversal direction for the *next*
+    /// level (leader-recorded; `level` = the level that will run in the
+    /// new direction, `a` = new direction, `b` = old direction, both as
+    /// [`DIR_TOP_DOWN`] / [`DIR_BOTTOM_UP`] codes).
+    pub const DIR_SWITCH: u16 = 14;
 
     /// `FAULT` cause: injected delay window (`b` = spin count).
     pub const FAULT_DELAY: u64 = 1;
@@ -90,6 +95,11 @@ pub mod kind {
     /// `STEAL_FAIL` outcome: snapshot failed the sanity check.
     pub const STEAL_INVALID: u64 = 5;
 
+    /// `DIR_SWITCH` payload: top-down direction.
+    pub const DIR_TOP_DOWN: u64 = 0;
+    /// `DIR_SWITCH` payload: bottom-up direction.
+    pub const DIR_BOTTOM_UP: u64 = 1;
+
     /// Human-readable name of a kind code (used by the trace exporter).
     pub fn name(k: u16) -> &'static str {
         match k {
@@ -106,6 +116,7 @@ pub mod kind {
             DEGRADED => "degraded",
             WORKER_BEGIN => "worker-begin",
             WORKER_END => "worker-end",
+            DIR_SWITCH => "direction-switch",
             _ => "unknown",
         }
     }

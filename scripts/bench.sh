@@ -22,38 +22,31 @@ SOURCES="${SOURCES:-8}"
 SEED="${SEED:-1}"
 ONLY="${ONLY:-}"
 
+# run <bin> <outfile> <flags...> — the tee happens inside so a skipped
+# benchmark (ONLY=...) never truncates another benchmark's recording.
 run() {
-    local name="$1"
-    shift
+    local name="$1" out="$2"
+    shift 2
     if [[ -n "$ONLY" && "$ONLY" != "$name" ]]; then
         return
     fi
     echo "== bench: $name =="
-    cargo run --release -q -p obfs-bench --bin "$name" -- "$@"
+    cargo run --release -q -p obfs-bench --bin "$name" -- "$@" | tee "$out"
 }
 
 mkdir -p results
 
 # Tables and figures of the paper (text artifacts).
-run table4 --divisor "$DIVISOR" --seed "$SEED" \
-    | tee results/table4.txt
-run table5 --divisor "$DIVISOR" --threads 12 --sources "$SOURCES" --seed "$SEED" \
-    | tee results/table5_p12.txt
-run table5 --divisor "$DIVISOR" --threads 32 --sources "$SOURCES" --seed "$SEED" \
-    | tee results/table5_p32.txt
-run fig2 --divisor "$DIVISOR" --sources 5 --seed "$SEED" \
-    | tee results/fig2.txt
-run levels --divisor "$DIVISOR" --threads "$THREADS" --seed "$SEED" \
-    | tee results/levels.txt
-run ablations --divisor "$DIVISOR" --threads "$THREADS" --sources "$SOURCES" --seed "$SEED" \
-    | tee results/ablations.txt
+run table4 results/table4.txt --divisor "$DIVISOR" --seed "$SEED"
+run table5 results/table5_p12.txt --divisor "$DIVISOR" --threads 12 --sources "$SOURCES" --seed "$SEED"
+run table5 results/table5_p32.txt --divisor "$DIVISOR" --threads 32 --sources "$SOURCES" --seed "$SEED"
+run fig2 results/fig2.txt --divisor "$DIVISOR" --sources 5 --seed "$SEED"
+run levels results/levels.txt --divisor "$DIVISOR" --threads "$THREADS" --seed "$SEED"
+run ablations results/ablations.txt --divisor "$DIVISOR" --threads "$THREADS" --sources "$SOURCES" --seed "$SEED"
 
 # The three bins with machine-readable reports (BENCH_<name>.json in CWD).
-run table6 --json --divisor "$DIVISOR" --threads "$THREADS" --sources 20 --seed "$SEED" \
-    | tee results/table6.txt
-run fig3 --json --divisor "$DIVISOR" --threads "$THREADS" --sources "$SOURCES" --seed "$SEED" \
-    | tee results/fig3.txt
-run graph500 --json --divisor 32 --threads "$THREADS" --sources 16 --seed "$SEED" \
-    | tee results/graph500.txt
+run table6 results/table6.txt --json --hybrid --divisor "$DIVISOR" --threads "$THREADS" --sources 20 --seed "$SEED"
+run fig3 results/fig3.txt --json --divisor "$DIVISOR" --threads "$THREADS" --sources "$SOURCES" --seed "$SEED"
+run graph500 results/graph500.txt --json --divisor 32 --threads "$THREADS" --sources 16 --seed "$SEED"
 
 echo "bench.sh: done (tables in results/, reports in BENCH_*.json)"

@@ -26,8 +26,8 @@ pub use obfs_util as util;
 /// Everything a typical downstream user needs.
 pub mod prelude {
     pub use obfs_core::{
-        run_bfs, serial::serial_bfs, Algorithm, BfsOptions, BfsResult, DedupMode, SegmentPolicy,
-        WatchdogPolicy,
+        run_bfs, serial::serial_bfs, Algorithm, BfsOptions, BfsResult, DedupMode, Direction,
+        ForcedDirection, HybridPolicy, SegmentPolicy, WatchdogPolicy,
     };
     pub use obfs_graph::{gen, CsrGraph, GraphBuilder};
     pub use obfs_sync::ChaosConfig;

@@ -261,6 +261,118 @@ fn single_thread_fault_injection_is_deterministic() {
     assert_eq!(a.levels, b.levels);
 }
 
+/// Hybrid direction switching under store-buffer chaos: the bitmap fill
+/// reads `level[]` *after* the level barrier flushed every deferred
+/// store, so seeded fault plans must leave hybrid BFSCL/BFSWSL exact —
+/// across heuristic and forced direction choices — while demonstrably
+/// injecting faults.
+#[test]
+fn hybrid_store_buffer_chaos_stays_exact_across_switches() {
+    let forces = [
+        ("heuristic", HybridPolicy::default()),
+        ("forced-bu", HybridPolicy::forced(ForcedDirection::AlwaysBottomUp)),
+    ];
+    for seed in [2u64, 0xBEEF] {
+        // Dense enough that the heuristic really switches mid-run.
+        let g = gen::rmat(10, 16, gen::RmatParams::default(), seed);
+        let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+        let reference = serial_bfs(&g, src);
+        for (mode, pol) in &forces {
+            let opts = BfsOptions {
+                threads: 4,
+                record_parents: true,
+                hybrid: Some(*pol),
+                chaos: Some(ChaosConfig::store_buffer(0xD1CE ^ seed)),
+                ..Default::default()
+            };
+            for algo in [Algorithm::Bfscl, Algorithm::Bfswsl] {
+                let r = run_bfs(algo, &g, src, &opts);
+                assert_eq!(r.levels, reference.levels, "{algo} {mode} seed={seed}");
+                assert!(
+                    validate::check_self_consistent(&g, src, &r).is_ok(),
+                    "{algo} {mode} seed={seed}: invalid tree under chaos"
+                );
+                assert!(r.stats.totals.injected_faults > 0, "{algo} {mode} seed={seed}");
+                assert_eq!(
+                    r.stats.directions.len() as u32,
+                    r.stats.levels,
+                    "{algo} {mode} seed={seed}"
+                );
+                if *mode == "heuristic" {
+                    assert!(
+                        r.stats.directions.contains(&Direction::BottomUp),
+                        "{algo} seed={seed}: dense RMAT should go bottom-up"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The watchdog's serial sweep re-explores the (never-consumed) input
+/// queues top-down, which is idempotent with whatever a bottom-up level
+/// already discovered — so a zero deadline must degrade every level of a
+/// hybrid run and still produce exact results, with the recovery
+/// counters firing as usual.
+#[test]
+fn hybrid_watchdog_degrades_bottom_up_levels_correctly() {
+    let g = gen::rmat(9, 16, gen::RmatParams::default(), 23);
+    let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+    let reference = serial_bfs(&g, src);
+    for force in [None, Some(ForcedDirection::AlwaysBottomUp)] {
+        let pol = match force {
+            None => HybridPolicy::default(),
+            Some(f) => HybridPolicy::forced(f),
+        };
+        let opts = BfsOptions {
+            threads: 4,
+            hybrid: Some(pol),
+            watchdog: Some(WatchdogPolicy::deadline(Duration::ZERO)),
+            ..Default::default()
+        };
+        for algo in [Algorithm::Bfscl, Algorithm::Bfswsl] {
+            let r = run_bfs(algo, &g, src, &opts);
+            assert_eq!(r.levels, reference.levels, "{algo} force={force:?}");
+            assert_eq!(
+                r.stats.degraded_levels, r.stats.levels,
+                "{algo} force={force:?}: zero deadline must degrade every level"
+            );
+        }
+    }
+}
+
+/// Aggressive chaos + hybrid + retry-budget watchdog: recovery counters
+/// (fetch retries, degraded levels, injected faults) still fire with the
+/// direction machinery in the loop, and results stay exact.
+#[test]
+fn hybrid_chaos_recovery_counters_still_fire() {
+    let mut degraded = 0u64;
+    let mut injected = 0u64;
+    for seed in 0..6u64 {
+        let g = gen::erdos_renyi(400, 6000, seed);
+        let reference = serial_bfs(&g, 0);
+        let opts = BfsOptions {
+            threads: 4,
+            segment: SegmentPolicy::Fixed(1),
+            hybrid: Some(HybridPolicy::default()),
+            chaos: Some(ChaosConfig::aggressive(seed)),
+            watchdog: Some(WatchdogPolicy {
+                max_fetch_retries: Some(1),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        for algo in [Algorithm::Bfscl, Algorithm::Bfswsl] {
+            let r = run_bfs(algo, &g, 0, &opts);
+            assert_eq!(r.levels, reference.levels, "{algo} seed={seed}");
+            degraded += u64::from(r.stats.degraded_levels);
+            injected += r.stats.totals.injected_faults;
+        }
+    }
+    assert!(injected > 0, "aggressive plans never injected into hybrid runs");
+    assert!(degraded > 0, "retry budget of 1 never tripped under hybrid chaos");
+}
+
 /// Without a plan installed the chaos-enabled build must behave exactly
 /// like the plain build: zero injected faults, zero degradation.
 #[test]

@@ -180,6 +180,81 @@ fn deterministic_matrix_sweep() {
     }
 }
 
+/// Hybrid-aware matrix: hybrid {off, heuristic, forced-top-down,
+/// forced-bottom-up} × threads {1, 2, 4, 8} × every parallel algorithm,
+/// with exact level *and* parent agreement against serial BFS. Forced
+/// overrides pin every level into one kernel so both code paths get the
+/// full graph-family sweep, not just the levels the heuristic happens to
+/// pick.
+#[test]
+fn hybrid_matrix_matches_serial_everywhere() {
+    let graphs = [
+        ("erdos-renyi", gen::erdos_renyi(700, 5600, 19)),
+        ("barabasi-albert", gen::barabasi_albert(800, 3, 37)),
+        ("complete", gen::complete(96)),
+        (
+            "disconnected",
+            CsrGraph::from_edges(300, &[(0, 1), (1, 2), (2, 0), (100, 101), (200, 201)]),
+        ),
+    ];
+    let parallel: Vec<Algorithm> =
+        Algorithm::ALL.into_iter().filter(|a| *a != Algorithm::Serial).collect();
+    let modes: [(&str, Option<HybridPolicy>); 4] = [
+        ("off", None),
+        ("heuristic", Some(HybridPolicy::default())),
+        ("forced-td", Some(HybridPolicy::forced(ForcedDirection::AlwaysTopDown))),
+        ("forced-bu", Some(HybridPolicy::forced(ForcedDirection::AlwaysBottomUp))),
+    ];
+    let mut runners: Vec<(usize, obfs::core::BfsRunner)> = Vec::new();
+    for (name, g) in &graphs {
+        let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+        let reference = serial_bfs(g, src);
+        let transpose = g.transpose();
+        for &threads in &[1usize, 2, 4, 8] {
+            let runner = match runners.iter().position(|(t, _)| *t == threads) {
+                Some(i) => &runners[i].1,
+                None => {
+                    runners.push((threads, obfs::core::BfsRunner::new(threads)));
+                    &runners.last().unwrap().1
+                }
+            };
+            for (mode, hybrid) in &modes {
+                let opts = BfsOptions {
+                    threads,
+                    hybrid: *hybrid,
+                    record_parents: true,
+                    seed: 0xC0FFEE ^ (threads as u64) << 8,
+                    ..BfsOptions::default()
+                };
+                for &algo in &parallel {
+                    let r = runner.run_with_transpose(algo, g, Some(&transpose), src, &opts);
+                    assert_eq!(
+                        r.levels, reference.levels,
+                        "{algo} wrong on {name}: threads={threads} hybrid={mode}"
+                    );
+                    obfs::core::validate::check_self_consistent(g, src, &r).unwrap_or_else(
+                        |e| {
+                            panic!(
+                                "{algo} invalid tree on {name}: threads={threads} \
+                                 hybrid={mode}: {e}"
+                            )
+                        },
+                    );
+                    if hybrid.is_some() {
+                        assert_eq!(
+                            r.stats.directions.len() as u32,
+                            r.stats.levels,
+                            "{algo} on {name}: direction per level (hybrid={mode})"
+                        );
+                    } else {
+                        assert!(r.stats.directions.is_empty(), "{algo} on {name}");
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn single_vertex_and_isolated_source() {
     let single = CsrGraph::from_edges(1, &[]);

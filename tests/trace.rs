@@ -82,6 +82,78 @@ fn steal_events_match_steal_counters() {
     }
 }
 
+/// Hybrid direction switches are leader-recorded events: the DIR_SWITCH
+/// count must equal the number of adjacent direction changes in the
+/// recorded per-level series (= `RunStats::direction_switches`), the
+/// payloads must carry valid direction codes consistent with the series,
+/// and the events must survive the chrome exporter.
+#[test]
+fn direction_switch_events_match_recorded_directions() {
+    // Dense low-diameter RMAT: the heuristic provably switches at least
+    // once (asserted below), so the test can't pass vacuously.
+    let g = gen::rmat(10, 16, gen::RmatParams::default(), 3);
+    let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+    let reference = serial_bfs(&g, src);
+    let opts = BfsOptions {
+        threads: 4,
+        hybrid: Some(HybridPolicy::default()),
+        flight_recorder: Some(1 << 15),
+        ..Default::default()
+    };
+    for algo in [Algorithm::Bfscl, Algorithm::Bfswsl] {
+        let r = run_bfs(algo, &g, src, &opts);
+        assert_eq!(r.levels, reference.levels, "{algo}");
+        let switches: u32 =
+            r.stats.directions.windows(2).map(|w| u32::from(w[0] != w[1])).sum();
+        assert!(switches > 0, "{algo}: dense RMAT never switched direction");
+        assert_eq!(switches, r.stats.direction_switches, "{algo}");
+        let rec = r.stats.flight.as_ref().unwrap();
+        assert_eq!(rec.total_dropped(), 0, "{algo}: ring too small for exact counts");
+        assert_eq!(
+            rec.count(kind::DIR_SWITCH) as u32,
+            r.stats.direction_switches,
+            "{algo}: one leader-recorded event per direction change"
+        );
+        // Each event's payload: `level` names the level that runs in the
+        // new direction, `a`/`b` are (new, old) codes matching the series.
+        let code = |d: Direction| match d {
+            Direction::TopDown => kind::DIR_TOP_DOWN,
+            Direction::BottomUp => kind::DIR_BOTTOM_UP,
+        };
+        for w in &rec.workers {
+            for e in w.events.iter().filter(|e| e.kind == kind::DIR_SWITCH) {
+                let lvl = e.level as usize;
+                assert!(lvl > 0 && lvl < r.stats.directions.len(), "{algo}: level {lvl}");
+                assert_eq!(e.a, code(r.stats.directions[lvl]), "{algo}: new-dir payload");
+                assert_eq!(e.b, code(r.stats.directions[lvl - 1]), "{algo}: old-dir payload");
+                assert_ne!(e.a, e.b, "{algo}: switch event without a change");
+            }
+        }
+        let trace = to_chrome_trace(rec);
+        assert!(
+            trace.contains("direction-switch"),
+            "{algo}: DIR_SWITCH events must survive the exporter"
+        );
+    }
+}
+
+/// Hybrid runs that never leave top-down (forced override) record no
+/// DIR_SWITCH events — the taxonomy stays quiet instead of noisy.
+#[test]
+fn no_switch_events_without_a_switch() {
+    let g = gen::erdos_renyi(500, 3000, 11);
+    let opts = BfsOptions {
+        threads: 4,
+        hybrid: Some(HybridPolicy::forced(ForcedDirection::AlwaysTopDown)),
+        flight_recorder: Some(1 << 14),
+        ..Default::default()
+    };
+    let r = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
+    let rec = r.stats.flight.as_ref().unwrap();
+    assert_eq!(rec.count(kind::DIR_SWITCH), 0);
+    assert_eq!(r.stats.direction_switches, 0);
+}
+
 /// Without the option the recorder must not run, even on trace builds.
 #[test]
 fn no_recording_unless_requested() {
