@@ -1,0 +1,170 @@
+//! `realgraph` — BFS kernel bench over downloaded real-world graphs.
+//!
+//! ```text
+//! realgraph GRAPH.mtx [MORE.mtx ...] [--threads p] [--sources s]
+//!           [--seed x] [--json] [--hybrid]
+//! ```
+//!
+//! The paper's evaluation (and ours, `table5`/`fig3`) uses *synthetic
+//! stand-ins* shaped like the paper's graphs so everything runs offline.
+//! This binary is the complementary leg: point it at real matrices (e.g.
+//! SuiteSparse `.mtx` downloads fetched by `scripts/realgraph.sh`) and
+//! it runs the Graph500-style kernel — sampled sources, harmonic-mean
+//! TEPS, serial-validated — per graph, per contender, emitting the same
+//! schema-v2 `BENCH_realgraph.json` the `compare` gate consumes. CI's
+//! scheduled job tracks those reports across commits.
+
+use obfs_bench::env::HostInfo;
+use obfs_bench::json::{self, Json};
+use obfs_bench::table::{teps, Table};
+use obfs_bench::{BenchArgs, BenchReport, Contender, ContenderPool};
+use obfs_core::serial::serial_bfs;
+use obfs_core::{Algorithm, BfsOptions, StealCounters};
+use obfs_graph::stats::sample_sources;
+use obfs_graph::{io, CsrGraph};
+use obfs_util::OnlineStats;
+
+fn load_mtx(path: &str) -> Result<CsrGraph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    io::read_matrix_market(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Graph label: file stem without extension.
+fn stem(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
+}
+
+fn result_json(
+    name: &str,
+    graph: &str,
+    per_key_ms: &OnlineStats,
+    hmean_teps: f64,
+    dup: f64,
+    steal: &StealCounters,
+) -> Json {
+    Json::Obj(vec![
+        ("contender".to_string(), Json::Str(name.to_string())),
+        ("graph".to_string(), Json::Str(graph.to_string())),
+        ("time_ms".to_string(), json::summary_json(&per_key_ms.summary())),
+        ("teps".to_string(), Json::Num(hmean_teps)),
+        ("duplicate_overhead".to_string(), Json::Num(dup)),
+        ("steal".to_string(), json::steal_json(steal)),
+    ])
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Positional args are graph files; everything else goes to BenchArgs.
+    let (paths, flags): (Vec<String>, Vec<String>) = {
+        let mut paths = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.into_iter();
+        while let Some(a) = it.next() {
+            if a.starts_with("--") {
+                flags.push(a.clone());
+                // Boolean flags take no value; the rest take one.
+                if !matches!(a.as_str(), "--json" | "--hybrid" | "--help" | "-h") {
+                    if let Some(v) = it.next() {
+                        flags.push(v);
+                    }
+                }
+            } else {
+                paths.push(a);
+            }
+        }
+        (paths, flags)
+    };
+    if paths.is_empty() {
+        eprintln!(
+            "usage: realgraph GRAPH.mtx [MORE.mtx ...] [--threads p] [--sources s] \
+             [--seed x] [--json] [--hybrid]"
+        );
+        std::process::exit(2);
+    }
+    let args = BenchArgs::parse_from(flags);
+    println!("{}", HostInfo::detect().render(args.threads));
+    println!(
+        "== real-graph BFS kernel: {} graph(s), {} search keys each, p={} ==\n",
+        paths.len(),
+        args.sources,
+        args.threads
+    );
+
+    let mut contenders: Vec<Contender> = vec![
+        Contender::Ours(Algorithm::Serial),
+        Contender::Ours(Algorithm::Bfscl),
+        Contender::Ours(Algorithm::Bfswl),
+        Contender::Ours(Algorithm::Bfswsl),
+    ];
+    if args.hybrid {
+        contenders.extend(Contender::hybrid_roster());
+    }
+
+    let opts = BfsOptions { threads: args.threads, ..Default::default() };
+    let mut pool = ContenderPool::new(args.threads);
+    let mut report = args.json.then(|| BenchReport::new("realgraph", &args));
+    let mut failures = 0usize;
+
+    for path in &paths {
+        let graph = match load_mtx(path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("skipping {path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let name = stem(path);
+        println!("{name}: n={} m={}", graph.num_vertices(), graph.num_edges());
+        let transpose = args.hybrid.then(|| graph.transpose());
+        let sources = sample_sources(&graph, args.sources, args.seed ^ 0x4ea1);
+        let references: Vec<(Vec<u32>, u64)> = sources
+            .iter()
+            .map(|&src| {
+                let ser = serial_bfs(&graph, src);
+                (ser.levels, ser.stats.totals.edges_scanned)
+            })
+            .collect();
+
+        let mut t = Table::new(&["contender", "harmonic-TEPS", "mean ms/key"]);
+        for c in &contenders {
+            let mut inv_teps_sum = 0.0f64;
+            let mut per_key = OnlineStats::new();
+            let mut dup = OnlineStats::new();
+            let mut steal = StealCounters::default();
+            for (i, &src) in sources.iter().enumerate() {
+                let r = pool.run_with_transpose(*c, &graph, transpose.as_ref(), src, &opts);
+                if i == 0 {
+                    assert_eq!(r.levels, references[0].0, "{c} validation failed on {name}");
+                }
+                inv_teps_sum += 1.0 / r.stats.teps(references[i].1);
+                per_key.push(r.stats.traversal_time.as_secs_f64() * 1e3);
+                dup.push(
+                    (r.stats.totals.vertices_explored as f64 / r.reached().max(1) as f64 - 1.0)
+                        .max(0.0),
+                );
+                steal.merge(&r.stats.totals.steal);
+            }
+            let hmean = sources.len() as f64 / inv_teps_sum;
+            if let Some(report) = &mut report {
+                report.add_result(result_json(&c.name(), &name, &per_key, hmean, dup.mean(), &steal));
+            }
+            t.row(vec![c.name(), teps(hmean), format!("{:.3}", per_key.mean())]);
+        }
+        println!("{}", t.render());
+    }
+
+    if let Some(report) = &report {
+        let path = report.write().expect("write BENCH_realgraph.json");
+        json::validate_report(&Json::parse(&report.render()).unwrap())
+            .expect("emitted report fails its own schema validation");
+        println!("wrote {}", path.display());
+    }
+    if failures == paths.len() {
+        eprintln!("error: no graph loaded successfully");
+        std::process::exit(1);
+    }
+}

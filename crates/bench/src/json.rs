@@ -1,332 +1,19 @@
-//! Hand-rolled JSON for the machine-readable benchmark pipeline.
+//! Machine-readable benchmark reports (`BENCH_<name>.json`).
 //!
-//! The workspace is dependency-free (see DESIGN.md dependency policy),
-//! so both directions are implemented here: a compact serializer used by
-//! the `BENCH_<name>.json` emitter, and a recursive-descent parser used
-//! by the golden-schema tests and the CI smoke check to validate what
-//! the emitter wrote. [`validate_report`] holds the shared schema +
-//! conservation-invariant checks so the tests and CI agree on what a
-//! well-formed report is.
+//! The generic JSON value/parser/serializer lives in
+//! [`obfs_util::json`] (shared with the trace profiler); this module
+//! re-exports it and adds the report layer: the `BENCH_<name>.json`
+//! emitter used by the bench binaries, and [`validate_report`], which
+//! holds the shared schema + conservation-invariant checks so the
+//! golden tests and the CI smoke check agree on what a well-formed
+//! report is.
 
 use crate::harness::Measurement;
 use crate::BenchArgs;
 use obfs_core::{LevelStats, StealCounters, ThreadStats};
 use obfs_util::Summary;
 
-/// A JSON value. Objects keep insertion order (Vec of pairs) so emitted
-/// files are deterministic.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (parsed as f64; integers survive to 2^53).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in insertion order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object member lookup (None for non-objects / missing keys).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The number, if this is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The number as a non-negative integer, if it is one exactly.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
-                Some(*x as u64)
-            }
-            _ => None,
-        }
-    }
-
-    /// The string, if this is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The element list, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// The boolean, if this is one.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// Compact serialization (no whitespace).
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out);
-        out
-    }
-
-    fn render_into(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(x) => render_num(*x, out),
-            Json::Str(s) => render_str(s, out),
-            Json::Arr(v) => {
-                out.push('[');
-                for (i, e) in v.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    e.render_into(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(members) => {
-                out.push('{');
-                for (i, (k, v)) in members.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    render_str(k, out);
-                    out.push(':');
-                    v.render_into(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parse a complete JSON document (trailing garbage is an error).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-}
-
-fn render_num(x: f64, out: &mut String) {
-    use std::fmt::Write as _;
-    if !x.is_finite() {
-        out.push_str("null"); // JSON has no NaN/Inf
-    } else if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) {
-        let _ = write!(out, "{}", x as i64);
-    } else {
-        let _ = write!(out, "{x}");
-    }
-}
-
-fn render_str(s: &str, out: &mut String) {
-    use std::fmt::Write as _;
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => parse_obj(b, pos),
-        Some(b'[') => parse_arr(b, pos),
-        Some(b'"') => parse_str(b, pos).map(Json::Str),
-        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
-        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
-    }
-}
-
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("bad literal at byte {}", *pos))
-    }
-}
-
-fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if b.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("bad number {text:?} at byte {start}"))
-}
-
-fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    debug_assert_eq!(b[*pos], b'"');
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hi = parse_hex4(b, *pos + 1)?;
-                        *pos += 4;
-                        let cp = if (0xD800..0xDC00).contains(&hi) {
-                            // surrogate pair: expect \uXXXX low half
-                            if b.get(*pos + 1) != Some(&b'\\') || b.get(*pos + 2) != Some(&b'u') {
-                                return Err("lone high surrogate".into());
-                            }
-                            let lo = parse_hex4(b, *pos + 3)?;
-                            *pos += 6;
-                            if !(0xDC00..0xE000).contains(&lo) {
-                                return Err("bad low surrogate".into());
-                            }
-                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
-                        } else {
-                            hi
-                        };
-                        out.push(
-                            char::from_u32(cp).ok_or_else(|| "bad \\u escape".to_string())?,
-                        );
-                    }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 char (input is a valid &str).
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
-    let chunk = b.get(at..at + 4).ok_or("truncated \\u escape")?;
-    let s = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
-    u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape {s:?}"))
-}
-
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    *pos += 1; // '['
-    let mut out = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(out));
-    }
-    loop {
-        out.push(parse_value(b, pos)?);
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(out));
-            }
-            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-        }
-    }
-}
-
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    *pos += 1; // '{'
-    let mut out = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(out));
-    }
-    loop {
-        skip_ws(b, pos);
-        if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected object key at byte {}", *pos));
-        }
-        let key = parse_str(b, pos)?;
-        skip_ws(b, pos);
-        if b.get(*pos) != Some(&b':') {
-            return Err(format!("expected ':' at byte {}", *pos));
-        }
-        *pos += 1;
-        let value = parse_value(b, pos)?;
-        out.push((key, value));
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(out));
-            }
-            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-        }
-    }
-}
+pub use obfs_util::json::Json;
 
 // ---------------------------------------------------------------------
 // Report building
@@ -675,45 +362,6 @@ fn validate_series(series: &Json, at: &str) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parse_round_trips_scalars_and_nesting() {
-        let text = r#"{"a": [1, -2.5, 1e3, true, false, null], "b": {"c": "x"}}"#;
-        let v = Json::parse(text).unwrap();
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 6);
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(-2.5));
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_f64(), Some(1000.0));
-        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x"));
-        // Serialize → reparse → identical tree.
-        assert_eq!(Json::parse(&v.render()).unwrap(), v);
-    }
-
-    #[test]
-    fn parse_string_escapes() {
-        let v = Json::parse(r#""a\"b\\c\ndA😀""#).unwrap();
-        assert_eq!(v.as_str(), Some("a\"b\\c\ndA\u{1F600}"));
-        // Round-trip through the serializer too.
-        assert_eq!(Json::parse(&v.render()).unwrap(), v);
-    }
-
-    #[test]
-    fn parse_rejects_malformed_input() {
-        for bad in [
-            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2", "{\"a\":1,}",
-            "\"unterminated", "{'a':1}", "[1]]",
-        ] {
-            assert!(Json::parse(bad).is_err(), "accepted malformed input {bad:?}");
-        }
-    }
-
-    #[test]
-    fn integers_render_without_decimal_point() {
-        assert_eq!(Json::Num(42.0).render(), "42");
-        assert_eq!(Json::Num(-7.0).render(), "-7");
-        assert_eq!(Json::Num(2.5).render(), "2.5");
-        assert_eq!(Json::Num(f64::NAN).render(), "null");
-    }
 
     fn tiny_series(levels: Vec<Json>, totals: Json, degraded: u64) -> Json {
         Json::Obj(vec![

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod compare;
 pub mod contender;
 pub mod env;
 pub mod harness;

@@ -17,7 +17,8 @@ pub fn usage() -> String {
      [--edge-factor k] [--gamma g] [--seed s] --out FILE\n\
        stats      --in FILE\n\
        bfs        --in FILE --algo NAME [--src v] [--threads p] [--validate] \
-     [--parents] [--trace [OUT.json]] [--hybrid] [--alpha a] [--beta b]\n\
+     [--parents] [--trace [OUT.json]] [--histograms] [--hybrid] [--alpha a] [--beta b]\n\
+       analyze    TRACE.json [--json]   (post-mortem profile of a recorded trace)\n\
        components --in FILE [--threads p] [--algo NAME]\n\
        bipartite  --in FILE [--threads p]\n\
        bc         --in FILE [--samples k] [--seed s] [--top t]\n\
@@ -33,6 +34,10 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
+    if cmd == "analyze" {
+        // Takes a positional trace path, so it parses its own args.
+        return cmd_analyze(rest);
+    }
     let flags = parse_flags(rest)?;
     match cmd.as_str() {
         "gen" => cmd_gen(&flags),
@@ -198,6 +203,7 @@ fn bfs_opts(flags: &HashMap<String, String>) -> Result<BfsOptions, String> {
         threads,
         record_parents: has(flags, "parents"),
         collect_level_stats: has(flags, "trace"),
+        collect_histograms: has(flags, "histograms"),
         hybrid,
         ..BfsOptions::default()
     })
@@ -269,6 +275,43 @@ fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
                 e.discovered,
                 e.duration.as_secs_f64() * 1e6
             );
+        }
+    }
+    if has(flags, "histograms") {
+        match &r.stats.hists {
+            Some(h) => {
+                let m = h.merged();
+                let _ = writeln!(
+                    out,
+                    "latency histograms (us; merged across {} workers)",
+                    h.workers.len()
+                );
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>9} {:>8} {:>8} {:>8} {:>10}",
+                    "metric", "count", "p50", "p90", "p99", "max"
+                );
+                for (name, hist) in [
+                    ("segment-fetch", &m.segment_fetch_us),
+                    ("steal-attempt", &m.steal_us),
+                    ("retry-burst (n)", &m.fetch_retry_burst),
+                    ("barrier-wait", &m.barrier_wait_us),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "{:<18} {:>9} {:>8} {:>8} {:>8} {:>10}",
+                        name,
+                        hist.count(),
+                        hist.percentile(0.50),
+                        hist.percentile(0.90),
+                        hist.percentile(0.99),
+                        hist.max()
+                    );
+                }
+            }
+            None => {
+                let _ = writeln!(out, "no histograms collected (serial run)");
+            }
         }
     }
     if let Some(path) = trace_path {
@@ -349,6 +392,32 @@ fn cmd_bc(flags: &HashMap<String, String>) -> Result<String, String> {
         let _ = writeln!(out, "  v{v:<8} {score:>14.1}  (degree {})", g.degree(v as u32));
     }
     Ok(out)
+}
+
+/// `analyze TRACE.json [--json]`: re-read an exported chrome-trace file
+/// and print the deterministic post-mortem profile (human table by
+/// default, machine JSON with `--json`). Works on any trace written by
+/// `bfs --trace OUT.json` — same profile, byte-for-byte, on every
+/// machine and every run.
+fn cmd_analyze(rest: &[String]) -> Result<String, String> {
+    let mut path: Option<&str> = None;
+    let mut json = false;
+    for a in rest {
+        match a.as_str() {
+            "--json" => json = true,
+            other if !other.starts_with("--") && path.is_none() => path = Some(other),
+            other => return Err(format!("analyze: unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("analyze: missing trace file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let rec = obfs_core::flight::parse_chrome_trace(&text)?;
+    let profile = obfs_core::flight::analysis::Profile::from_recording(&rec);
+    if json {
+        Ok(profile.to_json().render() + "\n")
+    } else {
+        Ok(profile.render_table())
+    }
 }
 
 fn cmd_convert(flags: &HashMap<String, String>) -> Result<String, String> {
@@ -455,6 +524,64 @@ mod tests {
         }
         #[cfg(not(feature = "trace"))]
         assert!(rep.contains("no trace written"), "{rep}");
+    }
+
+    #[test]
+    fn bfs_histograms_flag_prints_summary() {
+        let path = tmp("hist.bin");
+        dispatch(&strs(&[
+            "gen", "--model", "er", "--n", "400", "--edge-factor", "8", "--out", &path,
+        ]))
+        .unwrap();
+        let rep = dispatch(&strs(&[
+            "bfs", "--in", &path, "--algo", "BFS_WSL", "--threads", "3", "--histograms",
+            "--validate",
+        ]))
+        .unwrap();
+        assert!(rep.contains("latency histograms"), "{rep}");
+        assert!(rep.contains("segment-fetch"), "{rep}");
+        assert!(rep.contains("barrier-wait"), "{rep}");
+        assert!(rep.contains("validated against serial BFS: OK"), "{rep}");
+        // Serial runs have no worker pool, hence no histograms.
+        let rep = dispatch(&strs(&[
+            "bfs", "--in", &path, "--algo", "sbfs", "--histograms",
+        ]))
+        .unwrap();
+        assert!(rep.contains("no histograms collected"), "{rep}");
+    }
+
+    #[test]
+    fn analyze_profiles_a_trace_deterministically() {
+        // Hand-write a recording, export it, analyze it both ways.
+        use obfs_core::flight::{kind, to_chrome_trace, FlightEvent, FlightRecording, RingDump};
+        let ev = |ts_us, kind, level, a, b| FlightEvent { ts_us, kind, level, a, b };
+        let rec = FlightRecording {
+            workers: vec![RingDump {
+                events: vec![
+                    ev(0, kind::WORKER_BEGIN, 0, 0, 0),
+                    ev(5, kind::LEVEL_START, 0, 0, 0),
+                    ev(20, kind::SEGMENT_FETCH, 0, 0, 8),
+                    ev(30, kind::LEVEL_END, 0, 0, 0),
+                    ev(31, kind::BARRIER_ENTER, 0, 0, 0),
+                    ev(40, kind::BARRIER_EXIT, 0, 1, 0),
+                    ev(41, kind::WORKER_END, 0, 0, 0),
+                ],
+                dropped: 2,
+            }],
+        };
+        let trace = tmp("analyze.json");
+        std::fs::write(&trace, to_chrome_trace(&rec)).unwrap();
+        let table = dispatch(&strs(&["analyze", &trace])).unwrap();
+        assert!(table.contains("per-worker utilization"), "{table}");
+        assert!(table.contains("dropped: 2"), "{table}");
+        let j1 = dispatch(&strs(&["analyze", &trace, "--json"])).unwrap();
+        let j2 = dispatch(&strs(&["analyze", &trace, "--json"])).unwrap();
+        assert_eq!(j1, j2, "profile must be byte-identical across runs");
+        assert!(j1.contains("\"schema\":\"obfs-profile-v1\""), "{j1}");
+        // Errors: missing file, missing arg, stray flag.
+        assert!(dispatch(&strs(&["analyze"])).is_err());
+        assert!(dispatch(&strs(&["analyze", "/nonexistent.json"])).is_err());
+        assert!(dispatch(&strs(&["analyze", &trace, "--bogus"])).is_err());
     }
 
     #[test]

@@ -60,6 +60,7 @@ impl Strategy for CentralLocked {
             if st.watchdog_tripped() {
                 return; // leader sweep finishes the level
             }
+            let fetch_timer = obfs_sync::metrics::timer();
             // --- critical section: advance ⟨q, f⟩ and cut a segment ---
             let (k, f0, end) = {
                 let mut cur = st.central_lock.lock();
@@ -79,6 +80,7 @@ impl Strategy for CentralLocked {
                 (k, f0, end)
             };
             ts.segments_fetched += 1;
+            obfs_sync::metrics::segment_fetch(fetch_timer);
             flight::record(flight::kind::SEGMENT_FETCH, env.level, k as u64, (end - f0) as u64);
             let queue = qin.queue(k);
             for i in f0..end {
@@ -143,6 +145,8 @@ pub(crate) fn consume_pool_lockfree(
         if st.watchdog_tripped() {
             return; // leader sweep finishes the level
         }
+        let fetch_timer = obfs_sync::metrics::timer();
+        let mut retry_burst = 0u64;
         // --- optimistic fetch (paper §IV-A.2) ---
         let mut k = cursor.load().clamp(start, end_q);
         let (k, f0, s) = loop {
@@ -162,6 +166,7 @@ pub(crate) fn consume_pool_lockfree(
             let r = queue.rear();
             if f >= r {
                 ts.fetch_retries += 1;
+                retry_burst += 1;
                 flight::record(flight::kind::FETCH_RETRY, level, k as u64, 0);
                 if st.watchdog_retry(&mut wd_retries) {
                     return; // retry budget exhausted: degrade the level
@@ -179,6 +184,8 @@ pub(crate) fn consume_pool_lockfree(
             break (k, f, s);
         };
         ts.segments_fetched += 1;
+        obfs_sync::metrics::segment_fetch(fetch_timer);
+        obfs_sync::metrics::fetch_retry_burst(retry_burst);
         flight::record(flight::kind::SEGMENT_FETCH, level, k as u64, s as u64);
         // --- walk the segment under the zero-on-read protocol ---
         let queue = qin.queue(k);

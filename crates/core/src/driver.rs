@@ -160,6 +160,9 @@ pub fn drive_with_transpose<'g, S: Strategy>(
     // Drained flight-recorder rings, filled by each worker on exit.
     let flight_dumps =
         PerThread::new(opts.threads, |_| None::<obfs_sync::flight::RingDump>);
+    // Drained latency-histogram sets, same lifecycle as the rings.
+    let hist_dumps =
+        PerThread::new(opts.threads, |_| None::<Box<obfs_sync::metrics::WorkerHists>>);
 
     let t0 = std::time::Instant::now();
     pool.run(|ctx| {
@@ -178,6 +181,9 @@ pub fn drive_with_transpose<'g, S: Strategy>(
             // Shared epoch so all workers' timelines line up (no-op
             // unless built with the `trace` feature).
             obfs_sync::flight::install(cap, t0);
+        }
+        if st.opts.collect_histograms {
+            obfs_sync::metrics::install();
         }
         flight::record(flight::kind::WORKER_BEGIN, 0, tid as u64, 0);
 
@@ -415,6 +421,12 @@ pub fn drive_with_transpose<'g, S: Strategy>(
                 unsafe { *flight_dumps.get_mut(tid) = Some(dump) };
             }
         }
+        if st.opts.collect_histograms {
+            if let Some(h) = obfs_sync::metrics::uninstall() {
+                // SAFETY: own slot only.
+                unsafe { *hist_dumps.get_mut(tid) = Some(h) };
+            }
+        }
     })
     .unwrap_or_else(|e| panic!("BFS worker pool failed: {e}"));
     let traversal_time = t0.elapsed();
@@ -460,6 +472,15 @@ pub fn drive_with_transpose<'g, S: Strategy>(
         // can distinguish "feature off" from "empty trace".
         stats.flight = Some(crate::flight::FlightRecording {
             workers: dumps.into_iter().map(Option::unwrap_or_default).collect(),
+        });
+    }
+    if opts.collect_histograms {
+        stats.hists = Some(crate::stats::RunHists {
+            workers: hist_dumps
+                .into_values()
+                .into_iter()
+                .map(|h| *h.unwrap_or_default())
+                .collect(),
         });
     }
     BfsResult { levels, parents, stats }
@@ -563,5 +584,139 @@ mod tests {
             let degraded: u32 = r.stats.level_stats.iter().map(|e| u32::from(e.degraded)).sum();
             assert_eq!(degraded, r.stats.degraded_levels, "{algo}");
         }
+    }
+
+    #[test]
+    fn histograms_off_by_default() {
+        let g = gen::erdos_renyi(200, 1400, 2);
+        let r = run_bfs(Algorithm::Bfscl, &g, 0, &BfsOptions { threads: 3, ..Default::default() });
+        assert!(r.stats.hists.is_none());
+    }
+
+    #[test]
+    fn histograms_collected_for_all_parallel_algorithms() {
+        let g = gen::erdos_renyi(500, 3500, 5);
+        for algo in Algorithm::ALL.into_iter().filter(|a| *a != Algorithm::Serial) {
+            let opts = BfsOptions {
+                threads: 4,
+                collect_histograms: true,
+                ..Default::default()
+            };
+            let r = run_bfs(algo, &g, 0, &opts);
+            let hists = r.stats.hists.as_ref().unwrap_or_else(|| panic!("{algo}: no hists"));
+            assert_eq!(hists.workers.len(), 4, "{algo}: one dump per worker");
+            let merged = hists.merged();
+            // Every parallel variant crosses the level barrier at least
+            // once per level on every worker.
+            assert!(
+                merged.barrier_wait_us.count() >= r.stats.levels as u64 * 4,
+                "{algo}: barrier episodes {} < levels {} x 4",
+                merged.barrier_wait_us.count(),
+                r.stats.levels
+            );
+            // The merged count is exactly the sum over workers (merge
+            // loses nothing).
+            let per_worker: u64 = hists.workers.iter().map(|w| w.barrier_wait_us.count()).sum();
+            assert_eq!(merged.barrier_wait_us.count(), per_worker, "{algo}");
+        }
+    }
+
+    /// Dispatcher-specific histogram coverage: centralized variants time
+    /// every segment fetch; work-stealing variants time steal attempts;
+    /// optimistic fetches record a retry-burst sample per success.
+    #[test]
+    fn histograms_cover_the_right_paths_per_dispatcher() {
+        let g = gen::erdos_renyi(500, 3500, 6);
+        let opts = BfsOptions { threads: 4, collect_histograms: true, ..Default::default() };
+
+        let r = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
+        let m = r.stats.hists.as_ref().unwrap().merged();
+        assert_eq!(m.segment_fetch_us.count(), r.stats.totals.segments_fetched);
+        assert_eq!(m.fetch_retry_burst.count(), r.stats.totals.segments_fetched);
+        // Burst histogram records the retry count per fetch: its sum is
+        // bounded by the retry total (each retry appears in one burst).
+        assert!(m.steal_us.is_empty(), "BFS_CL never steals");
+
+        let r = run_bfs(Algorithm::Bfswl, &g, 0, &opts);
+        let m = r.stats.hists.as_ref().unwrap().merged();
+        assert_eq!(m.steal_us.count(), r.stats.totals.steal.attempts);
+
+        // Locked centralized variant: fetches timed, but no sanity-check
+        // retries exist, so the burst histogram stays honest-empty.
+        let r = run_bfs(Algorithm::Bfsc, &g, 0, &opts);
+        let m = r.stats.hists.as_ref().unwrap().merged();
+        assert_eq!(m.segment_fetch_us.count(), r.stats.totals.segments_fetched);
+        assert!(m.fetch_retry_burst.is_empty(), "locked fetches never retry");
+    }
+
+    /// Chaos-injected delays sit inside the racy cursor operations of
+    /// the fetch path, so the segment-fetch latency histogram must shift
+    /// right when chaos delays are dialed up: the collector sees the
+    /// same latencies the traversal actually suffered.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_delays_land_in_higher_latency_buckets() {
+        let g = gen::erdos_renyi(250, 1700, 11);
+        let base = BfsOptions {
+            threads: 4,
+            collect_histograms: true,
+            segment: crate::options::SegmentPolicy::Fixed(8),
+            ..Default::default()
+        };
+        let clean = run_bfs(Algorithm::Bfscl, &g, 0, &base);
+        let clean_m = clean.stats.hists.as_ref().unwrap().merged();
+
+        // Delay-only plan, dialed far past any honest fetch latency.
+        let chaos_cfg = obfs_sync::ChaosConfig {
+            seed: 7,
+            defer_chance: 0.0,
+            stale_window: 0,
+            delay_chance: 0.15,
+            delay_spins: 60_000,
+            skew_chance: 0.0,
+            skew_max: 0,
+        };
+        let noisy = run_bfs(
+            Algorithm::Bfscl,
+            &g,
+            0,
+            &BfsOptions { chaos: Some(chaos_cfg), ..base.clone() },
+        );
+        assert!(noisy.stats.totals.injected_faults > 0, "chaos plan never fired");
+        let noisy_m = noisy.stats.hists.as_ref().unwrap().merged();
+        assert!(noisy_m.segment_fetch_us.count() > 0);
+        assert!(
+            noisy_m.segment_fetch_us.max() > clean_m.segment_fetch_us.max(),
+            "delayed fetches must reach higher buckets: chaos max {} vs clean max {}",
+            noisy_m.segment_fetch_us.max(),
+            clean_m.segment_fetch_us.max()
+        );
+        // And the traversal stayed exact under the same delays.
+        assert_eq!(noisy.levels, crate::serial::serial_bfs(&g, 0).levels);
+    }
+
+    /// Wrap path: a deliberately tiny flight ring must overwrite oldest
+    /// events, report them via `FlightRecording::dropped`, and the
+    /// derived profile must surface the wrap.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn flight_ring_wrap_is_counted_and_profiled() {
+        let g = gen::erdos_renyi(500, 3500, 4);
+        let opts = BfsOptions {
+            threads: 3,
+            flight_recorder: Some(8), // far too small on purpose
+            ..Default::default()
+        };
+        let r = run_bfs(Algorithm::Bfswl, &g, 0, &opts);
+        let rec = r.stats.flight.as_ref().expect("trace feature is on");
+        assert!(rec.dropped() > 0, "an 8-event ring must wrap on this run");
+        assert!(rec.workers.iter().all(|w| w.events.len() <= 8));
+        let profile = crate::flight::analysis::Profile::from_recording(rec);
+        assert_eq!(profile.total_dropped, rec.dropped());
+        assert!(profile.render_table().contains("suffix window"));
+        // The exported trace round-trips the dropped counts too.
+        let reparsed =
+            crate::flight::parse_chrome_trace(&crate::flight::to_chrome_trace(rec)).unwrap();
+        assert_eq!(&reparsed, rec);
     }
 }

@@ -99,6 +99,7 @@ pub(crate) fn consume_edge_ranges(
         if st.watchdog_tripped() {
             return; // leader sweep finishes the level
         }
+        let fetch_timer = obfs_sync::metrics::timer();
         let c = st.edge_cursor.load() as u64;
         if c >= total {
             return;
@@ -108,6 +109,7 @@ pub(crate) fn consume_edge_ranges(
         let end = (c + es).min(total);
         st.edge_cursor.store(end as usize);
         ts.segments_fetched += 1;
+        obfs_sync::metrics::segment_fetch(fetch_timer);
         flight::record(flight::kind::SEGMENT_FETCH, level, c, end - c);
 
         // Map edge range [c, end) onto (vertex, adjacency slice) pieces.

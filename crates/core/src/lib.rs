@@ -46,7 +46,7 @@ pub use options::{
     Algorithm, BfsOptions, DedupMode, Direction, ForcedDirection, HybridPolicy, SegmentPolicy,
     WatchdogPolicy,
 };
-pub use stats::{LevelStats, RunStats, StealCounters, ThreadStats};
+pub use stats::{LevelStats, RunHists, RunStats, StealCounters, ThreadStats};
 
 use obfs_graph::CsrGraph;
 use obfs_graph::VertexId;

@@ -298,6 +298,12 @@ pub struct BfsOptions {
     /// deltas into [`crate::RunStats::level_stats`] (leader-side,
     /// near-zero cost).
     pub collect_level_stats: bool,
+    /// Record per-worker latency histograms (segment-fetch, steal
+    /// attempt, sanity-check retries per fetch, barrier wait) into
+    /// [`crate::RunStats::hists`]. Runtime switch (no cargo feature
+    /// needed); when off the only residue is a disarmed thread-local
+    /// flag check at dispatch granularity — see `obfs_sync::metrics`.
+    pub collect_histograms: bool,
     /// Install a flight recorder per worker with this many event slots
     /// (see `obfs_sync::flight`); the drained rings land in
     /// [`crate::RunStats::flight`]. Only effective on builds with the
@@ -331,6 +337,7 @@ impl Default for BfsOptions {
             topology: None,
             seed: 0x0BF5,
             collect_level_stats: false,
+            collect_histograms: false,
             flight_recorder: None,
             chaos: None,
             watchdog: None,

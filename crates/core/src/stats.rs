@@ -191,6 +191,28 @@ pub struct RunStats {
     /// [`crate::BfsOptions::flight_recorder`] was set on a build with
     /// the `trace` feature.
     pub flight: Option<crate::flight::FlightRecording>,
+    /// Per-worker latency histograms; `None` unless
+    /// [`crate::BfsOptions::collect_histograms`] was set.
+    pub hists: Option<RunHists>,
+}
+
+/// The histogram sets drained from every worker of a run
+/// (index = thread id).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunHists {
+    /// One histogram set per worker.
+    pub workers: Vec<obfs_sync::metrics::WorkerHists>,
+}
+
+impl RunHists {
+    /// All workers' histograms folded together.
+    pub fn merged(&self) -> obfs_sync::metrics::WorkerHists {
+        let mut out = obfs_sync::metrics::WorkerHists::default();
+        for w in &self.workers {
+            out.merge(w);
+        }
+        out
+    }
 }
 
 impl RunStats {
@@ -214,6 +236,7 @@ impl RunStats {
             direction_switches: 0,
             level_stats: Vec::new(),
             flight: None,
+            hists: None,
         }
     }
 

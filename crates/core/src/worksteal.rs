@@ -238,6 +238,7 @@ impl WorkStealing {
             if st.watchdog_retry(&mut wd_retries) {
                 return None; // degraded: stop searching for work
             }
+            let attempt_timer = obfs_sync::metrics::timer();
             let victim = match &st.opts.topology {
                 Some(t) => t.numa_victim(tid, 0.75, rng)?,
                 None => uniform_victim(tid, p, rng),
@@ -248,6 +249,7 @@ impl WorkStealing {
             } else {
                 self.try_steal_optimistic(env, tid, victim, ts)
             };
+            obfs_sync::metrics::steal_attempt(attempt_timer);
             if let Some(seg) = stolen {
                 ts.steal.success += 1;
                 flight::record(

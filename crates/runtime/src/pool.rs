@@ -258,6 +258,7 @@ fn worker_loop(tid: usize, shared: &Shared) {
             // installed so the next run on this OS thread starts clean.
             let _ = obfs_sync::chaos::uninstall();
             let _ = obfs_sync::flight::uninstall();
+            let _ = obfs_sync::metrics::uninstall();
             let message = payload_msg(payload.as_ref());
             {
                 let mut st = shared.lock_state();

@@ -1,0 +1,236 @@
+//! Per-worker latency histograms (`BfsOptions::collect_histograms`).
+//!
+//! Aggregate counters say *how many* segment fetches raced; they do not
+//! say how long a fetch took while it raced, or how the barrier wait is
+//! distributed across workers. This module gives each worker a small set
+//! of [`LogHistogram`]s recording exactly that: segment-fetch latency,
+//! steal-attempt latency, sanity-check retries per fetch, and barrier
+//! wait time.
+//!
+//! # Memory model: the flight-ring argument again
+//!
+//! Each histogram set is **thread-local and exclusively owned** — the
+//! same discipline as [`crate::flight`]: a worker records only into its
+//! own histograms with plain stores, and the set is read only by
+//! [`uninstall`] on the same thread. Cross-thread publication happens
+//! once, after the fact, through the pool-join happens-before edge. No
+//! atomics, no locks, no fences on the recording path.
+//!
+//! # Cost when off
+//!
+//! Unlike the `trace`/`chaos` shims this module is not feature-gated —
+//! histograms are a runtime switch so release binaries can always
+//! profile. The off-state cost is a single thread-local flag check per
+//! instrumentation point ([`timer`] returns a disarmed token and takes
+//! no clock reading), which is the same shape as the installed-check the
+//! flight shim performs in `trace` builds. Instrumentation points sit at
+//! dispatch granularity (per segment fetch / steal attempt / barrier),
+//! never in the per-edge scan loop.
+
+use obfs_util::LogHistogram;
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+/// One worker's histogram set, recorded with plain stores into
+/// thread-owned memory and merged post-run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerHists {
+    /// Latency of one dispatcher segment acquisition, in microseconds —
+    /// from entering the fetch path to holding a validated segment
+    /// (lock-based variants: includes lock acquisition; optimistic
+    /// variants: includes sanity-check retries).
+    pub segment_fetch_us: LogHistogram,
+    /// Latency of one steal attempt (victim selection through
+    /// success/failure), in microseconds.
+    pub steal_us: LogHistogram,
+    /// Sanity-check retries observed per successful segment fetch
+    /// (0 = the fetch validated first try).
+    pub fetch_retry_burst: LogHistogram,
+    /// Time spent in one barrier episode, in microseconds (for the
+    /// level leader this includes the serial section it runs before
+    /// releasing the others).
+    pub barrier_wait_us: LogHistogram,
+}
+
+impl WorkerHists {
+    /// Fold another worker's histograms into this one.
+    pub fn merge(&mut self, other: &WorkerHists) {
+        self.segment_fetch_us.merge(&other.segment_fetch_us);
+        self.steal_us.merge(&other.steal_us);
+        self.fetch_retry_burst.merge(&other.fetch_retry_burst);
+        self.barrier_wait_us.merge(&other.barrier_wait_us);
+    }
+
+    /// True when nothing has been recorded in any histogram.
+    pub fn is_empty(&self) -> bool {
+        self.segment_fetch_us.is_empty()
+            && self.steal_us.is_empty()
+            && self.fetch_retry_burst.is_empty()
+            && self.barrier_wait_us.is_empty()
+    }
+}
+
+thread_local! {
+    /// Fast-path flag mirroring `HISTS.is_some()`, so disarmed
+    /// instrumentation points pay one TLS bit test and no RefCell
+    /// borrow.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static HISTS: RefCell<Option<Box<WorkerHists>>> = const { RefCell::new(None) };
+}
+
+/// A latency measurement token: armed with a start instant only while a
+/// histogram set is installed, so the off state takes no clock reading.
+#[derive(Debug, Clone, Copy)]
+pub struct HistTimer(Option<Instant>);
+
+impl HistTimer {
+    /// A token that will never record (what [`timer`] hands out when
+    /// histograms are off).
+    pub const DISARMED: HistTimer = HistTimer(None);
+
+    /// Whether this token carries a start instant.
+    pub fn is_armed(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Install a fresh histogram set on the current thread, replacing any
+/// previous one.
+pub fn install() {
+    ACTIVE.with(|a| a.set(true));
+    HISTS.with(|h| *h.borrow_mut() = Some(Box::default()));
+}
+
+/// Remove the current thread's histogram set and return it (`None` when
+/// none was installed).
+pub fn uninstall() -> Option<Box<WorkerHists>> {
+    ACTIVE.with(|a| a.set(false));
+    HISTS.with(|h| h.borrow_mut().take())
+}
+
+/// Whether the current thread has an installed histogram set.
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Start a latency measurement: an armed token while histograms are
+/// installed, [`HistTimer::DISARMED`] otherwise.
+#[inline]
+pub fn timer() -> HistTimer {
+    if ACTIVE.with(|a| a.get()) {
+        HistTimer(Some(Instant::now()))
+    } else {
+        HistTimer::DISARMED
+    }
+}
+
+#[inline]
+fn record(t: HistTimer, f: impl FnOnce(&mut WorkerHists) -> &mut LogHistogram) {
+    let Some(start) = t.0 else { return };
+    let us = start.elapsed().as_micros() as u64;
+    HISTS.with(|h| {
+        if let Some(hists) = h.borrow_mut().as_mut() {
+            f(hists).record(us);
+        }
+    });
+}
+
+/// Close a segment-fetch measurement started with [`timer`].
+#[inline]
+pub fn segment_fetch(t: HistTimer) {
+    record(t, |h| &mut h.segment_fetch_us);
+}
+
+/// Close a steal-attempt measurement started with [`timer`].
+#[inline]
+pub fn steal_attempt(t: HistTimer) {
+    record(t, |h| &mut h.steal_us);
+}
+
+/// Close a barrier-episode measurement started with [`timer`].
+#[inline]
+pub fn barrier_wait(t: HistTimer) {
+    record(t, |h| &mut h.barrier_wait_us);
+}
+
+/// Record the sanity-check retry count of one successful segment fetch
+/// (0 for a clean first-try fetch).
+#[inline]
+pub fn fetch_retry_burst(retries: u64) {
+    if !ACTIVE.with(|a| a.get()) {
+        return;
+    }
+    HISTS.with(|h| {
+        if let Some(hists) = h.borrow_mut().as_mut() {
+            hists.fetch_retry_burst.record(retries);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_when_not_installed() {
+        assert!(!is_active());
+        assert!(!timer().is_armed());
+        segment_fetch(timer());
+        fetch_retry_burst(3);
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn records_into_installed_set() {
+        install();
+        assert!(is_active());
+        let t = timer();
+        assert!(t.is_armed());
+        segment_fetch(t);
+        steal_attempt(timer());
+        barrier_wait(timer());
+        fetch_retry_burst(0);
+        fetch_retry_burst(5);
+        let h = uninstall().expect("histograms were installed");
+        assert!(!is_active());
+        assert_eq!(h.segment_fetch_us.count(), 1);
+        assert_eq!(h.steal_us.count(), 1);
+        assert_eq!(h.barrier_wait_us.count(), 1);
+        assert_eq!(h.fetch_retry_burst.count(), 2);
+        assert_eq!(h.fetch_retry_burst.max(), 5);
+    }
+
+    #[test]
+    fn armed_token_from_an_old_install_does_not_record_after_uninstall() {
+        install();
+        let t = timer();
+        let _ = uninstall();
+        segment_fetch(t); // set is gone: must be a no-op, not a panic
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn reinstall_replaces_previous_set() {
+        install();
+        fetch_retry_burst(1);
+        install();
+        let h = uninstall().unwrap();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_folds_all_four_histograms() {
+        let mut a = WorkerHists::default();
+        a.segment_fetch_us.record(10);
+        a.fetch_retry_burst.record(2);
+        let mut b = WorkerHists::default();
+        b.steal_us.record(7);
+        b.barrier_wait_us.record(100);
+        a.merge(&b);
+        assert_eq!(a.segment_fetch_us.count(), 1);
+        assert_eq!(a.steal_us.count(), 1);
+        assert_eq!(a.fetch_retry_burst.count(), 1);
+        assert_eq!(a.barrier_wait_us.count(), 1);
+        assert!(!a.is_empty());
+    }
+}

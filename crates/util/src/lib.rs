@@ -8,10 +8,14 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
+pub mod json;
 pub mod prng;
 pub mod stats;
 pub mod timing;
 
+pub use hist::LogHistogram;
+pub use json::Json;
 pub use prng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{OnlineStats, Summary};
 pub use timing::Stopwatch;

@@ -124,15 +124,26 @@ fn chrome_trace_exporter_shape() {
     let doc = Json::parse(&text).expect("chrome trace must be valid JSON");
     assert_eq!(doc.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
     let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
-    assert_eq!(events.len(), 6);
-    // Paired kinds become B/E span events; the rest are instants.
+    // 6 recorded events + 1 process_name + per-worker thread_name and
+    // ring-dropped counter (2 workers).
+    assert_eq!(events.len(), 11);
+    // Paired kinds become B/E span events, the rest instants; metadata
+    // ('M') labels the process and each worker thread, and a counter
+    // ('C') per worker carries the ring-overflow count.
     let phases: Vec<&str> =
         events.iter().map(|e| e.get("ph").and_then(Json::as_str).unwrap()).collect();
     assert_eq!(phases.iter().filter(|p| **p == "B").count(), 2);
     assert_eq!(phases.iter().filter(|p| **p == "E").count(), 2);
     assert_eq!(phases.iter().filter(|p| **p == "i").count(), 2);
-    // Worker index becomes the tid.
-    let tids: Vec<u64> =
-        events.iter().map(|e| e.get("tid").and_then(Json::as_u64).unwrap()).collect();
+    assert_eq!(phases.iter().filter(|p| **p == "M").count(), 3);
+    assert_eq!(phases.iter().filter(|p| **p == "C").count(), 2);
+    // Worker index becomes the tid (the process_name record has none).
+    let tids: Vec<u64> = events
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+        .collect();
     assert!(tids.contains(&0) && tids.contains(&1));
+    // The exporter round-trips exactly through the bundled parser.
+    let back = obfs_core::flight::parse_chrome_trace(&text).expect("parse own export");
+    assert_eq!(back, rec);
 }
