@@ -106,8 +106,8 @@ mod tests {
         let g = gen::star(5);
         let bc = betweenness_centrality_exact(&g);
         assert!((bc[0] - 12.0).abs() < 1e-9, "hub bc = {}", bc[0]);
-        for leaf in 1..5 {
-            assert!(bc[leaf].abs() < 1e-9);
+        for leaf_bc in &bc[1..5] {
+            assert!(leaf_bc.abs() < 1e-9);
         }
     }
 

@@ -117,6 +117,7 @@ mod tests {
         let c = bfs_ball_clustering(&g, radius);
         for (id, &center) in c.centers.iter().enumerate() {
             let dist = obfs_graph::stats::bfs_levels(&g, center);
+            #[allow(clippy::needless_range_loop)] // v is the vertex id, used in two arrays
             for v in 0..300 {
                 if c.cluster[v] == id as u32 {
                     assert!(

@@ -199,6 +199,7 @@ mod tests {
         }
         assert_eq!(balance[0], -f);
         assert_eq!(balance[4], f);
+        #[allow(clippy::needless_range_loop)] // v is the vertex id in the message
         for v in 1..4 {
             assert_eq!(balance[v], 0, "conservation violated at {v}");
         }

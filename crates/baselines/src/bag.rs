@@ -168,11 +168,11 @@ impl Bag {
         let mut other_spine = other.spine;
         other_spine.resize_with(max_len, || None);
         let mut carry: Option<Pennant> = None;
-        for k in 0..max_len {
-            let a = self.spine[k].take();
-            let b = other_spine[k].take();
+        for (a_slot, b_slot) in self.spine.iter_mut().zip(other_spine.iter_mut()) {
+            let a = a_slot.take();
+            let b = b_slot.take();
             let (res, new_carry) = full_adder(a, b, carry);
-            self.spine[k] = res;
+            *a_slot = res;
             carry = new_carry;
         }
         if let Some(c) = carry {

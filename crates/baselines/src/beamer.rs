@@ -147,6 +147,9 @@ pub fn beamer_bfs_on_pool(
                 // bitmap words.
                 let wper = words.div_ceil(threads);
                 let (wlo, whi) = ((tid * wper).min(words), ((tid + 1) * wper).min(words));
+                // wi also names the vertices (wi * 64 + bit), so the
+                // index loop is the clearer form here.
+                #[allow(clippy::needless_range_loop)]
                 for wi in wlo..whi {
                     let mut bits = cur[wi].load(Ordering::Relaxed);
                     while bits != 0 {
@@ -197,8 +200,8 @@ pub fn beamer_bfs_on_pool(
             // Clear my share of the old frontier for reuse two levels on.
             let wper = words.div_ceil(threads);
             let (wlo, whi) = ((tid * wper).min(words), ((tid + 1) * wper).min(words));
-            for wi in wlo..whi {
-                cur[wi].store(0, Ordering::Relaxed);
+            for w in &cur[wlo..whi] {
+                w.store(0, Ordering::Relaxed);
             }
             ctx.barrier().wait();
             cur_is_a = !cur_is_a;

@@ -259,8 +259,8 @@ fn shared_queue<'a>(
                     break;
                 }
                 let end = (start + chunk).min(size);
-                for i in start..end {
-                    let v = qin[i].load(Ordering::Relaxed);
+                for slot in &qin[start..end] {
+                    let v = slot.load(Ordering::Relaxed);
                     stats[tid].explored.fetch_add(1, Ordering::Relaxed);
                     let neigh = graph.neighbors(v);
                     stats[tid].edges.fetch_add(neigh.len() as u64, Ordering::Relaxed);
@@ -468,8 +468,8 @@ fn hybrid<'a>(
                         break;
                     }
                     let end = (start + chunk).min(size);
-                    for i in start..end {
-                        let v = qin[i].load(Ordering::Relaxed);
+                    for slot in &qin[start..end] {
+                        let v = slot.load(Ordering::Relaxed);
                         stats[tid].explored.fetch_add(1, Ordering::Relaxed);
                         let neigh = graph.neighbors(v);
                         stats[tid].edges.fetch_add(neigh.len() as u64, Ordering::Relaxed);

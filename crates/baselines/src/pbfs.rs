@@ -79,10 +79,11 @@ impl PbfsRunner {
                 out_bags: PerThread::new(threads, |_| Bag::new()),
                 stats: PerThread::new(threads, |_| ThreadStats::default()),
             });
-            // SAFETY: `scope` blocks until every task completes, so the
-            // 'static view of the borrowed graph/levels never escapes the
-            // borrow. (The fork-join pool's documented scope pattern.)
             let shared_static: Arc<LayerShared<'static>> =
+                // SAFETY: `scope` blocks until every task completes, so the
+                // 'static view of the borrowed graph/levels never escapes
+                // the borrow. (The fork-join pool's documented scope
+                // pattern.)
                 unsafe { std::mem::transmute(Arc::clone(&shared)) };
             let pennants = in_bag.take_pennants();
             self.pool.scope(move |ctx| {

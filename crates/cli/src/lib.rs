@@ -19,6 +19,7 @@ pub fn usage() -> String {
        bfs        --in FILE --algo NAME [--src v] [--threads p] [--validate] \
      [--parents] [--trace [OUT.json]] [--histograms] [--hybrid] [--alpha a] [--beta b]\n\
        analyze    TRACE.json [--json]   (post-mortem profile of a recorded trace)\n\
+       model      [--schedules n] [--steps n]   (bounded model check of the racy protocol cores)\n\
        components --in FILE [--threads p] [--algo NAME]\n\
        bipartite  --in FILE [--threads p]\n\
        bc         --in FILE [--samples k] [--seed s] [--top t]\n\
@@ -43,6 +44,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "gen" => cmd_gen(&flags),
         "stats" => cmd_stats(&flags),
         "bfs" => cmd_bfs(&flags),
+        "model" => cmd_model(&flags),
         "components" => cmd_components(&flags),
         "bipartite" => cmd_bipartite(&flags),
         "bc" => cmd_bc(&flags),
@@ -417,6 +419,23 @@ fn cmd_analyze(rest: &[String]) -> Result<String, String> {
         Ok(profile.to_json().render() + "\n")
     } else {
         Ok(profile.render_table())
+    }
+}
+
+fn cmd_model(flags: &HashMap<String, String>) -> Result<String, String> {
+    use obfs_core::model::{check_all, Explorer, DEFAULT_BOUNDS};
+    let bounds = Explorer {
+        max_schedules: get_num(flags, "schedules", DEFAULT_BOUNDS.max_schedules)?,
+        max_steps: get_num(flags, "steps", DEFAULT_BOUNDS.max_steps)?,
+    };
+    let report = check_all(bounds);
+    let rendered = report.render();
+    if report.passed() {
+        Ok(rendered)
+    } else {
+        // Nonzero exit: a protocol invariant broke or a seeded bug
+        // escaped detection. The full report is the error message.
+        Err(format!("model check failed\n{rendered}"))
     }
 }
 

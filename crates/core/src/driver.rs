@@ -167,9 +167,10 @@ pub fn drive_with_transpose<'g, S: Strategy>(
     let t0 = std::time::Instant::now();
     pool.run(|ctx| {
         let tid = ctx.tid();
-        // SAFETY (both): each worker touches only its own slot while the
-        // region is active.
+        // SAFETY: each worker touches only its own slot while the region
+        // is active.
         let ts = unsafe { stats.get_mut(tid) };
+        // SAFETY: own slot only, as above.
         let my_deepest = unsafe { deepest.get_mut(tid) };
         let mut rng = Xoshiro256StarStar::for_stream(st.opts.seed, tid as u64);
         if let Some(cfg) = &st.opts.chaos {
@@ -236,9 +237,10 @@ pub fn drive_with_transpose<'g, S: Strategy>(
         let mut out_rear = 0usize;
         loop {
             // Direction the leader picked for this level (always top-down
-            // without hybrid). SAFETY: written only in the previous
-            // barrier's serial section; read only between barriers.
+            // without hybrid).
             let dir = match &st.hyb {
+                // SAFETY: written only in the previous barrier's serial
+                // section; read only between barriers.
                 Some(h) => unsafe { *h.direction.get() },
                 None => Direction::TopDown,
             };
@@ -366,6 +368,8 @@ pub fn drive_with_transpose<'g, S: Strategy>(
                     let mut sum = *ts; // leader's own live counters
                     for k in 0..st.threads {
                         if k != tid {
+                            // SAFETY: barrier serial section — every peer
+                            // published its snapshot before arriving.
                             sum.merge(unsafe { snap.get(k) });
                         }
                     }

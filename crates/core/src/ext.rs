@@ -70,6 +70,7 @@ impl Strategy for EdgePartitioned {
         let out = st.qout(env.parity).queue(tid);
         // SAFETY: read-only between barriers.
         let flat = unsafe { st.flat_vertices.get() };
+        // SAFETY: read-only between barriers, as above.
         let prefix = unsafe { st.flat_prefix.get() };
         consume_edge_ranges(st, flat, prefix, env.level, tid, out, out_rear, ts);
     }

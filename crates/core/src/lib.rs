@@ -32,6 +32,7 @@ pub mod driver;
 pub mod ext;
 pub mod flight;
 pub mod frontier;
+pub mod model;
 pub mod options;
 pub mod perthread;
 pub mod scalefree;

@@ -1,0 +1,310 @@
+//! Model of the BFSCL centralized lock-free segment fetch
+//! (`consume_pool_lockfree`), paper §IV-A.2.
+//!
+//! Each model thread runs the exact racy-operation sequence of the real
+//! fetch loop — one shared-memory access per step, in program order:
+//!
+//! ```text
+//! loop {
+//!   load cursor                         (LoadCursor)
+//!   loop { load front[k]; load rear[k] }  until front < rear  (Scan*)
+//!   load front[k] -> f'                 (ReFront)
+//!   load rear[k]  -> r'                 (ReRear; retry if f' >= r')
+//!   store cursor = k                    (StoreCursor)
+//!   store front[k] = f' + s             (StoreFront)
+//!   load rear[k] -> live_end            (LiveEnd)
+//!   for i in f'..f'+s { load slot; store slot = 0 }  (Walk*)
+//! }
+//! ```
+//!
+//! with `s = max(1, (r' - f') / P)` — a pure function of `(f, r, p)`, as
+//! the no-gap invariant requires. The **weakened** variant deletes the
+//! `f' >= r'` retry check; the model flags the moment an invalid segment
+//! (`f' >= r'`) is cut instead of rejected, which is exactly the
+//! invariant "every invalid segment is rejected by a sanity check". The
+//! retry path carries the real watchdog's retry budget (a thread gives
+//! up after [`RETRY_BUDGET`] consecutive failed re-reads), so the model
+//! terminates without wall clocks.
+//!
+//! Instance: 2 threads × 2 queues with rears [2, 1]; slot arrays carry
+//! one trailing sentinel word each, mirroring `FrontierQueue`'s
+//! `capacity + 1` layout, and `take_slot`'s capacity guard is mirrored
+//! by the walk's bounds check.
+
+use obfs_sync::model::{Explorer, Footprint, ModelThread, Outcome, System, VirtualMemory};
+
+/// Threads in the model instance.
+pub const P: usize = 2;
+/// Queues in the pool.
+pub const NQ: usize = 2;
+/// Immutable level rears per queue.
+pub const REARS: [u32; NQ] = [2, 1];
+/// Consecutive failed re-reads before a thread gives up (the real
+/// dispatcher's `watchdog_retry` budget, made finite and deterministic).
+pub const RETRY_BUDGET: u32 = 2;
+
+/// Word addresses.
+pub const CURSOR: usize = 0;
+/// `front[k]` lives at `FRONT0 + k`.
+pub const FRONT0: usize = 1;
+/// `rear[k]` lives at `REAR0 + k`.
+pub const REAR0: usize = 3;
+/// Queue `k`'s slots start at `SLOTS0 + k * (max rear + 1)`… computed by
+/// [`slot_addr`]; kept contiguous per queue.
+pub const SLOTS0: usize = 5;
+
+/// Capacity (slot-array length) of queue `k`: rear + 1 sentinel word.
+pub fn capacity(k: usize) -> usize {
+    REARS[k] as usize + 1
+}
+
+/// Base address of queue `k`'s slot array.
+fn slots_base(k: usize) -> usize {
+    let mut a = SLOTS0;
+    for q in 0..k {
+        a += capacity(q);
+    }
+    a
+}
+
+/// Address of slot `i` of queue `k`.
+pub fn slot_addr(k: usize, i: usize) -> usize {
+    slots_base(k) + i
+}
+
+fn words() -> usize {
+    slots_base(NQ)
+}
+
+/// The model's segment policy: `max(1, remaining / P)` — pure in
+/// `(f, r, p)` like the real `SegmentPolicy` must be.
+fn segment_len(remaining: u32) -> u32 {
+    (remaining / P as u32).max(1)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    LoadCursor,
+    ScanFront,
+    ScanRear,
+    ReFront,
+    ReRear,
+    StoreCursor,
+    StoreFront,
+    LiveEnd,
+    WalkLoad,
+    WalkClear,
+    Done,
+}
+
+/// One fetching worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fetcher {
+    weakened: bool,
+    pc: Pc,
+    k: usize,
+    scan_front: u32,
+    f: u32,
+    r: u32,
+    s: u32,
+    i: u32,
+    live_end: u32,
+    retries: u32,
+    pending: u32,
+    /// (queue, slot, value) taken by this thread, in order.
+    pub takes: Vec<(usize, usize, u32)>,
+    /// Mid-segment cleared-slot aborts observed (recovery accounting).
+    pub stale_aborts: u32,
+}
+
+impl Fetcher {
+    fn new(weakened: bool) -> Self {
+        Self {
+            weakened,
+            pc: Pc::LoadCursor,
+            k: 0,
+            scan_front: 0,
+            f: 0,
+            r: 0,
+            s: 0,
+            i: 0,
+            live_end: 0,
+            retries: 0,
+            pending: 0,
+            takes: Vec::new(),
+            stale_aborts: 0,
+        }
+    }
+
+    /// Mirror of the real walk's `None` arm in `take_slot` + the
+    /// stale-accounting branch.
+    fn walk_none(&mut self) {
+        if self.i < self.live_end {
+            self.stale_aborts += 1;
+        }
+        self.pc = Pc::LoadCursor;
+    }
+}
+
+impl ModelThread for Fetcher {
+    fn done(&self) -> bool {
+        self.pc == Pc::Done
+    }
+
+    fn footprint(&self, _mem: &VirtualMemory) -> Footprint {
+        match self.pc {
+            Pc::LoadCursor => Footprint::Read(CURSOR),
+            Pc::ScanFront if self.k >= NQ => Footprint::Internal,
+            Pc::ScanFront => Footprint::Read(FRONT0 + self.k),
+            Pc::ScanRear => Footprint::Read(REAR0 + self.k),
+            Pc::ReFront => Footprint::Read(FRONT0 + self.k),
+            Pc::ReRear => Footprint::Read(REAR0 + self.k),
+            Pc::StoreCursor => Footprint::Write(CURSOR),
+            Pc::StoreFront => Footprint::Write(FRONT0 + self.k),
+            Pc::LiveEnd => Footprint::Read(REAR0 + self.k),
+            Pc::WalkLoad if (self.i as usize) >= capacity(self.k) => Footprint::Internal,
+            Pc::WalkLoad => Footprint::Read(slot_addr(self.k, self.i as usize)),
+            Pc::WalkClear => Footprint::Write(slot_addr(self.k, self.i as usize)),
+            Pc::Done => Footprint::Internal,
+        }
+    }
+
+    fn step(&mut self, tid: usize, mem: &mut VirtualMemory) -> Result<(), String> {
+        match self.pc {
+            Pc::LoadCursor => {
+                self.k = (mem.load(tid, CURSOR) as usize).min(NQ);
+                self.pc = Pc::ScanFront;
+            }
+            Pc::ScanFront => {
+                if self.k >= NQ {
+                    self.pc = Pc::Done; // pool exhausted from our view
+                } else {
+                    self.scan_front = mem.load(tid, FRONT0 + self.k);
+                    self.pc = Pc::ScanRear;
+                }
+            }
+            Pc::ScanRear => {
+                let rear = mem.load(tid, REAR0 + self.k);
+                if self.scan_front < rear {
+                    self.pc = Pc::ReFront;
+                } else {
+                    self.k += 1;
+                    self.pc = Pc::ScanFront;
+                }
+            }
+            Pc::ReFront => {
+                self.f = mem.load(tid, FRONT0 + self.k);
+                self.pc = Pc::ReRear;
+            }
+            Pc::ReRear => {
+                self.r = mem.load(tid, REAR0 + self.k);
+                if !self.weakened && self.f >= self.r {
+                    // The sanity-check retry (real code: fetch_retries).
+                    self.retries += 1;
+                    if self.retries > RETRY_BUDGET {
+                        self.pc = Pc::Done; // watchdog budget: degrade
+                    } else {
+                        self.pc = Pc::ScanFront; // rescan from current k
+                    }
+                } else if self.f >= self.r {
+                    // Weakened: the check is gone and an invalid segment
+                    // is about to be cut — the invariant violation.
+                    return Err(format!(
+                        "cut invalid segment on queue {}: f'={} >= r'={} \
+                         (the sanity-check retry would have rejected it)",
+                        self.k, self.f, self.r
+                    ));
+                } else {
+                    self.retries = 0;
+                    self.s = segment_len(self.r - self.f);
+                    self.pc = Pc::StoreCursor;
+                }
+            }
+            Pc::StoreCursor => {
+                mem.store(tid, CURSOR, self.k as u32);
+                self.pc = Pc::StoreFront;
+            }
+            Pc::StoreFront => {
+                mem.store(tid, FRONT0 + self.k, self.f + self.s);
+                self.pc = Pc::LiveEnd;
+            }
+            Pc::LiveEnd => {
+                self.live_end = mem.load(tid, REAR0 + self.k);
+                self.i = self.f;
+                self.pc = Pc::WalkLoad;
+            }
+            Pc::WalkLoad => {
+                if (self.i as usize) >= capacity(self.k) {
+                    // take_slot's capacity guard.
+                    self.walk_none();
+                } else {
+                    let v = mem.load(tid, slot_addr(self.k, self.i as usize));
+                    if v == 0 {
+                        self.walk_none();
+                    } else {
+                        self.pending = v;
+                        self.pc = Pc::WalkClear;
+                    }
+                }
+            }
+            Pc::WalkClear => {
+                mem.store(tid, slot_addr(self.k, self.i as usize), 0);
+                self.takes.push((self.k, self.i as usize, self.pending));
+                self.i += 1;
+                self.pc = if self.i >= self.f + self.s { Pc::LoadCursor } else { Pc::WalkLoad };
+            }
+            Pc::Done => {}
+        }
+        Ok(())
+    }
+}
+
+/// The initial system: queues filled to their rears with distinct
+/// nonzero encoded vertices, cursors and fronts zero.
+#[allow(clippy::needless_range_loop)] // k, i are model memory addresses
+pub fn system(weakened: bool) -> System<Fetcher> {
+    let mut mem = VirtualMemory::new(P, words(), true);
+    for k in 0..NQ {
+        mem.init(REAR0 + k, REARS[k]);
+        for i in 0..REARS[k] as usize {
+            mem.init(slot_addr(k, i), 10 + (k * 8 + i) as u32 + 1);
+        }
+    }
+    System::new(mem, vec![Fetcher::new(weakened); P])
+}
+
+/// Terminal invariants: coverage, bounded duplicates, clean memory.
+#[allow(clippy::needless_range_loop)] // k, i are model memory addresses
+pub fn check_final(sys: &System<Fetcher>) -> Result<(), String> {
+    let mut taken = [[0u32; 4]; NQ];
+    for t in &sys.threads {
+        for &(k, i, v) in &t.takes {
+            if v == 0 {
+                return Err(format!("thread explored the sentinel value 0 at queue {k} slot {i}"));
+            }
+            taken[k][i] += 1;
+        }
+    }
+    for k in 0..NQ {
+        for i in 0..REARS[k] as usize {
+            if sys.mem.committed(slot_addr(k, i)) != 0 {
+                return Err(format!("slot {i} of queue {k} never consumed (coverage violation)"));
+            }
+            if taken[k][i] == 0 {
+                return Err(format!("slot {i} of queue {k} zeroed but never explored"));
+            }
+            if taken[k][i] > P as u32 {
+                return Err(format!(
+                    "slot {i} of queue {k} explored {}x > P={P} (duplicate bound violation)",
+                    taken[k][i]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Explore the core. `weakened` deletes the `f' >= r'` retry check.
+pub fn check(weakened: bool, bounds: Explorer) -> Outcome {
+    bounds.explore(&system(weakened), check_final)
+}

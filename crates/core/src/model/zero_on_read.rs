@@ -1,0 +1,173 @@
+//! Model of the zero-on-read segment walk with stale abort
+//! (`take_slot` + the walk loops in `consume_pool_lockfree` /
+//! `walk_sentinel`), paper §IV-A.2/§IV-B.
+//!
+//! Two threads co-walk the *same* segment `[0, rear)` of one queue —
+//! the situation racy dispatch produces when a front cursor is dragged
+//! backwards and a segment is replayed. Each thread runs the real
+//! walk's racy-op order, one access per step:
+//!
+//! ```text
+//! load rear -> live_end                     (LiveEnd)
+//! for i in 0..rear {
+//!   load slot[i]                            (WalkLoad)
+//!   if 0 { stale abort if i < live_end; stop }
+//!   store slot[i] = 0; explore              (WalkClear)
+//! }
+//! ```
+//!
+//! The zero-on-read protocol makes replays benign: the first walker to
+//! *read* a slot live clears it and explores it; a co-walker that reads
+//! the cleared slot aborts its walk. The **weakened** variant deletes
+//! the sentinel stop: reading 0 "decodes" the empty-slot value as a
+//! vertex — the model flags it the moment it happens, which is only
+//! reachable when the other thread's clear has become visible
+//! mid-segment (a genuine race, not a serial bug).
+//!
+//! Instance: 2 threads, one queue with rear = 4 — small enough that the
+//! explorer covers the *entire* pruned schedule space (the outcome
+//! reports `complete`), so the invariants hold unconditionally within
+//! the model, not just up to a schedule budget.
+
+use obfs_sync::model::{Explorer, Footprint, ModelThread, Outcome, System, VirtualMemory};
+
+/// Threads co-walking the segment.
+pub const P: usize = 2;
+/// Live slots in the shared segment.
+pub const REAR: u32 = 4;
+
+/// Word address of the queue's rear cursor.
+pub const REAR_ADDR: usize = 0;
+/// Word address of slot `i`.
+pub fn slot_addr(i: usize) -> usize {
+    1 + i
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    LiveEnd,
+    WalkLoad,
+    WalkClear,
+    Done,
+}
+
+/// One segment walker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walker {
+    weakened: bool,
+    pc: Pc,
+    i: u32,
+    live_end: u32,
+    pending: u32,
+    /// (slot, value) taken by this thread, in order.
+    pub takes: Vec<(usize, u32)>,
+    /// Mid-segment cleared-slot aborts observed.
+    pub stale_aborts: u32,
+}
+
+impl Walker {
+    fn new(weakened: bool) -> Self {
+        Self {
+            weakened,
+            pc: Pc::LiveEnd,
+            i: 0,
+            live_end: 0,
+            pending: 0,
+            takes: Vec::new(),
+            stale_aborts: 0,
+        }
+    }
+}
+
+impl ModelThread for Walker {
+    fn done(&self) -> bool {
+        self.pc == Pc::Done
+    }
+
+    fn footprint(&self, _mem: &VirtualMemory) -> Footprint {
+        match self.pc {
+            Pc::LiveEnd => Footprint::Read(REAR_ADDR),
+            Pc::WalkLoad => Footprint::Read(slot_addr(self.i as usize)),
+            Pc::WalkClear => Footprint::Write(slot_addr(self.i as usize)),
+            Pc::Done => Footprint::Internal,
+        }
+    }
+
+    fn step(&mut self, tid: usize, mem: &mut VirtualMemory) -> Result<(), String> {
+        match self.pc {
+            Pc::LiveEnd => {
+                self.live_end = mem.load(tid, REAR_ADDR);
+                self.pc = Pc::WalkLoad;
+            }
+            Pc::WalkLoad => {
+                let v = mem.load(tid, slot_addr(self.i as usize));
+                if v == 0 {
+                    if self.weakened {
+                        // The sentinel stop is gone: decode(0) would
+                        // "explore" a vertex that was already consumed.
+                        return Err(format!(
+                            "decoded the empty-slot sentinel at slot {}: vertex already \
+                             consumed by the co-walker (zero-on-read stale abort deleted)",
+                            self.i
+                        ));
+                    }
+                    if self.i < self.live_end {
+                        self.stale_aborts += 1;
+                    }
+                    self.pc = Pc::Done;
+                } else {
+                    self.pending = v;
+                    self.pc = Pc::WalkClear;
+                }
+            }
+            Pc::WalkClear => {
+                mem.store(tid, slot_addr(self.i as usize), 0);
+                self.takes.push((self.i as usize, self.pending));
+                self.i += 1;
+                self.pc = if self.i >= REAR { Pc::Done } else { Pc::WalkLoad };
+            }
+            Pc::Done => {}
+        }
+        Ok(())
+    }
+}
+
+/// Initial system: slots `[21, 22, 23, 24]`, both walkers at slot 0.
+pub fn system(weakened: bool) -> System<Walker> {
+    let mut mem = VirtualMemory::new(P, 1 + REAR as usize, true);
+    mem.init(REAR_ADDR, REAR);
+    for i in 0..REAR as usize {
+        mem.init(slot_addr(i), 21 + i as u32);
+    }
+    System::new(mem, vec![Walker::new(weakened); P])
+}
+
+/// Terminal invariants: coverage and bounded duplicates.
+pub fn check_final(sys: &System<Walker>) -> Result<(), String> {
+    let mut taken = [0u32; REAR as usize];
+    for t in &sys.threads {
+        for &(i, v) in &t.takes {
+            if v == 0 {
+                return Err(format!("thread explored the sentinel value 0 at slot {i}"));
+            }
+            taken[i] += 1;
+        }
+    }
+    for (i, &n) in taken.iter().enumerate() {
+        if sys.mem.committed(slot_addr(i)) != 0 {
+            return Err(format!("slot {i} never consumed (coverage violation)"));
+        }
+        if n == 0 {
+            return Err(format!("slot {i} zeroed but never explored"));
+        }
+        if n > P as u32 {
+            return Err(format!("slot {i} explored {n}x > P={P} (duplicate bound violation)"));
+        }
+    }
+    Ok(())
+}
+
+/// Explore the core. `weakened` deletes the sentinel stop.
+pub fn check(weakened: bool, bounds: Explorer) -> Outcome {
+    bounds.explore(&system(weakened), check_final)
+}

@@ -18,6 +18,7 @@ pub struct PerThread<T> {
 // contract requires exclusive use per tid; the type is as thread-safe as
 // sending `T` itself.
 unsafe impl<T: Send> Sync for PerThread<T> {}
+// SAFETY: moving the container moves the owned `T`s — same bound.
 unsafe impl<T: Send> Send for PerThread<T> {}
 
 impl<T> PerThread<T> {
@@ -64,6 +65,7 @@ impl<T> PerThread<T> {
     /// Exclusive iteration once all workers are done (requires `&mut`,
     /// so the borrow checker enforces quiescence).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        // SAFETY: `&mut self` proves no worker holds a slot reference.
         self.slots.iter_mut().map(|c| unsafe { &mut *c.get() })
     }
 
@@ -87,6 +89,7 @@ mod tests {
         let pt = PerThread::new(4, |t| t * 10);
         assert_eq!(pt.len(), 4);
         for t in 0..4 {
+            // SAFETY: single-threaded test, no concurrent writers.
             assert_eq!(unsafe { *pt.get(t) }, t * 10);
         }
     }

@@ -119,6 +119,7 @@ mod tests {
         let r = serial_bfs_with_opts(&g, 0, &opts);
         let parents = r.parents.as_ref().unwrap();
         assert_eq!(parents[0], 0);
+        #[allow(clippy::needless_range_loop)] // v is the vertex id under test
         for v in 1..31usize {
             let p = parents[v] as usize;
             assert_eq!(r.levels[v], r.levels[p] + 1, "parent level mismatch at {v}");

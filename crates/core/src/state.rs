@@ -253,7 +253,7 @@ impl<'g> RunState<'g> {
                 bitmap: FrontierBitmap::new(n),
                 direction: SerialCell::new(Direction::TopDown),
                 ctl: SerialCell::new(HybridCtl {
-                    unexplored_edges: graph.num_edges() as u64,
+                    unexplored_edges: graph.num_edges(),
                     prev_frontier_edges: 0,
                     directions: Vec::new(),
                     switches: 0,
@@ -341,6 +341,7 @@ impl<'g> RunState<'g> {
     /// write — duplicates across threads are possible and benign), record
     /// parent/owner, and push it to `out`.
     #[inline]
+    #[allow(clippy::too_many_arguments)] // hot path: flat args beat a param struct here
     pub fn try_discover(
         &self,
         w: VertexId,
@@ -631,6 +632,7 @@ mod tests {
         let mut covered = [false; 7];
         for j in 0..3 {
             let (s, e) = st.pool_range(j);
+            #[allow(clippy::needless_range_loop)] // q is the queue id under test
             for q in s..e {
                 assert!(!covered[q], "queue {q} in two pools");
                 covered[q] = true;

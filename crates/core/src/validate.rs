@@ -76,6 +76,8 @@ pub fn check_self_consistent(
         return Err(ValidationError::BadSource { src, level: result.levels[src as usize] });
     }
     if let Some(parents) = &result.parents {
+        // v is the vertex id itself, not just an index into the arrays.
+        #[allow(clippy::needless_range_loop)]
         for v in 0..graph.num_vertices() {
             let lv = result.levels[v];
             let p = parents[v];

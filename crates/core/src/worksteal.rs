@@ -111,20 +111,20 @@ impl Strategy for WorkStealing {
 }
 
 /// The thread-local view of the segment being walked.
-struct OwnedSegment {
-    q: usize,
-    f: usize,
+pub(crate) struct OwnedSegment {
+    pub(crate) q: usize,
+    pub(crate) f: usize,
     /// Kept for symmetry with the shared descriptor, but deliberately
     /// never consulted while walking: the paper's owners stop only at a
     /// cleared slot, never at their own rear (which thieves may corrupt).
     #[allow(dead_code)]
-    r: usize,
+    pub(crate) r: usize,
 }
 
 impl WorkStealing {
     /// Lock-free owner walk: consume by sentinel, publishing `f` after
     /// every pop, never checking `r`.
-    fn walk_sentinel(
+    pub(crate) fn walk_sentinel(
         &self,
         env: &LevelEnv<'_, '_>,
         tid: usize,
@@ -324,7 +324,7 @@ impl WorkStealing {
 
     /// BFSWL steal: snapshot, sanity-check, publish with plain stores
     /// (paper §IV-B.2).
-    fn try_steal_optimistic(
+    pub(crate) fn try_steal_optimistic(
         &self,
         env: &LevelEnv<'_, '_>,
         tid: usize,
@@ -429,6 +429,7 @@ impl WorkStealing {
         let out = st.qout(env.parity).queue(tid);
         // SAFETY: read-only between barriers.
         let flat = unsafe { st.flat_vertices.get() };
+        // SAFETY: read-only between barriers, as above.
         let prefix = unsafe { st.flat_prefix.get() };
         crate::ext::consume_edge_ranges(st, flat, prefix, env.level, tid, out, out_rear, ts);
     }

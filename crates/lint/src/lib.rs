@@ -1,0 +1,659 @@
+//! `obfs-lint`: the repo's race-surface auditor (text/line-based, no
+//! parser crates, std-only, fully deterministic).
+//!
+//! Four rules, all motivated by the paper's safety argument living in
+//! *conventions* the compiler cannot check:
+//!
+//! * **safety-comment** — every `unsafe` keyword (block, fn, impl,
+//!   trait) must carry a `SAFETY`/`# Safety` marker on the same line,
+//!   the line directly above, or the contiguous comment/attribute block
+//!   directly above (a blank or code line breaks the attachment). The
+//!   optimistic protocols lean on `unsafe` ownership claims (barrier
+//!   serial sections, own-slot access); an unargued claim is a latent
+//!   race.
+//! * **unsafe-scope / atomics-scope** — `unsafe` and `Ordering::` uses
+//!   outside `crates/sync` must be explicitly allowlisted (with a
+//!   justification) in `scripts/lint.allow`. The design rule is that
+//!   the racy memory model lives in `obfs-sync`; every escape hatch
+//!   elsewhere is a deliberate, documented exception. Stale allowlist
+//!   entries (file gone, or occurrence gone) are errors too, so the
+//!   list can only shrink truthfully.
+//! * **shim-parity** — in the feature-shim modules (`chaos`, `flight`,
+//!   `metrics`), a top-level `pub fn` gated on `#[cfg(feature = "X")]`
+//!   must have a `#[cfg(not(feature = "X"))]` twin of the same name
+//!   (and vice versa), so the public API never disappears when a
+//!   feature is off.
+//! * **flight-taxonomy** — the event-kind constants in
+//!   `obfs_sync::flight::kind` and the taxonomy table in DESIGN.md §8
+//!   must list exactly the same kinds, in both directions.
+//!
+//! Output is byte-stable: files are walked in sorted order, findings
+//! are sorted, and nothing reads clocks, RNG, or hash-iteration order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Repo-relative path of the allowlist.
+pub const ALLOWLIST: &str = "scripts/lint.allow";
+
+/// The feature-shim modules checked by the shim-parity rule.
+pub const SHIM_FILES: [&str; 3] = [
+    "crates/sync/src/chaos.rs",
+    "crates/sync/src/flight.rs",
+    "crates/sync/src/metrics.rs",
+];
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path (`/`-separated on every platform).
+    pub path: String,
+    /// 1-based line, 0 when the finding is file- or repo-level.
+    pub line: usize,
+    /// Rule identifier (`safety-comment`, `unsafe-scope`, …).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(path: &str, line: usize, rule: &'static str, message: String) -> Self {
+        Self { path: path.to_string(), line, rule, message }
+    }
+}
+
+/// Everything one lint run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Sorted findings (empty = clean).
+    pub findings: Vec<Finding>,
+    /// Rust files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the repo is clean.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Deterministic human-readable report.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "== obfs-lint: unsafe/ordering audit ==");
+        for f in &self.findings {
+            if f.line == 0 {
+                let _ = writeln!(s, "{}: [{}] {}", f.path, f.rule, f.message);
+            } else {
+                let _ = writeln!(s, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+            }
+        }
+        let _ = writeln!(
+            s,
+            "lint: {} ({} files scanned, {} findings)",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.files_scanned,
+            self.findings.len()
+        );
+        s
+    }
+}
+
+/// Run every rule against the repo rooted at `root`.
+pub fn lint_repo(root: &Path) -> Result<LintReport, String> {
+    let files = rust_files(&root.join("crates"))?;
+    let mut findings = Vec::new();
+    let allow = Allowlist::load(root, &mut findings)?;
+
+    // Per-file occurrence sets, reused by the stale-entry check.
+    let mut has_unsafe: BTreeSet<String> = BTreeSet::new();
+    let mut has_atomics: BTreeSet<String> = BTreeSet::new();
+
+    for path in &files {
+        let rel = rel_path(root, path);
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        let lines: Vec<&str> = text.lines().collect();
+        let code: Vec<String> = lines.iter().map(|l| strip_comment(l)).collect();
+
+        check_safety_comments(&rel, &lines, &code, &allow, &mut findings);
+
+        let outside_sync = !rel.starts_with("crates/sync/");
+        for (i, c) in code.iter().enumerate() {
+            if contains_word(c, "unsafe") {
+                has_unsafe.insert(rel.clone());
+                if outside_sync && !allow.permits("unsafe", &rel) {
+                    findings.push(Finding::new(
+                        &rel,
+                        i + 1,
+                        "unsafe-scope",
+                        format!("`unsafe` outside crates/sync needs an `unsafe {rel}` entry in {ALLOWLIST}"),
+                    ));
+                    break; // one finding per file is enough
+                }
+            }
+        }
+        for (i, c) in code.iter().enumerate() {
+            if c.contains("Ordering::") {
+                has_atomics.insert(rel.clone());
+                if outside_sync && !allow.permits("atomics", &rel) {
+                    findings.push(Finding::new(
+                        &rel,
+                        i + 1,
+                        "atomics-scope",
+                        format!("`Ordering::` outside crates/sync needs an `atomics {rel}` entry in {ALLOWLIST}"),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    allow.check_stale(&has_unsafe, &has_atomics, &mut findings);
+
+    for shim in SHIM_FILES {
+        let path = root.join(shim);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        check_shim_parity(shim, &text, &mut findings);
+    }
+
+    check_flight_taxonomy(root, &mut findings)?;
+
+    findings.sort();
+    findings.dedup();
+    Ok(LintReport { findings, files_scanned: files.len() })
+}
+
+/// All `.rs` files under `dir`, sorted, skipping `target` directories.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries =
+            fs::read_dir(&d).map_err(|e| format!("read_dir {}: {e}", d.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", d.display()))?;
+            let p = entry.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The code portion of a line: line comments removed, string-literal
+/// contents blanked (so `"unsafe"` in a message is not a keyword).
+/// Line-based by design — multi-line raw strings would fool it, and the
+/// repo style avoids them.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            match c {
+                '\\' => {
+                    chars.next(); // skip the escaped char
+                }
+                '"' => {
+                    in_str = false;
+                    out.push('"');
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '\'' => {
+                // Char literal (or lifetime — harmless either way):
+                // consume up to 3 chars looking for the closing quote.
+                out.push('\'');
+                for _ in 0..3 {
+                    match chars.peek() {
+                        Some('\'') => {
+                            chars.next();
+                            break;
+                        }
+                        Some('\\') => {
+                            chars.next();
+                            chars.next();
+                        }
+                        Some(_) => {
+                            chars.next();
+                        }
+                        None => break,
+                    }
+                }
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Word-boundary containment (identifier chars delimit words).
+fn contains_word(haystack: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !haystack[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = !haystack[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+fn has_safety_marker(line: &str) -> bool {
+    line.contains("SAFETY") || line.contains("# Safety")
+}
+
+/// Walk upward through the contiguous run of comment/attribute lines
+/// directly above line `i`, looking for a SAFETY marker. Blank lines
+/// and code lines end the run: a marker must be *attached*, not merely
+/// nearby (a nearby-window rule would let one comment bless several
+/// unrelated blocks).
+fn marker_in_comment_block_above(lines: &[&str], i: usize) -> bool {
+    for line in lines[..i].iter().rev() {
+        let t = line.trim();
+        if !(t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")) {
+            return false;
+        }
+        if has_safety_marker(line) {
+            return true;
+        }
+    }
+    false
+}
+
+fn check_safety_comments(
+    rel: &str,
+    lines: &[&str],
+    code: &[String],
+    allow: &Allowlist,
+    findings: &mut Vec<Finding>,
+) {
+    if allow.permits("safety", rel) {
+        return;
+    }
+    for (i, c) in code.iter().enumerate() {
+        if !contains_word(c, "unsafe") {
+            continue;
+        }
+        let covered = has_safety_marker(lines[i])
+            || (i > 0 && has_safety_marker(lines[i - 1]))
+            || marker_in_comment_block_above(lines, i);
+        if !covered {
+            findings.push(Finding::new(
+                rel,
+                i + 1,
+                "safety-comment",
+                "`unsafe` without an attached SAFETY comment (same line, line above, or the comment block directly above)".to_string(),
+            ));
+        }
+    }
+}
+
+/// Parsed `scripts/lint.allow`: `rule path # justification` lines.
+struct Allowlist {
+    /// (rule, path) -> allowlist line number.
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Allowlist {
+    fn load(root: &Path, findings: &mut Vec<Finding>) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        let path = root.join(ALLOWLIST);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return Ok(Self { entries }), // absent = empty
+        };
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (entry, justification) = match line.split_once('#') {
+                Some((e, j)) => (e.trim(), j.trim()),
+                None => (line, ""),
+            };
+            let mut parts = entry.split_whitespace();
+            let (rule, p) = (parts.next(), parts.next());
+            let valid_rule = matches!(rule, Some("unsafe" | "atomics" | "safety"));
+            if !valid_rule || p.is_none() || parts.next().is_some() {
+                findings.push(Finding::new(
+                    ALLOWLIST,
+                    i + 1,
+                    "allowlist-syntax",
+                    "expected `unsafe|atomics|safety <path> # <justification>`".to_string(),
+                ));
+                continue;
+            }
+            if justification.is_empty() {
+                findings.push(Finding::new(
+                    ALLOWLIST,
+                    i + 1,
+                    "allowlist-syntax",
+                    "entry needs a `# <justification>`".to_string(),
+                ));
+                continue;
+            }
+            let key = (rule.unwrap().to_string(), p.unwrap().to_string());
+            if entries.insert(key, i + 1).is_some() {
+                findings.push(Finding::new(
+                    ALLOWLIST,
+                    i + 1,
+                    "allowlist-syntax",
+                    "duplicate entry".to_string(),
+                ));
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    fn permits(&self, rule: &str, path: &str) -> bool {
+        self.entries.contains_key(&(rule.to_string(), path.to_string()))
+    }
+
+    /// An entry whose occurrence no longer exists must be removed: the
+    /// allowlist documents the *current* escape hatches, nothing more.
+    fn check_stale(
+        &self,
+        has_unsafe: &BTreeSet<String>,
+        has_atomics: &BTreeSet<String>,
+        findings: &mut Vec<Finding>,
+    ) {
+        for ((rule, path), line) in &self.entries {
+            let live = match rule.as_str() {
+                "unsafe" => has_unsafe.contains(path),
+                "atomics" => has_atomics.contains(path),
+                // `safety` exempts a file from the comment rule; stale
+                // once the file has no unsafe at all.
+                _ => has_unsafe.contains(path),
+            };
+            if !live {
+                findings.push(Finding::new(
+                    ALLOWLIST,
+                    *line,
+                    "allowlist-stale",
+                    format!("stale entry: {path} has no `{rule}` occurrence any more"),
+                ));
+            }
+        }
+    }
+}
+
+/// Extract `feature = "<name>"` from a `#[cfg(...)]` line, plus its
+/// polarity (`true` = feature on). Returns `None` for non-cfg lines.
+fn cfg_feature(line: &str) -> Option<(String, bool)> {
+    let t = line.trim();
+    if !t.starts_with("#[cfg(") {
+        return None;
+    }
+    let feat = t.split("feature = \"").nth(1)?;
+    let name = feat.split('"').next()?.to_string();
+    Some((name, !t.contains("not(feature")))
+}
+
+/// Name of a top-level `pub fn` declared on this line, if any.
+fn pub_fn_name(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    let rest = t
+        .strip_prefix("pub fn ")
+        .or_else(|| t.strip_prefix("pub(crate) fn "))
+        .or_else(|| t.strip_prefix("pub(super) fn "))?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Shim-parity: a cfg-feature-gated `pub fn` must exist under both
+/// polarities of that feature.
+fn check_shim_parity(rel: &str, text: &str, findings: &mut Vec<Finding>) {
+    // (fn name, feature) -> (has-on, has-off, first line)
+    let mut gated: BTreeMap<(String, String), (bool, bool, usize)> = BTreeMap::new();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        let Some((feature, on)) = cfg_feature(line) else { continue };
+        // Scan past further attributes and doc lines to the gated item.
+        for follow in &lines[i + 1..] {
+            let t = follow.trim_start();
+            if t.starts_with("#[") || t.starts_with("///") || t.starts_with("//") {
+                continue;
+            }
+            if let Some(name) = pub_fn_name(follow) {
+                let e = gated.entry((name, feature)).or_insert((false, false, i + 1));
+                if on {
+                    e.0 = true;
+                } else {
+                    e.1 = true;
+                }
+            }
+            break;
+        }
+    }
+    for ((name, feature), (has_on, has_off, line)) in gated {
+        if has_on != has_off {
+            let missing = if has_on { "not(feature)" } else { "feature" };
+            findings.push(Finding::new(
+                rel,
+                line,
+                "shim-parity",
+                format!(
+                    "`pub fn {name}` is gated on feature \"{feature}\" with no `#[cfg({missing} = ...)]` twin — the API must exist with the feature on AND off"
+                ),
+            ));
+        }
+    }
+}
+
+/// The flight-event kinds: `pub const NAME: u16` inside flight.rs.
+fn flight_kinds(text: &str) -> BTreeSet<String> {
+    let mut kinds = BTreeSet::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("pub const ") {
+            if let Some((name, tail)) = rest.split_once(':') {
+                if tail.trim_start().starts_with("u16") {
+                    kinds.insert(name.trim().to_string());
+                }
+            }
+        }
+    }
+    kinds
+}
+
+/// Backticked ALL_CAPS tokens in the first column of the DESIGN.md
+/// taxonomy table (the table whose header row starts `| kind |`).
+fn design_kinds(text: &str) -> Option<(BTreeSet<String>, usize)> {
+    let mut kinds = BTreeSet::new();
+    let mut in_table = false;
+    let mut table_line = 0;
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if !in_table {
+            if t.starts_with("| kind |") {
+                in_table = true;
+                table_line = i + 1;
+            }
+            continue;
+        }
+        if !t.starts_with('|') {
+            break; // table ended
+        }
+        let Some(first_cell) = t.trim_matches('|').split('|').next() else { continue };
+        let mut rest = first_cell;
+        while let Some(start) = rest.find('`') {
+            let after = &rest[start + 1..];
+            let Some(end) = after.find('`') else { break };
+            let token = &after[..end];
+            if !token.is_empty()
+                && token
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+            {
+                kinds.insert(token.to_string());
+            }
+            rest = &after[end + 1..];
+        }
+    }
+    in_table.then_some((kinds, table_line))
+}
+
+fn check_flight_taxonomy(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    let flight_path = root.join("crates/sync/src/flight.rs");
+    let flight = fs::read_to_string(&flight_path)
+        .map_err(|e| format!("read {}: {e}", flight_path.display()))?;
+    let design_path = root.join("DESIGN.md");
+    let design = fs::read_to_string(&design_path)
+        .map_err(|e| format!("read {}: {e}", design_path.display()))?;
+
+    let consts = flight_kinds(&flight);
+    let Some((documented, table_line)) = design_kinds(&design) else {
+        findings.push(Finding::new(
+            "DESIGN.md",
+            0,
+            "flight-taxonomy",
+            "event taxonomy table (header `| kind |`) not found".to_string(),
+        ));
+        return Ok(());
+    };
+    for missing in consts.difference(&documented) {
+        findings.push(Finding::new(
+            "DESIGN.md",
+            table_line,
+            "flight-taxonomy",
+            format!("flight kind `{missing}` is not documented in the taxonomy table"),
+        ));
+    }
+    for ghost in documented.difference(&consts) {
+        findings.push(Finding::new(
+            "DESIGN.md",
+            table_line,
+            "flight-taxonomy",
+            format!("taxonomy table documents `{ghost}` but obfs-sync::flight has no such kind"),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_and_string_stripping() {
+        assert_eq!(strip_comment("let x = 1; // unsafe"), "let x = 1; ");
+        assert!(!contains_word(&strip_comment("log(\"unsafe here\")"), "unsafe"));
+        assert!(contains_word(&strip_comment("unsafe { x() } // ok"), "unsafe"));
+        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
+        assert!(contains_word("let c = 'u'; unsafe {", "unsafe"));
+    }
+
+    #[test]
+    fn cfg_feature_parsing() {
+        assert_eq!(
+            cfg_feature("  #[cfg(feature = \"chaos\")]"),
+            Some(("chaos".to_string(), true))
+        );
+        assert_eq!(
+            cfg_feature("#[cfg(not(feature = \"trace\"))]"),
+            Some(("trace".to_string(), false))
+        );
+        assert_eq!(cfg_feature("#[inline]"), None);
+        assert_eq!(cfg_feature("#[cfg(test)]"), None);
+    }
+
+    #[test]
+    fn shim_parity_flags_one_sided_gates() {
+        let mut f = Vec::new();
+        check_shim_parity(
+            "x.rs",
+            "#[cfg(feature = \"t\")]\npub fn lonely() {}\n",
+            &mut f,
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "shim-parity");
+
+        f.clear();
+        check_shim_parity(
+            "x.rs",
+            "#[cfg(feature = \"t\")]\npub fn both() {}\n#[cfg(not(feature = \"t\"))]\npub fn both() {}\n",
+            &mut f,
+        );
+        assert!(f.is_empty());
+
+        // Statement-level cfg inside an ungated pub fn: fine.
+        f.clear();
+        check_shim_parity(
+            "x.rs",
+            "pub fn shim() {\n    #[cfg(feature = \"t\")]\n    inner();\n}\n",
+            &mut f,
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn taxonomy_sets_diff_both_directions() {
+        let flight = "pub mod kind {\n    pub const A: u16 = 1;\n    pub const B: u16 = 2;\n    pub const SUB: u64 = 9;\n}\n";
+        let design = "| kind | meaning | a | b |\n|---|---|---|---|\n| `A` | x | — | `SUB` |\n| `C` | y | — | — |\n";
+        let consts = flight_kinds(flight);
+        assert_eq!(consts.len(), 2, "u64 payload codes are not kinds");
+        let (documented, _) = design_kinds(design).unwrap();
+        assert!(documented.contains("A") && documented.contains("C"));
+        assert!(!documented.contains("SUB"), "only the kind column counts");
+    }
+
+    #[test]
+    fn safety_marker_must_be_attached() {
+        let lines = vec![
+            "// SAFETY: exclusive owner.",
+            "#[allow(clippy::x)]",
+            "unsafe { go() }",
+            "",
+            "unsafe { go_again() }",
+        ];
+        let code: Vec<String> = lines.iter().map(|l| strip_comment(l)).collect();
+        let allow = Allowlist { entries: BTreeMap::new() };
+        let mut f = Vec::new();
+        check_safety_comments("x.rs", &lines, &code, &allow, &mut f);
+        assert_eq!(f.len(), 1, "only the uncommented block is flagged");
+        assert_eq!(f[0].line, 5);
+    }
+}

@@ -1,0 +1,32 @@
+//! `obfs-lint [REPO_ROOT]` — run the repo auditor and print the
+//! deterministic report. Exit 0 when clean, 1 on findings, 2 on I/O or
+//! usage errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.as_slice() {
+        [] => ".".to_string(),
+        [r] => r.clone(),
+        _ => {
+            eprintln!("usage: obfs-lint [REPO_ROOT]");
+            return ExitCode::from(2);
+        }
+    };
+    match obfs_lint::lint_repo(Path::new(&root)) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("obfs-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end lint runs against synthetic repo trees: the lint must
+//! fail on a fixture with an uncommented `unsafe` block (and the other
+//! rule violations), pass on the cleaned-up twin, and render
+//! byte-identically across runs.
+
+use std::fs;
+use std::path::PathBuf;
+
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("obfs-lint-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        Self { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) -> &Self {
+        let p = self.root.join(rel);
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(p, content).unwrap();
+        self
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const FLIGHT: &str = "pub mod kind {\n    pub const LEVEL_START: u16 = 1;\n    pub const FAULT: u16 = 2;\n    pub const FAULT_DELAY: u64 = 1;\n}\n";
+const DESIGN: &str = "# design\n\n| kind | meaning | a | b |\n|---|---|---|---|\n| `LEVEL_START` | level began | — | — |\n| `FAULT` | fault injected | `FAULT_DELAY` | — |\n";
+const SHIM_OK: &str = "pub fn on_or_off() {\n    #[cfg(feature = \"chaos\")]\n    inner();\n}\n";
+
+/// The minimal skeleton every fixture needs: the shim files and the
+/// taxonomy pair, all consistent.
+fn skeleton(f: &Fixture) {
+    f.write("crates/sync/src/flight.rs", FLIGHT)
+        .write("crates/sync/src/chaos.rs", SHIM_OK)
+        .write("crates/sync/src/metrics.rs", "pub fn install() {}\n")
+        .write("DESIGN.md", DESIGN);
+}
+
+#[test]
+fn uncommented_unsafe_fails_the_lint() {
+    let f = Fixture::new("dirty");
+    skeleton(&f);
+    f.write(
+        "crates/app/src/lib.rs",
+        "pub fn f(p: *mut u32) {\n    unsafe { *p = 1 };\n}\n",
+    );
+    let report = obfs_lint::lint_repo(&f.root).unwrap();
+    assert!(!report.passed());
+    let rules: Vec<&str> = report.findings.iter().map(|x| x.rule).collect();
+    assert!(rules.contains(&"safety-comment"), "missing SAFETY comment must be flagged: {rules:?}");
+    assert!(rules.contains(&"unsafe-scope"), "unallowlisted unsafe outside sync must be flagged");
+}
+
+#[test]
+fn commented_and_allowlisted_unsafe_passes() {
+    let f = Fixture::new("clean");
+    skeleton(&f);
+    f.write(
+        "crates/app/src/lib.rs",
+        "pub fn f(p: *mut u32) {\n    // SAFETY: caller guarantees exclusivity.\n    unsafe { *p = 1 };\n}\n",
+    );
+    f.write(
+        "scripts/lint.allow",
+        "unsafe crates/app/src/lib.rs # raw pointer API, caller contract documented\n",
+    );
+    let report = obfs_lint::lint_repo(&f.root).unwrap();
+    assert!(report.passed(), "unexpected findings: {:#?}", report.findings);
+}
+
+#[test]
+fn stale_allowlist_entry_fails_the_lint() {
+    let f = Fixture::new("stale");
+    skeleton(&f);
+    f.write("crates/app/src/lib.rs", "pub fn f() {}\n");
+    f.write("scripts/lint.allow", "unsafe crates/app/src/lib.rs # no longer true\n");
+    let report = obfs_lint::lint_repo(&f.root).unwrap();
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "allowlist-stale");
+}
+
+#[test]
+fn one_sided_feature_gate_fails_shim_parity() {
+    let f = Fixture::new("shim");
+    skeleton(&f);
+    f.write(
+        "crates/sync/src/metrics.rs",
+        "#[cfg(feature = \"metrics\")]\npub fn only_with_feature() {}\n",
+    );
+    let report = obfs_lint::lint_repo(&f.root).unwrap();
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "shim-parity");
+}
+
+#[test]
+fn taxonomy_drift_is_flagged_both_ways() {
+    let f = Fixture::new("taxonomy");
+    skeleton(&f);
+    // One kind the table misses, one table row with no const.
+    f.write(
+        "crates/sync/src/flight.rs",
+        "pub mod kind {\n    pub const LEVEL_START: u16 = 1;\n    pub const FAULT: u16 = 2;\n    pub const NEW_KIND: u16 = 3;\n}\n",
+    );
+    let mut design = DESIGN.to_string();
+    design.push_str("| `GHOST_KIND` | never implemented | — | — |\n");
+    f.write("DESIGN.md", &design);
+    let report = obfs_lint::lint_repo(&f.root).unwrap();
+    let msgs: Vec<&str> = report.findings.iter().map(|x| x.message.as_str()).collect();
+    assert_eq!(report.findings.len(), 2, "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("NEW_KIND")));
+    assert!(msgs.iter().any(|m| m.contains("GHOST_KIND")));
+}
+
+#[test]
+fn report_renders_byte_identically_across_runs() {
+    let f = Fixture::new("deterministic");
+    skeleton(&f);
+    f.write(
+        "crates/app/src/lib.rs",
+        "pub fn f(p: *mut u32) {\n    unsafe { *p = 1 };\n}\npub fn g(p: *mut u32) {\n    unsafe { *p = 2 };\n}\n",
+    );
+    let a = obfs_lint::lint_repo(&f.root).unwrap();
+    let b = obfs_lint::lint_repo(&f.root).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.render(), b.render());
+    assert!(a.render().contains("lint: FAIL"));
+}

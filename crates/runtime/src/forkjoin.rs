@@ -314,6 +314,8 @@ mod tests {
         // Tasks increment a stack counter through the scope borrow.
         let counter = AtomicUsize::new(0);
         pool.scope(|ctx| {
+            // SAFETY: `scope` joins every task before returning, so the
+            // 'static view never outlives the stack borrow.
             let c: &'static AtomicUsize = unsafe { std::mem::transmute(&counter) };
             for _ in 0..256 {
                 ctx.spawn(move |_| {

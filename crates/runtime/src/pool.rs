@@ -180,10 +180,10 @@ impl LevelPool {
     where
         F: Fn(WorkerCtx<'_>) + Sync,
     {
+        let local: &(dyn for<'a> Fn(WorkerCtx<'a>) + Sync) = &f;
         // Erase the closure's lifetime. SAFETY: we block below until every
         // worker has finished running `f`, so the referent outlives all
         // uses; `F: Sync` makes concurrent invocation sound.
-        let local: &(dyn for<'a> Fn(WorkerCtx<'a>) + Sync) = &f;
         let job = JobPtr(unsafe {
             std::mem::transmute::<
                 &(dyn for<'a> Fn(WorkerCtx<'a>) + Sync),
@@ -335,10 +335,10 @@ mod tests {
         let levels = 20;
         let board: Vec<AtomicUsize> = (0..levels).map(|_| AtomicUsize::new(0)).collect();
         pool.run(|ctx| {
-            for l in 0..levels {
-                board[l].fetch_add(1, Ordering::Relaxed);
+            for (l, slot) in board.iter().enumerate() {
+                slot.fetch_add(1, Ordering::Relaxed);
                 ctx.barrier().wait();
-                assert_eq!(board[l].load(Ordering::Relaxed), 4, "level {l} desynchronized");
+                assert_eq!(slot.load(Ordering::Relaxed), 4, "level {l} desynchronized");
                 ctx.barrier().wait();
             }
         })

@@ -128,6 +128,45 @@ impl ChaosConfig {
     }
 }
 
+/// A deterministic value-feeding script for the current thread's racy
+/// *loads*, used by the model-checker differential harness to replay an
+/// exact interleaving against the real dispatchers.
+///
+/// Where a [`ChaosConfig`] plan perturbs operations *randomly*, a script
+/// dictates them *positionally*: the `k`-th racy `usize` load the thread
+/// performs observes `usize_loads[k]` (and likewise for `u32` loads,
+/// independently numbered). A `Some(v)` entry feeds `v` — the value the
+/// corresponding load observed in the model schedule — while a `None`
+/// entry (or running off the end of the script) lets the load read real
+/// memory. Stores always go straight to real memory, so the dispatcher's
+/// own writes stay visible to it and to later unscripted loads.
+///
+/// Feeding only replays values another thread could have legitimately
+/// exposed under the store-buffer model, so a scripted run stays inside
+/// the same fault model as a chaos plan; the point is that it pins the
+/// *one* interleaving a model counterexample describes instead of
+/// sampling. Plain data, always compiled; only takes effect with the
+/// `chaos` feature.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosScript {
+    /// Positional feeds for racy `usize` loads (queue fronts/rears,
+    /// cursors, steal-descriptor words).
+    pub usize_loads: Vec<Option<usize>>,
+    /// Positional feeds for racy `u32` loads (queue slots, level words).
+    pub u32_loads: Vec<Option<u32>>,
+}
+
+/// Consumption accounting returned by [`uninstall_script`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScriptReport {
+    /// `Some` entries actually fed to `usize` loads.
+    pub fed_usize: usize,
+    /// `Some` entries actually fed to `u32` loads.
+    pub fed_u32: usize,
+    /// Script entries (either class) never reached by the run.
+    pub leftover: usize,
+}
+
 #[cfg(feature = "chaos")]
 mod active {
     use super::ChaosConfig;
@@ -153,8 +192,11 @@ mod active {
             }
         }
 
-        /// Perform the real store. Caller upholds the module's
-        /// pointer-validity contract.
+        /// Perform the real store.
+        ///
+        /// # Safety
+        /// Caller upholds the module's pointer-validity contract: the
+        /// target cell outlives the thread-local plan holding this entry.
         unsafe fn flush(&self) {
             match *self {
                 Target::U32(p, v) => (*p).store(v, Relaxed),
@@ -175,8 +217,68 @@ mod active {
         injected: u64,
     }
 
+    pub(super) struct Script {
+        usize_loads: VecDeque<Option<usize>>,
+        u32_loads: VecDeque<Option<u32>>,
+        fed_usize: usize,
+        fed_u32: usize,
+    }
+
     thread_local! {
         static PLAN: RefCell<Option<Plan>> = const { RefCell::new(None) };
+        static SCRIPT: RefCell<Option<Script>> = const { RefCell::new(None) };
+    }
+
+    pub(super) fn install_script(s: &super::ChaosScript) {
+        SCRIPT.with(|slot| {
+            *slot.borrow_mut() = Some(Script {
+                usize_loads: s.usize_loads.iter().copied().collect(),
+                u32_loads: s.u32_loads.iter().copied().collect(),
+                fed_usize: 0,
+                fed_u32: 0,
+            });
+        });
+    }
+
+    pub(super) fn uninstall_script() -> super::ScriptReport {
+        SCRIPT.with(|slot| match slot.borrow_mut().take() {
+            Some(s) => super::ScriptReport {
+                fed_usize: s.fed_usize,
+                fed_u32: s.fed_u32,
+                leftover: s.usize_loads.len() + s.u32_loads.len(),
+            },
+            None => super::ScriptReport::default(),
+        })
+    }
+
+    /// Consume the next scripted `u32`-load entry, if one feeds a value.
+    fn script_feed_u32() -> Option<u32> {
+        SCRIPT.with(|slot| {
+            let mut s = slot.borrow_mut();
+            let s = s.as_mut()?;
+            match s.u32_loads.pop_front() {
+                Some(Some(v)) => {
+                    s.fed_u32 += 1;
+                    Some(v)
+                }
+                _ => None,
+            }
+        })
+    }
+
+    /// Consume the next scripted `usize`-load entry, if one feeds a value.
+    fn script_feed_usize() -> Option<usize> {
+        SCRIPT.with(|slot| {
+            let mut s = slot.borrow_mut();
+            let s = s.as_mut()?;
+            match s.usize_loads.pop_front() {
+                Some(Some(v)) => {
+                    s.fed_usize += 1;
+                    Some(v)
+                }
+                _ => None,
+            }
+        })
     }
 
     pub(super) fn install(cfg: &ChaosConfig, stream: u64) {
@@ -294,6 +396,9 @@ mod active {
 
         #[inline]
         pub(crate) fn load_u32(cell: &AtomicU32) -> Option<u32> {
+            if let Some(v) = super::script_feed_u32() {
+                return Some(v);
+            }
             PLAN.with(|p| {
                 let mut plan = p.borrow_mut();
                 let plan = plan.as_mut()?;
@@ -324,6 +429,9 @@ mod active {
 
         #[inline]
         pub(crate) fn load_usize(cell: &AtomicUsize) -> Option<usize> {
+            if let Some(v) = super::script_feed_usize() {
+                return Some(v);
+            }
             PLAN.with(|p| {
                 let mut plan = p.borrow_mut();
                 let plan = plan.as_mut()?;
@@ -443,6 +551,34 @@ pub fn quiesce() {
     active::quiesce();
 }
 
+/// Install a positional value-feeding [`ChaosScript`] on the current
+/// thread (see its docs). Independent of any [`ChaosConfig`] plan; a
+/// scripted feed takes precedence over plan-driven staleness for the
+/// load it covers. No-op without the `chaos` feature.
+#[inline]
+pub fn install_script(script: &ChaosScript) {
+    #[cfg(feature = "chaos")]
+    active::install_script(script);
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = script;
+    }
+}
+
+/// Remove the current thread's script, reporting what it fed. No-op
+/// returning an empty report without the `chaos` feature.
+#[inline]
+pub fn uninstall_script() -> ScriptReport {
+    #[cfg(feature = "chaos")]
+    {
+        active::uninstall_script()
+    }
+    #[cfg(not(feature = "chaos"))]
+    {
+        ScriptReport::default()
+    }
+}
+
 /// Possibly perturb an index value read at a tagged adversarial site.
 /// Identity without the `chaos` feature or an installed plan. Only call
 /// this where the consumer validates the index before trusting it.
@@ -505,6 +641,7 @@ mod tests {
         c.store(99);
         // Bypass the plan: raw view of memory as another thread would
         // see it. The store is still buffered.
+        // SAFETY: RacyU32 is repr(transparent) over one u32-sized word.
         let raw = unsafe { &*(&c as *const RacyU32 as *const std::sync::atomic::AtomicU32) };
         assert_eq!(raw.load(std::sync::atomic::Ordering::Relaxed), 7, "store must be deferred");
         quiesce();
@@ -518,6 +655,7 @@ mod tests {
         let a = RacyU32::new(0);
         install(&ChaosConfig { defer_chance: 1.0, stale_window: 1, ..Default::default() }, 0);
         a.store(5);
+        // SAFETY: RacyU32 is repr(transparent) over one u32-sized word.
         let raw = unsafe { &*(&a as *const RacyU32 as *const std::sync::atomic::AtomicU32) };
         // Each subsequent racy op ages the buffer by one; ttl is in
         // {1}, so the next op must flush it.
@@ -554,6 +692,44 @@ mod tests {
         let injected = uninstall();
         assert!(changed > 0, "skew_chance=0.5 must perturb some reads");
         assert_eq!(injected, changed, "every perturbation must be counted");
+    }
+
+    /// Scripted feeds hit loads positionally per class, stores and
+    /// unscripted loads read real memory, and the report accounts for
+    /// what was consumed.
+    #[test]
+    fn script_feeds_loads_positionally() {
+        let c = RacyU32::new(10);
+        let u = RacyUsize::new(20);
+        install_script(&ChaosScript {
+            usize_loads: vec![Some(77), None],
+            u32_loads: vec![None, Some(55)],
+        });
+        assert_eq!(u.load(), 77, "1st usize load is fed");
+        assert_eq!(c.load(), 10, "1st u32 load passes through");
+        assert_eq!(c.load(), 55, "2nd u32 load is fed");
+        c.store(11);
+        assert_eq!(c.load(), 11, "exhausted script: real memory, stores landed");
+        assert_eq!(u.load(), 20, "2nd usize entry is None: real memory");
+        let report = uninstall_script();
+        assert_eq!(report, ScriptReport { fed_usize: 1, fed_u32: 1, leftover: 0 });
+    }
+
+    /// A script takes precedence over an installed plan for the loads it
+    /// covers, and uninstalling the script leaves the plan untouched.
+    #[test]
+    fn script_overrides_plan_for_covered_loads() {
+        let cfg = ChaosConfig { defer_chance: 1.0, stale_window: 1000, ..Default::default() };
+        install(&cfg, 0);
+        let c = RacyU32::new(3);
+        c.store(9); // deferred by the plan; forwarding would return 9
+        install_script(&ChaosScript { u32_loads: vec![Some(42)], ..Default::default() });
+        assert_eq!(c.load(), 42, "scripted feed wins over plan forwarding");
+        assert_eq!(c.load(), 9, "after the script: plan forwarding again");
+        let report = uninstall_script();
+        assert_eq!(report.fed_u32, 1);
+        uninstall();
+        assert_eq!(c.load(), 9, "uninstall flushed the deferred store");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod barrier;
 pub mod chaos;
 pub mod flight;
 pub mod metrics;
+pub mod model;
 pub mod padded;
 pub mod racy;
 pub mod spinlock;

@@ -1,0 +1,623 @@
+//! Bounded interleaving exploration over a virtualized shared memory.
+//!
+//! The paper's safety argument is that the deliberately racy plain
+//! loads/stores in the optimistic BFS protocols are *benign*: invalid
+//! segments are rejected by sanity checks, overlap only causes bounded
+//! idempotent duplicate work, and every level still terminates at the
+//! barrier. The `chaos` backend probes that argument statistically; this
+//! module checks it *exhaustively*, loom-style, for small bounded
+//! instances of each protocol core.
+//!
+//! # Memory model
+//!
+//! [`VirtualMemory`] models the same machine the chaos backend simulates:
+//! a flat array of `u32` words plus one FIFO **store buffer per thread**
+//! (TSO). A store goes into the owner's buffer; the owner observes its
+//! own program order via store-to-load forwarding, while other threads
+//! keep reading the old committed value until the buffered store is
+//! *flushed*. Flushes are scheduler choices ([`Choice::Flush`]) just like
+//! thread steps, so the explorer enumerates every legal commit delay —
+//! the nondeterminism `chaos`'s TTL'd deferred stores sample randomly.
+//! Buffers drain in FIFO order (no reordering of same-thread stores),
+//! matching both x86-TSO and the chaos backend's `VecDeque`. With
+//! `tso = false` stores commit immediately and the explorer degenerates
+//! to sequential consistency (useful for litmus-test sanity checks).
+//!
+//! # Model programs
+//!
+//! A protocol core is expressed as a [`ModelThread`]: a hand-written
+//! state machine whose [`step`](ModelThread::step) performs **at most one
+//! shared-memory access** and whose [`footprint`](ModelThread::footprint)
+//! declares that access *before* it runs. One-access-per-step is what
+//! makes the interleaving enumeration sound, and the declared footprints
+//! drive the dependence relation used for pruning.
+//!
+//! # Exploration
+//!
+//! [`Explorer::explore`] walks the schedule tree depth-first, cloning the
+//! [`System`] at each branch. Two choices are *dependent* iff their
+//! footprints conflict (same address, at least one write); independent
+//! adjacent choices commute, so schedules that differ only by swapping
+//! them are equivalent. Note that a thread's step and its own flush
+//! commute on the whole system state whenever their addresses differ:
+//! store-to-load forwarding makes the owner's loads insensitive to its
+//! own flush timing, and a buffer `push_back` commutes with its
+//! `pop_front` — so same-thread pairs need no special-casing beyond the
+//! address conflict. The classic
+//! **sleep-set** construction (Godefroid) prunes re-exploration of such
+//! equivalent schedules: after fully exploring a choice `c`, `c` is put
+//! to sleep for the remaining siblings and only woken by a dependent
+//! move. Sleep sets preserve at least one representative per
+//! Mazurkiewicz trace, so every reachable terminal state — and every
+//! per-step invariant violation — is still found.
+//!
+//! Schedules are cut off at [`Explorer::max_steps`] (counted as
+//! `truncated`, which a well-bounded model keeps at zero, proving
+//! termination within the bound) and the whole search stops at
+//! [`Explorer::max_schedules`].
+//!
+//! A failed run yields a [`Counterexample`]: the exact [`Choice`]
+//! schedule, replayable with [`replay`] — deterministically, since the
+//! model has no clocks, no RNG, and no hash-order dependence.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// The shared-memory access a thread's *next* step will perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Footprint {
+    /// The step loads from this word address.
+    Read(usize),
+    /// The step stores to this word address.
+    Write(usize),
+    /// The step touches no shared memory (local compute / already done).
+    Internal,
+}
+
+/// Do two footprints conflict (same address, at least one write)?
+#[inline]
+pub fn conflicts(a: Footprint, b: Footprint) -> bool {
+    match (a, b) {
+        (Footprint::Write(x), Footprint::Write(y))
+        | (Footprint::Write(x), Footprint::Read(y))
+        | (Footprint::Read(x), Footprint::Write(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// One shared-memory access, as observed by the access trace (used to
+/// lower model schedules onto the real dispatchers via chaos scripts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// A load and the value it observed.
+    Load {
+        /// Word address read.
+        addr: usize,
+        /// Value the load observed (after forwarding).
+        value: u32,
+    },
+    /// A store and the value it wrote (possibly still buffered).
+    Store {
+        /// Word address written.
+        addr: usize,
+        /// Value written.
+        value: u32,
+    },
+}
+
+/// Flat word-addressed shared memory with per-thread TSO store buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualMemory {
+    committed: Vec<u32>,
+    buffers: Vec<VecDeque<(usize, u32)>>,
+    tso: bool,
+    trace_tid: Option<usize>,
+    trace: Vec<MemOp>,
+}
+
+impl VirtualMemory {
+    /// A zeroed memory of `words` words shared by `threads` threads.
+    /// With `tso` false, stores commit immediately (sequential
+    /// consistency; no flush choices are ever enabled).
+    pub fn new(threads: usize, words: usize, tso: bool) -> Self {
+        Self {
+            committed: vec![0; words],
+            buffers: vec![VecDeque::new(); threads],
+            tso,
+            trace_tid: None,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Number of words.
+    pub fn words(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Record every access `tid` performs into the trace (for schedule
+    /// lowering). Call before exploring/replaying.
+    pub fn trace_thread(&mut self, tid: usize) {
+        self.trace_tid = Some(tid);
+        self.trace.clear();
+    }
+
+    /// The accesses recorded for the traced thread, in program order.
+    pub fn trace(&self) -> &[MemOp] {
+        &self.trace
+    }
+
+    /// Load as `tid`, with store-to-load forwarding from its own buffer.
+    pub fn load(&mut self, tid: usize, addr: usize) -> u32 {
+        let v = self.buffers[tid]
+            .iter()
+            .rev()
+            .find(|(a, _)| *a == addr)
+            .map(|&(_, v)| v)
+            .unwrap_or(self.committed[addr]);
+        if self.trace_tid == Some(tid) {
+            self.trace.push(MemOp::Load { addr, value: v });
+        }
+        v
+    }
+
+    /// Store as `tid`: buffered under TSO, immediate otherwise.
+    pub fn store(&mut self, tid: usize, addr: usize, value: u32) {
+        assert!(addr < self.committed.len(), "model store out of bounds");
+        if self.trace_tid == Some(tid) {
+            self.trace.push(MemOp::Store { addr, value });
+        }
+        if self.tso {
+            self.buffers[tid].push_back((addr, value));
+        } else {
+            self.committed[addr] = value;
+        }
+    }
+
+    /// Commit `tid`'s oldest buffered store. Returns false if empty.
+    pub fn flush_one(&mut self, tid: usize) -> bool {
+        match self.buffers[tid].pop_front() {
+            Some((addr, v)) => {
+                self.committed[addr] = v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drain every buffer (the level-barrier quiesce).
+    pub fn flush_all(&mut self) {
+        for tid in 0..self.buffers.len() {
+            while self.flush_one(tid) {}
+        }
+    }
+
+    /// Entries still sitting in `tid`'s store buffer.
+    pub fn buffered(&self, tid: usize) -> usize {
+        self.buffers[tid].len()
+    }
+
+    /// Address of `tid`'s oldest buffered store, if any (the word the
+    /// next [`Choice::Flush`] would write).
+    pub fn flush_target(&self, tid: usize) -> Option<usize> {
+        self.buffers[tid].front().map(|&(a, _)| a)
+    }
+
+    /// The committed (globally visible) value of a word, bypassing all
+    /// buffers. For invariant checks and test setup.
+    pub fn committed(&self, addr: usize) -> u32 {
+        self.committed[addr]
+    }
+
+    /// Set a word's committed value directly (initial-state setup).
+    pub fn init(&mut self, addr: usize, value: u32) {
+        self.committed[addr] = value;
+    }
+}
+
+/// A protocol core expressed as one sequential state machine per thread.
+///
+/// Contract: `step` performs **at most one** [`VirtualMemory`] access,
+/// and `footprint` must describe exactly that access (it is consulted
+/// before `step` runs, on the same state). `step` returns `Err` to
+/// signal an invariant violation observed mid-execution; the explorer
+/// turns it into a [`Counterexample`].
+pub trait ModelThread: Clone {
+    /// Has this thread run to completion?
+    fn done(&self) -> bool;
+    /// The access the next `step` will perform.
+    fn footprint(&self, mem: &VirtualMemory) -> Footprint;
+    /// Execute one step as thread `tid`.
+    fn step(&mut self, tid: usize, mem: &mut VirtualMemory) -> Result<(), String>;
+}
+
+/// A snapshot of the whole modeled machine: memory plus thread states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct System<T> {
+    /// Shared memory (committed words + store buffers).
+    pub mem: VirtualMemory,
+    /// One state machine per thread; index is the thread id.
+    pub threads: Vec<T>,
+}
+
+impl<T: ModelThread> System<T> {
+    /// Build a system; `mem` must have one buffer per thread.
+    pub fn new(mem: VirtualMemory, threads: Vec<T>) -> Self {
+        assert_eq!(mem.buffers.len(), threads.len());
+        Self { mem, threads }
+    }
+
+    fn enabled(&self) -> Vec<Choice> {
+        let mut out = Vec::with_capacity(self.threads.len() * 2);
+        for (tid, t) in self.threads.iter().enumerate() {
+            if !t.done() {
+                out.push(Choice::Step(tid as u8));
+            }
+            if self.mem.buffered(tid) > 0 {
+                out.push(Choice::Flush(tid as u8));
+            }
+        }
+        out
+    }
+
+    fn footprint_of(&self, c: Choice) -> Footprint {
+        match c {
+            Choice::Step(t) => self.threads[t as usize].footprint(&self.mem),
+            Choice::Flush(t) => match self.mem.flush_target(t as usize) {
+                Some(addr) => Footprint::Write(addr),
+                None => Footprint::Internal,
+            },
+        }
+    }
+
+    fn apply(&mut self, c: Choice) -> Result<(), String> {
+        match c {
+            Choice::Step(t) => {
+                let mut th = self.threads[t as usize].clone();
+                let r = th.step(t as usize, &mut self.mem);
+                self.threads[t as usize] = th;
+                r
+            }
+            Choice::Flush(t) => {
+                self.mem.flush_one(t as usize);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One scheduler decision: run a thread for one step, or commit its
+/// oldest buffered store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Choice {
+    /// Execute one step of thread `.0`.
+    Step(u8),
+    /// Flush the oldest store-buffer entry of thread `.0`.
+    Flush(u8),
+}
+
+impl Choice {
+    /// The thread this choice belongs to.
+    pub fn tid(&self) -> usize {
+        match *self {
+            Choice::Step(t) | Choice::Flush(t) => t as usize,
+        }
+    }
+}
+
+impl fmt::Display for Choice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Choice::Step(t) => write!(f, "t{t}"),
+            Choice::Flush(t) => write!(f, "F{t}"),
+        }
+    }
+}
+
+/// A failing schedule: replaying `schedule` from the same initial
+/// [`System`] deterministically reproduces `failure`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The scheduler decisions, in order, up to and including the
+    /// violating step (or the full schedule for a final-check failure).
+    pub schedule: Vec<Choice>,
+    /// Human-readable description of the violated invariant.
+    pub failure: String,
+}
+
+impl Counterexample {
+    /// Render the schedule as a compact space-separated string
+    /// (`t0 t1 F0 …`).
+    pub fn render_schedule(&self) -> String {
+        let parts: Vec<String> = self.schedule.iter().map(|c| c.to_string()).collect();
+        parts.join(" ")
+    }
+}
+
+/// What a bounded exploration found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Complete executions explored (every thread done, buffers empty).
+    pub schedules: u64,
+    /// Executions cut off by [`Explorer::max_steps`] before completing.
+    pub truncated: u64,
+    /// Branches skipped by sleep-set pruning.
+    pub pruned: u64,
+    /// First invariant violation found, if any.
+    pub counterexample: Option<Counterexample>,
+    /// True iff the bounded space was fully explored (no schedule-budget
+    /// stop, no early counterexample stop).
+    pub complete: bool,
+}
+
+/// Bounded DFS explorer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explorer {
+    /// Maximum schedule length before an execution is truncated.
+    pub max_steps: usize,
+    /// Stop after this many executions (complete + truncated).
+    pub max_schedules: u64,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self { max_steps: 200, max_schedules: 200_000 }
+    }
+}
+
+struct Search<'a, T, F> {
+    cfg: Explorer,
+    check_final: &'a F,
+    out: Outcome,
+    path: Vec<Choice>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: ModelThread, F: Fn(&System<T>) -> Result<(), String>> Search<'_, T, F> {
+    /// Returns true when the whole search must stop (counterexample found
+    /// or schedule budget exhausted).
+    fn dfs(&mut self, sys: &System<T>, sleep: &[Choice]) -> bool {
+        if self.out.schedules + self.out.truncated >= self.cfg.max_schedules {
+            self.out.complete = false;
+            return true;
+        }
+        let enabled = sys.enabled();
+        if enabled.is_empty() {
+            self.out.schedules += 1;
+            if let Err(failure) = (self.check_final)(sys) {
+                self.out.counterexample =
+                    Some(Counterexample { schedule: self.path.clone(), failure });
+                self.out.complete = false;
+                return true;
+            }
+            return false;
+        }
+        if self.path.len() >= self.cfg.max_steps {
+            self.out.truncated += 1;
+            return false;
+        }
+        // Footprints of every enabled choice, evaluated in this state —
+        // used both for the dependence filter and for waking sleepers.
+        let fps: Vec<Footprint> = enabled.iter().map(|&c| sys.footprint_of(c)).collect();
+        let mut sleep_here: Vec<Choice> =
+            sleep.iter().copied().filter(|c| enabled.contains(c)).collect();
+        for (i, &c) in enabled.iter().enumerate() {
+            if sleep_here.contains(&c) {
+                self.out.pruned += 1;
+                continue;
+            }
+            let mut next = sys.clone();
+            self.path.push(c);
+            let stepped = next.apply(c);
+            if let Err(failure) = stepped {
+                self.out.counterexample =
+                    Some(Counterexample { schedule: self.path.clone(), failure });
+                self.out.complete = false;
+                return true;
+            }
+            // A sleeping choice stays asleep across `c` unless it is
+            // dependent with `c` (conflicting access).
+            let child_sleep: Vec<Choice> = sleep_here
+                .iter()
+                .copied()
+                .filter(|&d| {
+                    let fd = enabled
+                        .iter()
+                        .position(|&e| e == d)
+                        .map(|j| fps[j])
+                        .unwrap_or(Footprint::Internal);
+                    !conflicts(fps[i], fd)
+                })
+                .collect();
+            let stop = self.dfs(&next, &child_sleep);
+            if stop {
+                return true;
+            }
+            self.path.pop();
+            sleep_here.push(c);
+        }
+        false
+    }
+}
+
+impl Explorer {
+    /// Explore every schedule of `sys` up to the bounds. `check_final`
+    /// runs on each completed execution (all threads done, all buffers
+    /// drained); per-step violations come from [`ModelThread::step`].
+    pub fn explore<T, F>(&self, sys: &System<T>, check_final: F) -> Outcome
+    where
+        T: ModelThread,
+        F: Fn(&System<T>) -> Result<(), String>,
+    {
+        let mut search = Search {
+            cfg: *self,
+            check_final: &check_final,
+            out: Outcome {
+                schedules: 0,
+                truncated: 0,
+                pruned: 0,
+                counterexample: None,
+                complete: true,
+            },
+            path: Vec::new(),
+            _marker: std::marker::PhantomData,
+        };
+        search.dfs(sys, &[]);
+        search.out
+    }
+}
+
+/// Replay a schedule from an initial system. Applies choices in order;
+/// stops at the first `Err` from a step. Returns the final system state
+/// and the step result. Trailing unflushed buffers are left as-is so
+/// callers can inspect the exact post-schedule state.
+pub fn replay<T: ModelThread>(
+    sys: &System<T>,
+    schedule: &[Choice],
+) -> (System<T>, Result<(), String>) {
+    let mut cur = sys.clone();
+    for &c in schedule {
+        if let Err(e) = cur.apply(c) {
+            return (cur, Err(e));
+        }
+    }
+    (cur, Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic store-buffering litmus: T0 does `x = 1; r = y`,
+    /// T1 does `y = 1; r = x`. Both observing 0 is reachable under TSO
+    /// and unreachable under SC.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Sb {
+        me: usize,    // address this thread stores
+        other: usize, // address this thread loads
+        pc: u8,
+        reg: u32,
+    }
+
+    impl ModelThread for Sb {
+        fn done(&self) -> bool {
+            self.pc >= 2
+        }
+
+        fn footprint(&self, _mem: &VirtualMemory) -> Footprint {
+            match self.pc {
+                0 => Footprint::Write(self.me),
+                1 => Footprint::Read(self.other),
+                _ => Footprint::Internal,
+            }
+        }
+
+        fn step(&mut self, tid: usize, mem: &mut VirtualMemory) -> Result<(), String> {
+            match self.pc {
+                0 => mem.store(tid, self.me, 1),
+                1 => self.reg = mem.load(tid, self.other),
+                _ => {}
+            }
+            self.pc += 1;
+            Ok(())
+        }
+    }
+
+    fn sb_system(tso: bool) -> System<Sb> {
+        let mem = VirtualMemory::new(2, 2, tso);
+        System::new(
+            mem,
+            vec![Sb { me: 0, other: 1, pc: 0, reg: 0 }, Sb { me: 1, other: 0, pc: 0, reg: 0 }],
+        )
+    }
+
+    fn both_zero_is_a_bug(sys: &System<Sb>) -> Result<(), String> {
+        if sys.threads[0].reg == 0 && sys.threads[1].reg == 0 {
+            return Err("both threads read 0 (store-buffer reordering)".into());
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn tso_finds_store_buffer_reordering() {
+        let out = Explorer::default().explore(&sb_system(true), both_zero_is_a_bug);
+        let cx = out.counterexample.expect("TSO must reach the r0==r1==0 outcome");
+        assert!(cx.failure.contains("store-buffer"));
+        // The counterexample must replay to the same failure.
+        let (end, r) = replay(&sb_system(true), &cx.schedule);
+        assert!(r.is_ok(), "final-check violations surface after the full schedule");
+        let mut end = end;
+        end.mem.flush_all();
+        assert_eq!(both_zero_is_a_bug(&end), Err(cx.failure.clone()));
+    }
+
+    #[test]
+    fn sc_proves_reordering_impossible() {
+        let out = Explorer::default().explore(&sb_system(false), both_zero_is_a_bug);
+        assert!(out.counterexample.is_none(), "SC must not reach r0==r1==0");
+        assert!(out.complete, "the SC litmus space must be exhaustible");
+        assert_eq!(out.truncated, 0);
+        assert!(out.schedules > 0);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = Explorer::default().explore(&sb_system(true), both_zero_is_a_bug);
+        let b = Explorer::default().explore(&sb_system(true), both_zero_is_a_bug);
+        assert_eq!(a, b, "same model must explore identically every run");
+    }
+
+    #[test]
+    fn sleep_sets_prune_independent_interleavings() {
+        // Two threads writing disjoint addresses: everything commutes,
+        // so pruning must collapse most of the tree.
+        #[derive(Clone)]
+        struct W(u8, usize);
+        impl ModelThread for W {
+            fn done(&self) -> bool {
+                self.0 >= 2
+            }
+            fn footprint(&self, _m: &VirtualMemory) -> Footprint {
+                Footprint::Write(self.1)
+            }
+            fn step(&mut self, tid: usize, mem: &mut VirtualMemory) -> Result<(), String> {
+                mem.store(tid, self.1, u32::from(self.0) + 1);
+                self.0 += 1;
+                Ok(())
+            }
+        }
+        let sys = System::new(VirtualMemory::new(2, 2, false), vec![W(0, 0), W(0, 1)]);
+        let out = Explorer::default().explore(&sys, |_| Ok(()));
+        assert!(out.complete);
+        assert!(out.pruned > 0, "disjoint writers must trigger sleep-set pruning");
+        assert_eq!(out.schedules, 1, "all interleavings are equivalent; one survives");
+    }
+
+    #[test]
+    fn forwarding_and_flush_order() {
+        let mut mem = VirtualMemory::new(1, 1, true);
+        mem.store(0, 0, 7);
+        mem.store(0, 0, 9);
+        assert_eq!(mem.load(0, 0), 9, "owner forwards its newest store");
+        assert_eq!(mem.committed(0), 0, "nothing committed yet");
+        assert!(mem.flush_one(0));
+        assert_eq!(mem.committed(0), 7, "FIFO: oldest store commits first");
+        assert!(mem.flush_one(0));
+        assert_eq!(mem.committed(0), 9);
+        assert!(!mem.flush_one(0));
+    }
+
+    #[test]
+    fn trace_records_the_victim_thread_only() {
+        let mut sys = sb_system(true);
+        sys.mem.trace_thread(1);
+        let schedule =
+            [Choice::Step(0), Choice::Step(1), Choice::Step(1), Choice::Step(0), Choice::Flush(0)];
+        let (end, r) = replay(&sys, &schedule);
+        assert!(r.is_ok());
+        assert_eq!(
+            end.mem.trace(),
+            &[MemOp::Store { addr: 1, value: 1 }, MemOp::Load { addr: 0, value: 0 }],
+            "trace must hold exactly the victim's accesses in program order"
+        );
+    }
+}

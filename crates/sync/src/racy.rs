@@ -100,6 +100,7 @@ mod backend {
     // which no mainstream ISA tears, and every algorithmic consumer
     // tolerates stale values by design (optimistic parallelization).
     unsafe impl Sync for RacyU32 {}
+    // SAFETY: plain owned data — same argument as above.
     unsafe impl Send for RacyU32 {}
 
     impl RacyU32 {
@@ -111,11 +112,13 @@ mod backend {
         /// Plain (volatile) racy load.
         #[inline]
         pub fn load(&self) -> u32 {
+            // SAFETY: aligned, live, word-sized — see the Sync impl.
             unsafe { std::ptr::read_volatile(self.0.get()) }
         }
         /// Plain (volatile) racy store.
         #[inline]
         pub fn store(&self, v: u32) {
+            // SAFETY: aligned, live, word-sized — see the Sync impl.
             unsafe { std::ptr::write_volatile(self.0.get(), v) }
         }
     }
@@ -125,7 +128,10 @@ mod backend {
     #[derive(Debug, Default)]
     pub struct RacyUsize(UnsafeCell<usize>);
 
+    // SAFETY: volatile single-word accesses on an aligned usize — the
+    // same by-construction argument as RacyU32 above.
     unsafe impl Sync for RacyUsize {}
+    // SAFETY: plain owned data — same argument as above.
     unsafe impl Send for RacyUsize {}
 
     impl RacyUsize {
@@ -137,11 +143,13 @@ mod backend {
         /// Plain (volatile) racy load.
         #[inline]
         pub fn load(&self) -> usize {
+            // SAFETY: aligned, live, word-sized — see the Sync impl.
             unsafe { std::ptr::read_volatile(self.0.get()) }
         }
         /// Plain (volatile) racy store.
         #[inline]
         pub fn store(&self, v: usize) {
+            // SAFETY: aligned, live, word-sized — see the Sync impl.
             unsafe { std::ptr::write_volatile(self.0.get(), v) }
         }
     }

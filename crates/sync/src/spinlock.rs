@@ -23,6 +23,7 @@ pub struct SpinLock<T: ?Sized> {
 // SAFETY: the lock provides exclusive access to `data`, so it is Sync as
 // long as T can be sent between threads.
 unsafe impl<T: ?Sized + Send> Sync for SpinLock<T> {}
+// SAFETY: moving the lock moves the owned `T` — same bound.
 unsafe impl<T: ?Sized + Send> Send for SpinLock<T> {}
 
 /// RAII guard; releases the lock on drop.

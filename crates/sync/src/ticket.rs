@@ -20,6 +20,7 @@ pub struct TicketLock<T: ?Sized> {
 
 // SAFETY: exclusive access is guaranteed by ticket ownership.
 unsafe impl<T: ?Sized + Send> Sync for TicketLock<T> {}
+// SAFETY: moving the lock moves the owned `T` — same bound.
 unsafe impl<T: ?Sized + Send> Send for TicketLock<T> {}
 
 /// RAII guard; releases the lock (advances `now_serving`) on drop.

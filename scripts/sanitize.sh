@@ -1,17 +1,31 @@
 #!/usr/bin/env bash
-# Sanitizer + fault-injection gate (invoked by .github/workflows/ci.yml,
-# runnable locally from anywhere in the repo).
+# Sanitizer + fault-injection + static-analysis gate (invoked by
+# .github/workflows/ci.yml, runnable locally from anywhere in the repo).
 #
-# Two legs:
-#   1. The chaos suite: every parallel algorithm under deterministic
+# Four legs:
+#   1. Bounded model checking: `obfs model` explores interleavings of
+#      the three racy protocol cores over virtualized TSO memory and
+#      must find every seeded bug while the real protocols hold
+#      (crates/core/src/model). Always runs — needs no nightly, no
+#      sanitizer runtime, no network.
+#   2. obfs-lint: unsafe/ordering hygiene — SAFETY comments on every
+#      unsafe block, the crates/sync containment allowlist, feature-shim
+#      signature parity, and DESIGN.md flight-taxonomy drift. Always
+#      runs.
+#   3. The chaos suite: every parallel algorithm under deterministic
 #      fault plans, asserting exact results AND that each recovery
 #      counter fires (tests/chaos.rs + the chaos-gated unit tests).
-#   2. ThreadSanitizer over the relaxed-atomic racy backend. That
+#   4. ThreadSanitizer over the relaxed-atomic racy backend. That
 #      backend is data-race-free by construction (relaxed atomics are
 #      not data races), so TSan verifies no unintended plain-memory
 #      race snuck into the queues, barrier, worker pool, or driver.
 #      Requires nightly + rust-src (-Zbuild-std instruments std too);
 #      skipped with a warning when unavailable (e.g. offline sandboxes).
+#
+# Legs 3 and 4 are the *dynamic* race checks; legs 1 and 2 are static
+# and unconditional, so the gate still exercises the racy protocols
+# even where TSan cannot run. If every dynamic AND model-based race leg
+# were skipped the gate would be vacuous, so that exits non-zero.
 #
 # The volatile backend is intentionally NOT run under TSan: its whole
 # point is bit-level fidelity to the paper's deliberate C++ data races,
@@ -19,10 +33,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== leg 1: chaos fault-injection suite (default backend) =="
-cargo test --features chaos --quiet
+race_legs_run=0
 
-echo "== leg 2: ThreadSanitizer on the relaxed-atomic backend =="
+echo "== leg 1: bounded model check of the racy protocol cores =="
+cargo run --release --quiet -p obfs-cli -- model
+race_legs_run=$((race_legs_run + 1))
+
+echo "== leg 2: obfs-lint (unsafe/ordering audit) =="
+cargo run --release --quiet -p obfs-lint -- .
+
+echo "== leg 3: chaos fault-injection suite (default backend) =="
+cargo test --features chaos --quiet
+race_legs_run=$((race_legs_run + 1))
+
+echo "== leg 4: ThreadSanitizer on the relaxed-atomic backend =="
 host="$(rustc -vV | sed -n 's/^host: //p')"
 src_lock="$(rustc +nightly --print sysroot 2>/dev/null)/lib/rustlib/src/rust/library/Cargo.lock"
 if [[ -f "$src_lock" ]]; then
@@ -30,9 +54,15 @@ if [[ -f "$src_lock" ]]; then
     RUSTFLAGS="-Zsanitizer=thread" \
         cargo +nightly test -Zbuild-std --target "$host" \
         -p obfs-sync -p obfs-runtime -p obfs-core --lib --tests --quiet
+    race_legs_run=$((race_legs_run + 1))
 else
     echo "warning: nightly rust-src not installed; skipping the TSan leg" >&2
     echo "         (rustup component add rust-src --toolchain nightly)" >&2
 fi
 
-echo "sanitize.sh: all gates passed"
+if [[ "$race_legs_run" -eq 0 ]]; then
+    echo "error: every race-checking leg was skipped — the gate verified nothing" >&2
+    exit 1
+fi
+
+echo "sanitize.sh: all gates passed ($race_legs_run race-checking legs ran)"

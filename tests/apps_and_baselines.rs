@@ -49,14 +49,12 @@ fn components_on_multi_island_suite_graph() {
     let opts = BfsOptions { threads: 4, ..BfsOptions::default() };
     let c = apps::connected_components(&g, Algorithm::Bfswl, &opts);
     // Scale-free blobs may have tiny satellite pieces, but no component
-    // may span the two halves.
-    for v in 0..n {
-        for w in n..2 * n {
-            if c.same_component(v as u32, w as u32) {
-                panic!("component spans the disjoint halves ({v}, {w})");
-            }
+    // may span the two halves. One row suffices: labels are
+    // per-component constants.
+    for w in n..2 * n {
+        if c.same_component(0, w as u32) {
+            panic!("component spans the disjoint halves (0, {w})");
         }
-        break; // one row suffices: labels are per-component constants
     }
     assert!(c.count >= 2);
 }
