@@ -1,0 +1,324 @@
+//! `bombard`: closed-loop stress driver for the resilient query engine.
+//!
+//! Where the other bench binaries time a single traversal at a time,
+//! this one drives the `obfs-engine` admission/scheduling layer the way
+//! a service would see it: bursts of concurrent queries against one
+//! shared graph and one managed pool, with the admission gate shedding
+//! whatever exceeds `--capacity`. It reports service-level numbers —
+//! queries/sec and submit-to-response latency percentiles — alongside
+//! the usual per-traversal metrics, and emits them as a `serve` block
+//! in `BENCH_serve.json` so the `compare` gate can flag throughput or
+//! tail-latency regressions (`serve_qps`, `serve_p99_ms`).
+//!
+//! The loop is *closed*: each burst is submitted, then fully drained
+//! before the next begins. With `--burst` ≤ `--capacity` nothing is
+//! shed and the run measures scheduling overhead; with `--burst` >
+//! `--capacity` the overflow is shed at the door every round, which is
+//! exactly the overload behavior CI smoke-tests.
+
+use obfs_bench::env::HostInfo;
+use obfs_bench::json::{self, summary_json, Json};
+use obfs_bench::table::Table;
+use obfs_bench::{BenchArgs, BenchReport};
+use obfs_core::serial::serial_bfs;
+use obfs_core::{Algorithm, StealCounters};
+use obfs_engine::{Engine, EngineConfig, Query, QueryStatus, SubmitError};
+use obfs_graph::gen::{rmat, RmatParams};
+use obfs_graph::stats::sample_sources;
+use obfs_util::{LogHistogram, OnlineStats, Xoshiro256StarStar};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine-specific knobs on top of the shared [`BenchArgs`].
+struct BombardArgs {
+    base: BenchArgs,
+    /// Engine admission capacity (max in-flight).
+    capacity: usize,
+    /// Queries submitted per closed-loop round.
+    burst: usize,
+    /// Total submit attempts per contender.
+    queries: usize,
+    /// Default per-query deadline (0 = none).
+    deadline_ms: u64,
+}
+
+fn parse_args() -> BombardArgs {
+    let mut own = BombardArgs {
+        base: BenchArgs::default(),
+        capacity: 8,
+        burst: 8,
+        queries: 64,
+        deadline_ms: 0,
+    };
+    let mut burst_set = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("flag {name} requires a value"))
+        };
+        let num = |s: String, name: &str| -> u64 {
+            s.parse().unwrap_or_else(|_| panic!("bad value {s:?} for {name}"))
+        };
+        match flag.as_str() {
+            "--capacity" => own.capacity = num(value("--capacity"), "--capacity") as usize,
+            "--burst" => {
+                own.burst = num(value("--burst"), "--burst") as usize;
+                burst_set = true;
+            }
+            "--queries" => own.queries = num(value("--queries"), "--queries") as usize,
+            "--deadline-ms" => own.deadline_ms = num(value("--deadline-ms"), "--deadline-ms"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --capacity <c> --burst <b> --queries <n> --deadline-ms <d> \
+                     plus the shared bench flags (--divisor --threads --seed --json)"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                rest.push(other.to_string());
+                // Keep `--flag value` pairs together for BenchArgs.
+                if matches!(
+                    other,
+                    "--divisor" | "--threads" | "--sources" | "--seed" | "--graph"
+                        | "--chaos-seed" | "--watchdog-ms"
+                ) {
+                    rest.push(value(other));
+                }
+            }
+        }
+    }
+    own.base = BenchArgs::parse_from(rest);
+    if !burst_set {
+        own.burst = own.capacity;
+    }
+    assert!(own.capacity >= 1, "--capacity must be >= 1");
+    assert!(own.burst >= 1, "--burst must be >= 1");
+    assert!(own.queries >= 1, "--queries must be >= 1");
+    own
+}
+
+/// Everything one contender's closed loop produced.
+struct LoopResult {
+    admitted: u64,
+    shed: u64,
+    completed: u64,
+    degraded: u64,
+    cancelled: u64,
+    deadline_exceeded: u64,
+    failed: u64,
+    retries: u64,
+    pool_rebuilds: u64,
+    elapsed: Duration,
+    /// Submit-to-response latency, microseconds.
+    lat_us: LogHistogram,
+    /// Per-completed-query traversal time, milliseconds.
+    traversal_ms: OnlineStats,
+    dup: OnlineStats,
+    steal: StealCounters,
+    /// Harmonic-mean traversal TEPS over completed queries.
+    hmean_teps: f64,
+}
+
+fn drive(
+    algo: Algorithm,
+    graph: &Arc<obfs_graph::CsrGraph>,
+    references: &HashMap<u32, (Vec<u32>, u64)>,
+    sources: &[u32],
+    args: &BombardArgs,
+) -> LoopResult {
+    let cfg = EngineConfig {
+        threads: args.base.threads,
+        capacity: args.capacity,
+        default_deadline: (args.deadline_ms > 0)
+            .then(|| Duration::from_millis(args.deadline_ms)),
+        seed: args.base.seed,
+        ..Default::default()
+    };
+    let engine = Engine::new(Arc::clone(graph), cfg);
+    let mut rng = Xoshiro256StarStar::new(args.base.seed ^ 0x00B0_BADD);
+    let mut out = LoopResult {
+        admitted: 0,
+        shed: 0,
+        completed: 0,
+        degraded: 0,
+        cancelled: 0,
+        deadline_exceeded: 0,
+        failed: 0,
+        retries: 0,
+        pool_rebuilds: 0,
+        elapsed: Duration::ZERO,
+        lat_us: LogHistogram::new(),
+        traversal_ms: OnlineStats::new(),
+        dup: OnlineStats::new(),
+        steal: StealCounters::default(),
+        hmean_teps: 0.0,
+    };
+    let mut inv_teps_sum = 0.0f64;
+    let mut validated = false;
+    let t0 = Instant::now();
+    let mut attempts = 0usize;
+    while attempts < args.queries {
+        let want = args.burst.min(args.queries - attempts);
+        let mut handles = Vec::with_capacity(want);
+        for _ in 0..want {
+            let src = sources[(rng.next_u64() as usize) % sources.len()];
+            match engine.submit(Query::new(algo, src)) {
+                Ok(h) => {
+                    handles.push((h, src));
+                    out.admitted += 1;
+                }
+                Err(SubmitError::Overloaded) => out.shed += 1,
+                Err(e) => panic!("engine rejected query: {e}"),
+            }
+            attempts += 1;
+        }
+        for (h, src) in handles {
+            let resp = h.wait();
+            out.lat_us.record(resp.total_ns / 1_000);
+            match resp.status {
+                QueryStatus::Complete | QueryStatus::Degraded => {
+                    if matches!(resp.status, QueryStatus::Degraded) {
+                        out.degraded += 1;
+                    } else {
+                        out.completed += 1;
+                    }
+                    let r = resp.result.expect("complete query carries a result");
+                    let (ref_levels, ref_edges) = &references[&src];
+                    if !validated {
+                        assert_eq!(&r.levels, ref_levels, "{algo} validation failed");
+                        validated = true;
+                    }
+                    out.traversal_ms.push(r.stats.traversal_time.as_secs_f64() * 1e3);
+                    inv_teps_sum += 1.0 / r.stats.teps(*ref_edges);
+                    out.dup.push(
+                        (r.stats.totals.vertices_explored as f64
+                            / r.reached().max(1) as f64
+                            - 1.0)
+                            .max(0.0),
+                    );
+                    out.steal.merge(&r.stats.totals.steal);
+                }
+                QueryStatus::Cancelled => out.cancelled += 1,
+                QueryStatus::DeadlineExceeded => out.deadline_exceeded += 1,
+                QueryStatus::Failed(m) => {
+                    eprintln!("query {} failed: {m}", resp.id);
+                    out.failed += 1;
+                }
+            }
+        }
+    }
+    out.elapsed = t0.elapsed();
+    let st = engine.stats();
+    assert_eq!(st.submitted, out.admitted, "engine admission count disagrees");
+    out.retries = st.retries;
+    out.pool_rebuilds = st.pool_rebuilds;
+    let done = out.completed + out.degraded;
+    if done > 0 {
+        out.hmean_teps = done as f64 / inv_teps_sum;
+    }
+    out
+}
+
+/// `serve` block for one row (see `json::validate_report`).
+fn serve_json(r: &LoopResult, args: &BombardArgs) -> Json {
+    let int = |x: u64| Json::Num(x as f64);
+    let done = r.completed + r.degraded + r.cancelled + r.deadline_exceeded + r.failed;
+    let qps = if r.elapsed.as_secs_f64() > 0.0 {
+        done as f64 / r.elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    let pct = |q: f64| Json::Num(r.lat_us.percentile(q) as f64 / 1e3);
+    Json::Obj(vec![
+        ("capacity".into(), int(args.capacity as u64)),
+        ("burst".into(), int(args.burst as u64)),
+        ("queries".into(), int(args.queries as u64)),
+        ("submitted".into(), int(r.admitted)),
+        ("shed".into(), int(r.shed)),
+        ("completed".into(), int(r.completed)),
+        ("degraded".into(), int(r.degraded)),
+        ("cancelled".into(), int(r.cancelled)),
+        ("deadline_exceeded".into(), int(r.deadline_exceeded)),
+        ("failed".into(), int(r.failed)),
+        ("retries".into(), int(r.retries)),
+        ("pool_rebuilds".into(), int(r.pool_rebuilds)),
+        ("qps".into(), Json::Num(qps)),
+        ("p50_ms".into(), pct(0.50)),
+        ("p90_ms".into(), pct(0.90)),
+        ("p99_ms".into(), pct(0.99)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    // Same scale mapping as the graph500 bin: --divisor shrinks the
+    // graph; the default (128) gives a small dense RMAT that keeps the
+    // committed BENCH_serve.json cheap to regenerate.
+    let scale = match args.base.divisor {
+        1 => 18u32,
+        d => (18u32).saturating_sub(d.ilog2()).max(10),
+    };
+    println!("{}", HostInfo::detect().render(args.base.threads));
+    println!(
+        "== bombard: RMAT scale {scale}, {} queries/contender, burst {}, capacity {}, \
+         p={} ==\n",
+        args.queries, args.burst, args.capacity, args.base.threads
+    );
+    let graph = Arc::new(rmat(scale, 8, RmatParams::default(), args.base.seed));
+    let graph_name = format!("rmat{scale}");
+    println!("graph: n={} m={}\n", graph.num_vertices(), graph.num_edges());
+    let sources = sample_sources(&graph, args.base.sources.max(4), args.base.seed ^ 0x5EED);
+    let references: HashMap<u32, (Vec<u32>, u64)> = sources
+        .iter()
+        .map(|&src| {
+            let ser = serial_bfs(&graph, src);
+            (src, (ser.levels, ser.stats.totals.edges_scanned))
+        })
+        .collect();
+
+    let contenders = [Algorithm::Bfscl, Algorithm::Bfswsl];
+    let mut report = args.base.json.then(|| BenchReport::new("serve", &args.base));
+    let mut t = Table::new(&[
+        "contender",
+        "queries/s",
+        "p50 ms",
+        "p99 ms",
+        "shed",
+        "retries",
+        "rebuilds",
+    ]);
+    for algo in contenders {
+        let r = drive(algo, &graph, &references, &sources, &args);
+        let serve = serve_json(&r, &args);
+        let qps = serve.get("qps").and_then(Json::as_f64).unwrap_or(0.0);
+        t.row(vec![
+            algo.to_string(),
+            format!("{qps:.1}"),
+            format!("{:.3}", r.lat_us.percentile(0.50) as f64 / 1e3),
+            format!("{:.3}", r.lat_us.percentile(0.99) as f64 / 1e3),
+            r.shed.to_string(),
+            r.retries.to_string(),
+            r.pool_rebuilds.to_string(),
+        ]);
+        if let Some(report) = &mut report {
+            report.add_result(Json::Obj(vec![
+                ("contender".into(), Json::Str(algo.to_string())),
+                ("graph".into(), Json::Str(graph_name.clone())),
+                ("time_ms".into(), summary_json(&r.traversal_ms.summary())),
+                ("teps".into(), Json::Num(r.hmean_teps)),
+                ("duplicate_overhead".into(), Json::Num(r.dup.mean())),
+                ("steal".into(), json::steal_json(&r.steal)),
+                ("serve".into(), serve),
+            ]));
+        }
+    }
+    println!("{}", t.render());
+    if let Some(report) = &report {
+        let path = report.write().expect("write BENCH_serve.json");
+        json::validate_report(&Json::parse(&report.render()).unwrap())
+            .expect("emitted report fails its own schema validation");
+        println!("wrote {}", path.display());
+    }
+}

@@ -306,6 +306,38 @@ pub fn compare(base: &Json, new: &Json, opts: &CompareOpts) -> Result<Comparison
                 regression: nc > bc + slack,
             });
         }
+
+        // Serve-layer metrics (`bombard` reports): query throughput
+        // regresses downward, tail latency upward. Both honor the
+        // `scale_time` self-test like the traversal metrics do.
+        if let (Some(bq), Some(nq)) = (f(b, &["serve", "qps"]), f(n, &["serve", "qps"])) {
+            let nq = nq / opts.scale_time;
+            let change = if bq > 0.0 { (nq - bq) / bq } else { 0.0 };
+            cmp.deltas.push(Delta {
+                contender: contender.clone(),
+                graph: graph.clone(),
+                metric: "serve_qps".into(),
+                base: bq,
+                new: nq,
+                change,
+                allowed,
+                regression: -change > allowed,
+            });
+        }
+        if let (Some(bp), Some(np)) = (f(b, &["serve", "p99_ms"]), f(n, &["serve", "p99_ms"])) {
+            let np = np * opts.scale_time;
+            let change = if bp > 0.0 { (np - bp) / bp } else { 0.0 };
+            cmp.deltas.push(Delta {
+                contender: contender.clone(),
+                graph: graph.clone(),
+                metric: "serve_p99_ms".into(),
+                base: bp,
+                new: np,
+                change,
+                allowed,
+                regression: change > allowed,
+            });
+        }
     }
 
     for (pos, (key, _)) in new_by_key.iter().enumerate() {
@@ -427,6 +459,55 @@ mod tests {
         let c = compare(&r, &r, &CompareOpts { scale_time: 1.0, ..CompareOpts::default() })
             .unwrap();
         assert!(!c.failed());
+    }
+
+    /// Attach a serve block (qps, p99) to every result of a report.
+    fn with_serve(mut doc: Json, qps: f64, p99: f64) -> Json {
+        let serve = Json::Obj(vec![
+            ("qps".into(), Json::Num(qps)),
+            ("p99_ms".into(), Json::Num(p99)),
+        ]);
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(rs) = v {
+                        for r in rs {
+                            if let Json::Obj(m) = r {
+                                m.push(("serve".into(), serve.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn serve_metrics_gate_throughput_down_and_tail_up() {
+        let base = with_serve(report(1.0, 100, 0.05), 200.0, 5.0);
+        // Identical serve numbers pass and are compared.
+        let c = compare(&base, &base, &CompareOpts::default()).unwrap();
+        assert!(!c.failed(), "{}", c.render_table());
+        assert!(c.deltas.iter().any(|d| d.metric == "serve_qps"));
+        assert!(c.deltas.iter().any(|d| d.metric == "serve_p99_ms"));
+        // Throughput collapse fails.
+        let slow = with_serve(report(1.0, 100, 0.05), 120.0, 5.0);
+        let c = compare(&base, &slow, &CompareOpts::default()).unwrap();
+        assert!(c.regressions().iter().any(|d| d.metric == "serve_qps"), "{}", c.render_table());
+        // Tail-latency blowup fails.
+        let tail = with_serve(report(1.0, 100, 0.05), 200.0, 9.0);
+        let c = compare(&base, &tail, &CompareOpts::default()).unwrap();
+        assert!(c.regressions().iter().any(|d| d.metric == "serve_p99_ms"));
+        // qps *gain* and p99 *drop* are improvements, not regressions.
+        let better = with_serve(report(1.0, 100, 0.05), 400.0, 1.0);
+        let c = compare(&base, &better, &CompareOpts::default()).unwrap();
+        assert!(!c.failed(), "{}", c.render_table());
+        // The scale-time self-test trips the serve gates too.
+        let opts = CompareOpts { scale_time: 2.0, ..CompareOpts::default() };
+        let c = compare(&base, &base, &opts).unwrap();
+        assert!(c.regressions().iter().any(|d| d.metric == "serve_qps"));
+        assert!(c.regressions().iter().any(|d| d.metric == "serve_p99_ms"));
     }
 
     #[test]

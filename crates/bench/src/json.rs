@@ -289,6 +289,42 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         if let Some(series) = r.get("series") {
             validate_series(series, &at)?;
         }
+        if let Some(serve) = r.get("serve") {
+            validate_serve(serve, &at)?;
+        }
+    }
+    Ok(())
+}
+
+/// Validate an optional `serve` block (emitted by the `bombard` engine
+/// stress driver): all counters present, plus the admission
+/// conservation invariants — every attempted query is either admitted
+/// or shed, and every admitted query ends in exactly one terminal
+/// status.
+fn validate_serve(serve: &Json, at: &str) -> Result<(), String> {
+    let at = format!("{at}.serve");
+    for key in ["capacity", "burst", "retries", "pool_rebuilds"] {
+        req_u64(serve, key, &at)?;
+    }
+    for key in ["qps", "p50_ms", "p90_ms", "p99_ms"] {
+        req_f64(serve, key, &at)?;
+    }
+    let queries = req_u64(serve, "queries", &at)?;
+    let submitted = req_u64(serve, "submitted", &at)?;
+    let shed = req_u64(serve, "shed", &at)?;
+    if submitted + shed != queries {
+        return Err(format!(
+            "{at}: submitted ({submitted}) + shed ({shed}) != queries ({queries})"
+        ));
+    }
+    let mut done = 0u64;
+    for key in ["completed", "degraded", "cancelled", "deadline_exceeded", "failed"] {
+        done += req_u64(serve, key, &at)?;
+    }
+    if done != submitted {
+        return Err(format!(
+            "{at}: terminal statuses sum to {done} but submitted = {submitted}"
+        ));
     }
     Ok(())
 }
@@ -477,6 +513,72 @@ mod tests {
         let series = tiny_series(vec![entry], thread_stats_json(&a), 0);
         let err = validate_report(&report_with_series(series)).unwrap_err();
         assert!(err.contains("direction"), "{err}");
+    }
+
+    fn serve_block(queries: u64, submitted: u64, shed: u64, completed: u64) -> Json {
+        Json::Obj(vec![
+            ("capacity".into(), int(2)),
+            ("burst".into(), int(4)),
+            ("queries".into(), int(queries)),
+            ("submitted".into(), int(submitted)),
+            ("shed".into(), int(shed)),
+            ("completed".into(), int(completed)),
+            ("degraded".into(), int(0)),
+            ("cancelled".into(), int(0)),
+            ("deadline_exceeded".into(), int(0)),
+            ("failed".into(), int(0)),
+            ("retries".into(), int(0)),
+            ("pool_rebuilds".into(), int(0)),
+            ("qps".into(), num(123.4)),
+            ("p50_ms".into(), num(1.0)),
+            ("p90_ms".into(), num(2.0)),
+            ("p99_ms".into(), num(3.0)),
+        ])
+    }
+
+    fn report_with_serve(serve: Json) -> Json {
+        let mut doc = report_with_series(tiny_series(
+            vec![],
+            thread_stats_json(&ThreadStats::default()),
+            0,
+        ));
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(rs) = v {
+                        if let Json::Obj(r) = &mut rs[0] {
+                            r.retain(|(k, _)| k != "series");
+                            r.push(("serve".into(), serve.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn validate_accepts_conserving_serve_block() {
+        validate_report(&report_with_serve(serve_block(10, 8, 2, 8))).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_serve_conservation_breaks() {
+        // Admission leak: submitted + shed != queries.
+        let err =
+            validate_report(&report_with_serve(serve_block(10, 8, 1, 8))).unwrap_err();
+        assert!(err.contains("shed"), "{err}");
+        // Status leak: a submitted query with no terminal status.
+        let err =
+            validate_report(&report_with_serve(serve_block(10, 8, 2, 7))).unwrap_err();
+        assert!(err.contains("terminal"), "{err}");
+        // Missing percentile key.
+        let mut serve = serve_block(10, 8, 2, 8);
+        if let Json::Obj(members) = &mut serve {
+            members.retain(|(k, _)| k != "p99_ms");
+        }
+        let err = validate_report(&report_with_serve(serve)).unwrap_err();
+        assert!(err.contains("p99_ms"), "{err}");
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub fn usage() -> String {
        stats      --in FILE\n\
        bfs        --in FILE --algo NAME [--src v] [--threads p] [--validate] \
      [--parents] [--trace [OUT.json]] [--histograms] [--hybrid] [--alpha a] [--beta b]\n\
+       engine     --in FILE [--algo NAME] [--threads p] [--capacity c] [--queries n] \
+     [--burst b] [--deadline-ms d] [--seed s]   (closed-loop resilient query engine)\n\
        analyze    TRACE.json [--json]   (post-mortem profile of a recorded trace)\n\
        model      [--schedules n] [--steps n]   (bounded model check of the racy protocol cores)\n\
        components --in FILE [--threads p] [--algo NAME]\n\
@@ -44,6 +46,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "gen" => cmd_gen(&flags),
         "stats" => cmd_stats(&flags),
         "bfs" => cmd_bfs(&flags),
+        "engine" => cmd_engine(&flags),
         "model" => cmd_model(&flags),
         "components" => cmd_components(&flags),
         "bipartite" => cmd_bipartite(&flags),
@@ -350,6 +353,93 @@ fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
+/// `engine --in FILE ...`: drive a closed-loop batch of BFS queries
+/// through the resilient multi-query engine (obfs-engine) and report
+/// throughput, latency percentiles, and the shedding/retry counters.
+/// Sources are drawn from a seeded PRNG so runs are reproducible;
+/// queries are submitted in bursts of `--burst` so an undersized
+/// `--capacity` demonstrably sheds the overflow instead of queueing it.
+fn cmd_engine(flags: &HashMap<String, String>) -> Result<String, String> {
+    use obfs_engine::{Engine, EngineConfig, Query, QueryStatus, SubmitError};
+    let g = load_graph(get(flags, "in")?)?;
+    let n = g.num_vertices() as u32;
+    let algo = algo_flag(flags, Algorithm::Bfswsl)?;
+    let threads: usize = get_num(flags, "threads", 4)?;
+    let capacity: usize = get_num(flags, "capacity", 16)?;
+    let queries: usize = get_num(flags, "queries", 32)?;
+    let burst: usize = get_num(flags, "burst", capacity)?;
+    let seed: u64 = get_num(flags, "seed", 1)?;
+    let deadline_ms: u64 = get_num(flags, "deadline-ms", 0)?;
+    if threads == 0 || capacity == 0 || queries == 0 || burst == 0 {
+        return Err("--threads, --capacity, --queries and --burst must be at least 1".into());
+    }
+    let cfg = EngineConfig {
+        threads,
+        capacity,
+        default_deadline: (deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(deadline_ms)),
+        seed,
+        ..Default::default()
+    };
+    let engine = Engine::new(std::sync::Arc::new(g), cfg);
+    let mut rng = obfs_util::Xoshiro256StarStar::new(seed);
+    let mut lat_us = obfs_util::LogHistogram::new();
+    let mut shed = 0u64;
+    let clock = engine.config().clock.clone();
+    let t0 = clock.now_ns();
+    let mut submitted = 0usize;
+    while submitted < queries {
+        let want = burst.min(queries - submitted);
+        let mut handles = Vec::with_capacity(want);
+        for _ in 0..want {
+            let src = (rng.next_u64() % u64::from(n)) as u32;
+            match engine.submit(Query::new(algo, src)) {
+                Ok(h) => handles.push(h),
+                Err(SubmitError::Overloaded) => shed += 1,
+                Err(e) => return Err(format!("engine rejected query: {e}")),
+            }
+            submitted += 1;
+        }
+        for h in handles {
+            let resp = h.wait();
+            lat_us.record(resp.total_ns / 1_000);
+            if let QueryStatus::Failed(m) = &resp.status {
+                return Err(format!("query {} failed: {m}", resp.id));
+            }
+        }
+    }
+    let elapsed_s = (clock.now_ns() - t0) as f64 / 1e9;
+    let st = engine.stats();
+    let done = st.completed + st.degraded + st.cancelled + st.deadline_exceeded;
+    let qps = if elapsed_s > 0.0 { done as f64 / elapsed_s } else { 0.0 };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "engine: {algo} x{queries} queries (burst {burst}, capacity {capacity}, {threads} threads)"
+    );
+    let _ = writeln!(
+        out,
+        "completed={} degraded={} cancelled={} deadline-exceeded={} shed={} retries={} \
+         pool-rebuilds={}",
+        st.completed,
+        st.degraded,
+        st.cancelled,
+        st.deadline_exceeded,
+        shed,
+        st.retries,
+        st.pool_rebuilds
+    );
+    let _ = writeln!(
+        out,
+        "throughput {qps:.1} queries/s; latency(us) p50={} p90={} p99={} max={}",
+        lat_us.percentile(0.50),
+        lat_us.percentile(0.90),
+        lat_us.percentile(0.99),
+        lat_us.max()
+    );
+    Ok(out)
+}
+
 fn cmd_components(flags: &HashMap<String, String>) -> Result<String, String> {
     let g = load_graph(get(flags, "in")?)?;
     let algo = algo_flag(flags, Algorithm::Bfscl)?;
@@ -651,6 +741,50 @@ mod tests {
         assert!(dispatch(&strs(&["bfs", "--in", &path, "--algo", "nope"])).is_err());
         assert!(dispatch(&strs(&["bfs", "--in", &path, "--src", "999999999"])).is_err());
         assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn engine_command_runs_a_batch() {
+        let path = tmp("engine.bin");
+        dispatch(&strs(&[
+            "gen", "--model", "er", "--n", "400", "--edge-factor", "6", "--out", &path,
+        ]))
+        .unwrap();
+        let rep = dispatch(&strs(&[
+            "engine", "--in", &path, "--algo", "BFS_CL", "--threads", "2", "--queries", "6",
+            "--capacity", "4", "--seed", "7",
+        ]))
+        .unwrap();
+        assert!(rep.contains("engine: BFS_CL x6 queries"), "{rep}");
+        assert!(rep.contains("completed=6"), "{rep}");
+        assert!(rep.contains("shed=0"), "{rep}");
+        assert!(rep.contains("throughput"), "{rep}");
+        // Bad knobs are rejected.
+        assert!(dispatch(&strs(&["engine", "--in", &path, "--capacity", "0"])).is_err());
+        assert!(dispatch(&strs(&["engine", "--in", &path, "--queries", "0"])).is_err());
+    }
+
+    #[test]
+    fn engine_command_sheds_bursts_beyond_capacity() {
+        let path = tmp("engine-shed.bin");
+        dispatch(&strs(&[
+            "gen", "--model", "er", "--n", "300", "--edge-factor", "5", "--out", &path,
+        ]))
+        .unwrap();
+        // Burst 8 into capacity 2: at least 6 of the first burst must be
+        // shed at the door (the gate never queues beyond capacity).
+        let rep = dispatch(&strs(&[
+            "engine", "--in", &path, "--threads", "2", "--queries", "8", "--capacity", "2",
+            "--burst", "8",
+        ]))
+        .unwrap();
+        let shed: u64 = rep
+            .split("shed=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("shed counter in report");
+        assert!(shed >= 6, "capacity 2 must shed most of a burst of 8: {rep}");
     }
 
     #[test]

@@ -22,11 +22,11 @@ use crate::frontier::decode;
 use crate::options::{Algorithm, BfsOptions, Direction};
 use crate::perthread::PerThread;
 use crate::state::RunState;
-use crate::stats::{RunStats, ThreadStats};
+use crate::stats::{Outcome, RunStats, ThreadStats};
 use crate::{BfsResult, UNVISITED};
 use obfs_graph::{CsrGraph, VertexId, INVALID_VERTEX};
-use obfs_runtime::{LevelPool, WorkerCtx};
-use obfs_sync::flight;
+use obfs_runtime::{LevelPool, PoolError, WorkerCtx};
+use obfs_sync::{flight, CancelCause};
 use obfs_util::Xoshiro256StarStar;
 
 /// Per-thread, per-level working context handed to strategies.
@@ -76,6 +76,19 @@ pub fn run_on_pool(
     run_on_pool_with_transpose(algo, graph, src, opts, pool, None)
 }
 
+/// As [`run_on_pool`], but returning the pool failure (a worker panic)
+/// instead of panicking — what the query engine needs to retry on a
+/// rebuilt pool.
+pub fn try_run_on_pool(
+    algo: Algorithm,
+    graph: &CsrGraph,
+    src: VertexId,
+    opts: &BfsOptions,
+    pool: &LevelPool,
+) -> Result<BfsResult, PoolError> {
+    try_run_on_pool_with_transpose(algo, graph, src, opts, pool, None)
+}
+
 /// As [`run_on_pool`], but probing hybrid bottom-up levels through a
 /// caller-provided in-edge graph (must be `graph.transpose()`, or the
 /// graph itself for symmetric graphs; benchmarks amortize it across
@@ -90,6 +103,19 @@ pub fn run_on_pool_with_transpose<'g>(
     pool: &LevelPool,
     transpose: Option<&'g CsrGraph>,
 ) -> BfsResult {
+    try_run_on_pool_with_transpose(algo, graph, src, opts, pool, transpose)
+        .unwrap_or_else(|e| panic!("BFS worker pool failed: {e}"))
+}
+
+/// As [`run_on_pool_with_transpose`], surfacing pool failures.
+pub fn try_run_on_pool_with_transpose<'g>(
+    algo: Algorithm,
+    graph: &'g CsrGraph,
+    src: VertexId,
+    opts: &BfsOptions,
+    pool: &LevelPool,
+    transpose: Option<&'g CsrGraph>,
+) -> Result<BfsResult, PoolError> {
     assert_eq!(opts.threads, pool.threads(), "options/pool thread mismatch");
     assert!(
         (src as usize) < graph.num_vertices(),
@@ -98,30 +124,30 @@ pub fn run_on_pool_with_transpose<'g>(
     );
     let t = transpose;
     match algo {
-        Algorithm::Serial => crate::serial::serial_bfs_with_opts(graph, src, opts),
+        Algorithm::Serial => Ok(crate::serial::serial_bfs_with_opts(graph, src, opts)),
         Algorithm::Bfsc => {
-            drive_with_transpose(&crate::centralized::CentralLocked, graph, src, opts, pool, t)
+            try_drive_with_transpose(&crate::centralized::CentralLocked, graph, src, opts, pool, t)
         }
         Algorithm::Bfscl => {
-            drive_with_transpose(&crate::centralized::CentralLockfree, graph, src, opts, pool, t)
+            try_drive_with_transpose(&crate::centralized::CentralLockfree, graph, src, opts, pool, t)
         }
         Algorithm::Bfsdl => {
-            drive_with_transpose(&crate::decentralized::Decentralized, graph, src, opts, pool, t)
+            try_drive_with_transpose(&crate::decentralized::Decentralized, graph, src, opts, pool, t)
         }
         Algorithm::Bfsw => {
-            drive_with_transpose(&crate::worksteal::WorkStealing { locked: true, scale_free: false }, graph, src, opts, pool, t)
+            try_drive_with_transpose(&crate::worksteal::WorkStealing { locked: true, scale_free: false }, graph, src, opts, pool, t)
         }
         Algorithm::Bfswl => {
-            drive_with_transpose(&crate::worksteal::WorkStealing { locked: false, scale_free: false }, graph, src, opts, pool, t)
+            try_drive_with_transpose(&crate::worksteal::WorkStealing { locked: false, scale_free: false }, graph, src, opts, pool, t)
         }
         Algorithm::Bfsws => {
-            drive_with_transpose(&crate::worksteal::WorkStealing { locked: true, scale_free: true }, graph, src, opts, pool, t)
+            try_drive_with_transpose(&crate::worksteal::WorkStealing { locked: true, scale_free: true }, graph, src, opts, pool, t)
         }
         Algorithm::Bfswsl => {
-            drive_with_transpose(&crate::worksteal::WorkStealing { locked: false, scale_free: true }, graph, src, opts, pool, t)
+            try_drive_with_transpose(&crate::worksteal::WorkStealing { locked: false, scale_free: true }, graph, src, opts, pool, t)
         }
         Algorithm::EdgeCl => {
-            drive_with_transpose(&crate::ext::EdgePartitioned, graph, src, opts, pool, t)
+            try_drive_with_transpose(&crate::ext::EdgePartitioned, graph, src, opts, pool, t)
         }
     }
 }
@@ -147,6 +173,20 @@ pub fn drive_with_transpose<'g, S: Strategy>(
     pool: &LevelPool,
     transpose: Option<&'g CsrGraph>,
 ) -> BfsResult {
+    try_drive_with_transpose(strategy, graph, src, opts, pool, transpose)
+        .unwrap_or_else(|e| panic!("BFS worker pool failed: {e}"))
+}
+
+/// As [`drive_with_transpose`], surfacing pool failures (worker panics)
+/// as `Err` instead of panicking the caller.
+pub fn try_drive_with_transpose<'g, S: Strategy>(
+    strategy: &S,
+    graph: &'g CsrGraph,
+    src: VertexId,
+    opts: &BfsOptions,
+    pool: &LevelPool,
+    transpose: Option<&'g CsrGraph>,
+) -> Result<BfsResult, PoolError> {
     let mut st = RunState::new_with_transpose(graph, opts, transpose);
     let stats = PerThread::new(opts.threads, |_| ThreadStats::default());
     let deepest = PerThread::new(opts.threads, |_| 0u32);
@@ -177,6 +217,12 @@ pub fn drive_with_transpose<'g, S: Strategy>(
             // Seed-reproducible fault plan, one PRNG stream per worker
             // (no-op unless built with the `chaos` feature).
             obfs_sync::chaos::install(cfg, tid as u64);
+        }
+        if let Some(tok) = &st.opts.cancel {
+            // Stall-breaker probe: chaos-injected stalls poll this token
+            // so cancellation still lands within one dispatch quantum
+            // while a worker is wedged inside an injected stall.
+            obfs_sync::cancel::install_probe(tok.clone());
         }
         if let Some(cap) = st.opts.flight_recorder {
             // Shared epoch so all workers' timelines line up (no-op
@@ -288,7 +334,26 @@ pub fn drive_with_transpose<'g, S: Strategy>(
             }
             let this_level = level;
             ctx.barrier().wait_then(|| {
-                let degraded = st.watchdog_tripped();
+                // The run-abort decision is made HERE, once, by the
+                // leader: workers must agree on which iteration exits the
+                // level loop or the barrier counts diverge. A cancelled
+                // run is not swept — its partially-consumed input queue
+                // is exactly what the partial-state contract hands back.
+                let cause = st.cancel_cause();
+                if let Some(c) = cause {
+                    // SAFETY: barrier serial section.
+                    unsafe { *st.run_abort.get_mut() = Some(c) };
+                    flight::record(
+                        flight::kind::CANCEL,
+                        this_level,
+                        match c {
+                            CancelCause::Cancelled => flight::kind::CANCEL_EXPLICIT,
+                            CancelCause::DeadlineExceeded => flight::kind::CANCEL_DEADLINE,
+                        },
+                        0,
+                    );
+                }
+                let degraded = cause.is_none() && st.watchdog_tripped();
                 if degraded {
                     // Degraded level: finish it serially before counting
                     // the next frontier. SAFETY: barrier serial section.
@@ -312,7 +377,9 @@ pub fn drive_with_transpose<'g, S: Strategy>(
                     // its own count so this level's delta includes it.
                     ts.injected_faults = obfs_sync::chaos::faults_injected();
                 }
-                if let (Some(hyb), Some(pol)) = (&st.hyb, st.opts.hybrid) {
+                if let (Some(hyb), Some(pol), true) = (&st.hyb, st.opts.hybrid, cause.is_none()) {
+                    // (Skipped on abort so `directions` keeps exactly one
+                    // entry per *executed* level.)
                     // SAFETY: barrier serial section.
                     let ctl = unsafe { hyb.ctl.get_mut() };
                     // Cross-thread frontier edge volume: the leader's live
@@ -388,6 +455,15 @@ pub fn drive_with_transpose<'g, S: Strategy>(
                     t.frontier_in = produced;
                 }
             });
+            // SAFETY: written only in the serial section of the barrier
+            // every worker just crossed; read-only between barriers. The
+            // guard keeps token-free runs at zero extra cost.
+            if st.opts.cancel.is_some() && unsafe { st.run_abort.get().is_some() } {
+                // Leader-published abort: all workers observe it on the
+                // same iteration and quiesce together.
+                *my_deepest = level;
+                break;
+            }
             if st.next_total.load() == 0 {
                 *my_deepest = level;
                 break;
@@ -431,8 +507,10 @@ pub fn drive_with_transpose<'g, S: Strategy>(
                 unsafe { *hist_dumps.get_mut(tid) = Some(h) };
             }
         }
-    })
-    .unwrap_or_else(|e| panic!("BFS worker pool failed: {e}"));
+        if st.opts.cancel.is_some() {
+            obfs_sync::cancel::uninstall_probe();
+        }
+    })?;
     let traversal_time = t0.elapsed();
 
     let levels_run = deepest.into_values().into_iter().max().unwrap_or(0) + 1;
@@ -443,17 +521,32 @@ pub fn drive_with_transpose<'g, S: Strategy>(
         .parents
         .as_ref()
         .map(|p| (0..n).map(|v| p.get(v)).collect::<Vec<VertexId>>());
+    // SAFETY: workers are done (pool.run returned); no serial section can
+    // be mutating the cell.
+    let abort_cause = unsafe { *st.run_abort.get() };
     debug_assert!(levels[src as usize] == 0);
     debug_assert!(parents.as_ref().is_none_or(|p| p[src as usize] == src));
+    // An aborted run may have partially consumed its last level L,
+    // labeling some vertices L+1 == levels_run before quiescing.
+    let max_label = levels_run + u32::from(abort_cause.is_some());
     debug_assert!(
-        levels.iter().all(|&l| l == UNVISITED || l < levels_run),
+        levels.iter().all(|&l| l == UNVISITED || l < max_label),
         "level exceeds executed level count"
     );
     let _ = INVALID_VERTEX;
     let mut stats = RunStats::from_threads(per_thread, levels_run, traversal_time);
+    stats.partial = abort_cause.is_some();
+    stats.outcome = match abort_cause {
+        Some(CancelCause::Cancelled) => Outcome::Cancelled,
+        Some(CancelCause::DeadlineExceeded) => Outcome::DeadlineExceeded,
+        None => Outcome::Complete, // may become Degraded below
+    };
     // SAFETY: workers are done (pool.run returned); no serial section can
     // be mutating the cell.
     stats.degraded_levels = unsafe { *st.wd_degraded.get() };
+    if stats.outcome == Outcome::Complete && stats.degraded_levels > 0 {
+        stats.outcome = Outcome::Degraded;
+    }
     if let Some(hyb) = st.hyb.take() {
         // Workers are done (pool.run returned); sole owner.
         let ctl = hyb.ctl.into_inner();
@@ -487,7 +580,7 @@ pub fn drive_with_transpose<'g, S: Strategy>(
                 .collect(),
         });
     }
-    BfsResult { levels, parents, stats }
+    Ok(BfsResult { levels, parents, stats })
 }
 
 /// Walk helper used by the lock-free consumers: read slot `i` of `queue`,
@@ -514,7 +607,120 @@ pub(crate) fn take_slot(
 mod tests {
     use crate::options::{Algorithm, BfsOptions};
     use crate::run_bfs;
+    use crate::stats::Outcome;
     use obfs_graph::gen;
+    use obfs_sync::{CancelToken, Clock};
+
+    #[test]
+    fn pre_cancelled_token_yields_cancelled_partial_result() {
+        let g = gen::binary_tree(1023);
+        let serial = crate::serial::serial_bfs(&g, 0);
+        for algo in [Algorithm::Bfscl, Algorithm::Bfswl, Algorithm::Bfswsl, Algorithm::EdgeCl] {
+            let clock = Clock::wall();
+            let tok = CancelToken::new(&clock);
+            tok.cancel(); // before the run even starts
+            let opts = BfsOptions {
+                threads: 3,
+                record_parents: true,
+                clock: clock.clone(),
+                cancel: Some(tok),
+                ..Default::default()
+            };
+            let r = run_bfs(algo, &g, 0, &opts);
+            assert_eq!(r.stats.outcome, Outcome::Cancelled, "{algo}");
+            assert!(r.stats.partial, "{algo}");
+            // The leader publishes the abort at the first level-end
+            // barrier: exactly one level runs.
+            assert_eq!(r.stats.levels, 1, "{algo}: quiesce within one level");
+            crate::validate::check_partial(&g, 0, &r, &serial.levels)
+                .unwrap_or_else(|e| panic!("{algo}: partial state broken: {e}"));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_on_frozen_clock_is_deterministic() {
+        let g = gen::erdos_renyi(400, 2800, 3);
+        let serial = crate::serial::serial_bfs(&g, 0);
+        let (clock, hand) = Clock::manual();
+        hand.set_ns(1_000);
+        let tok = CancelToken::with_deadline_at(&clock, 500); // already past
+        let opts = BfsOptions {
+            threads: 4,
+            record_parents: true,
+            clock,
+            cancel: Some(tok),
+            ..Default::default()
+        };
+        let r = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
+        assert_eq!(r.stats.outcome, Outcome::DeadlineExceeded);
+        assert!(r.stats.partial);
+        assert_eq!(r.stats.levels, 1);
+        crate::validate::check_partial(&g, 0, &r, &serial.levels).unwrap();
+    }
+
+    #[test]
+    fn unexpired_deadline_on_frozen_clock_completes() {
+        let g = gen::erdos_renyi(400, 2800, 3);
+        let (clock, _hand) = Clock::manual(); // frozen at 0: deadline never passes
+        let tok = CancelToken::with_deadline_at(&clock, 1);
+        let opts =
+            BfsOptions { threads: 4, clock, cancel: Some(tok), ..Default::default() };
+        let r = run_bfs(Algorithm::Bfswsl, &g, 0, &opts);
+        assert_eq!(r.stats.outcome, Outcome::Complete);
+        assert!(!r.stats.partial);
+        assert_eq!(r.levels, crate::serial::serial_bfs(&g, 0).levels);
+    }
+
+    #[test]
+    fn watchdog_deadline_reads_the_injected_clock() {
+        // Satellite proof: the watchdog and cancellation share one Clock.
+        // A frozen manual clock can never trip a nonzero watchdog
+        // deadline; a zero deadline trips every level — both without a
+        // single wall-clock read.
+        let g = gen::binary_tree(255);
+        let (clock, _hand) = Clock::manual();
+        let base = BfsOptions { threads: 3, clock, ..Default::default() };
+        let relaxed = BfsOptions {
+            watchdog: Some(crate::options::WatchdogPolicy::deadline(
+                std::time::Duration::from_millis(1),
+            )),
+            ..base.clone()
+        };
+        let r = run_bfs(Algorithm::Bfscl, &g, 0, &relaxed);
+        assert_eq!(r.stats.degraded_levels, 0, "frozen clock cannot trip");
+        assert_eq!(r.stats.outcome, Outcome::Complete);
+        let strict = BfsOptions {
+            watchdog: Some(crate::options::WatchdogPolicy::deadline(
+                std::time::Duration::ZERO,
+            )),
+            ..base
+        };
+        let r = run_bfs(Algorithm::Bfscl, &g, 0, &strict);
+        assert_eq!(r.stats.degraded_levels, r.stats.levels, "every level degrades");
+        assert_eq!(r.stats.outcome, Outcome::Degraded);
+        assert!(!r.stats.partial, "degraded is a full traversal");
+        assert_eq!(r.levels, crate::serial::serial_bfs(&g, 0).levels);
+    }
+
+    #[test]
+    fn cancelled_hybrid_run_keeps_direction_bookkeeping_aligned() {
+        let g = gen::erdos_renyi(600, 9000, 17);
+        let clock = Clock::wall();
+        let tok = CancelToken::new(&clock);
+        tok.cancel();
+        let opts = BfsOptions {
+            threads: 4,
+            hybrid: Some(crate::options::HybridPolicy::default()),
+            collect_level_stats: true,
+            clock,
+            cancel: Some(tok),
+            ..Default::default()
+        };
+        let r = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
+        assert_eq!(r.stats.outcome, Outcome::Cancelled);
+        assert_eq!(r.stats.directions.len() as u32, r.stats.levels);
+        assert_eq!(r.stats.level_stats.len() as u32, r.stats.levels);
+    }
 
     #[test]
     fn level_stats_match_frontier_profile() {
@@ -679,6 +885,7 @@ mod tests {
             delay_spins: 60_000,
             skew_chance: 0.0,
             skew_max: 0,
+            ..Default::default()
         };
         let noisy = run_bfs(
             Algorithm::Bfscl,

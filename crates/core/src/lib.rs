@@ -47,11 +47,15 @@ pub use options::{
     Algorithm, BfsOptions, DedupMode, Direction, ForcedDirection, HybridPolicy, SegmentPolicy,
     WatchdogPolicy,
 };
-pub use stats::{LevelStats, RunHists, RunStats, StealCounters, ThreadStats};
+pub use stats::{LevelStats, Outcome, RunHists, RunStats, StealCounters, ThreadStats};
+
+// Re-exported so engine-layer callers name the cancellation vocabulary
+// through one crate.
+pub use obfs_sync::{CancelCause, CancelToken, Clock, ManualClock};
 
 use obfs_graph::CsrGraph;
 use obfs_graph::VertexId;
-use obfs_runtime::LevelPool;
+use obfs_runtime::{LevelPool, PoolError};
 
 /// Level value for vertices not reached from the source.
 pub const UNVISITED: u32 = u32::MAX;
@@ -93,6 +97,21 @@ pub fn run_bfs(algo: Algorithm, graph: &CsrGraph, src: VertexId, opts: &BfsOptio
     driver::run_on_pool(algo, graph, src, opts, &pool)
 }
 
+/// As [`run_bfs`], but surfacing a worker panic as [`PoolError`] instead
+/// of panicking the caller.
+pub fn try_run_bfs(
+    algo: Algorithm,
+    graph: &CsrGraph,
+    src: VertexId,
+    opts: &BfsOptions,
+) -> Result<BfsResult, PoolError> {
+    if algo == Algorithm::Serial {
+        return Ok(serial::serial_bfs_with_opts(graph, src, opts));
+    }
+    let pool = LevelPool::new(opts.threads);
+    driver::try_run_on_pool(algo, graph, src, opts, &pool)
+}
+
 /// A reusable runner owning a worker pool.
 pub struct BfsRunner {
     pool: LevelPool,
@@ -126,6 +145,28 @@ impl BfsRunner {
             "BfsOptions::threads must match the runner's pool size"
         );
         driver::run_on_pool(algo, graph, src, opts, &self.pool)
+    }
+
+    /// As [`BfsRunner::run`], surfacing a worker panic as [`PoolError`]
+    /// instead of panicking. On `Err` the pool is poisoned; recover by
+    /// replacing the runner (or let `obfs-runtime`'s `PoolManager`
+    /// rebuild for you).
+    pub fn try_run(
+        &self,
+        algo: Algorithm,
+        graph: &CsrGraph,
+        src: VertexId,
+        opts: &BfsOptions,
+    ) -> Result<BfsResult, PoolError> {
+        if algo == Algorithm::Serial {
+            return Ok(serial::serial_bfs_with_opts(graph, src, opts));
+        }
+        assert_eq!(
+            opts.threads,
+            self.pool.threads(),
+            "BfsOptions::threads must match the runner's pool size"
+        );
+        driver::try_run_on_pool(algo, graph, src, opts, &self.pool)
     }
 
     /// As [`BfsRunner::run`], but probing hybrid bottom-up levels

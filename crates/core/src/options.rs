@@ -1,7 +1,7 @@
 //! Algorithm selection and tuning knobs.
 
 use obfs_runtime::Topology;
-use obfs_sync::ChaosConfig;
+use obfs_sync::{CancelToken, ChaosConfig, Clock};
 use std::time::Duration;
 
 /// The BFS algorithms of the paper (Table II) plus the §IV-D extension.
@@ -320,6 +320,15 @@ pub struct BfsOptions {
     /// dense levels bottom-up (BFSCL/BFSWSL and every other driver-based
     /// variant); `None` (default) keeps the paper's pure top-down runs.
     pub hybrid: Option<HybridPolicy>,
+    /// Time source for watchdog and cancellation deadlines. The default
+    /// wall clock is right for production; tests inject
+    /// [`Clock::manual`] so deadline branches replay deterministically.
+    pub clock: Clock,
+    /// Cooperative cancellation token. `None` (default) costs the run
+    /// nothing; `Some` is polled at the same dispatch granularity as the
+    /// watchdog and ends the run with a partial result
+    /// ([`crate::Outcome::Cancelled`] / `DeadlineExceeded`).
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for BfsOptions {
@@ -342,6 +351,8 @@ impl Default for BfsOptions {
             chaos: None,
             watchdog: None,
             hybrid: None,
+            clock: Clock::default(),
+            cancel: None,
         }
     }
 }

@@ -9,10 +9,9 @@ use crate::perthread::PerThread;
 use crate::stats::ThreadStats;
 use crate::UNVISITED;
 use obfs_graph::{CsrGraph, VertexId, INVALID_VERTEX};
-use obfs_sync::{CachePadded, RacyBuf, RacyUsize, SpinLock};
+use obfs_sync::{CachePadded, CancelCause, RacyBuf, RacyUsize, SpinLock};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
 
 /// A cell written only inside barrier serial sections (exactly one thread,
 /// all others parked at the barrier) and read only between barriers.
@@ -182,17 +181,27 @@ pub struct RunState<'g> {
     /// in [`RunState::try_discover`] is one predictable branch (and the
     /// paper's top-down hot path pays nothing when hybrid is off).
     count_frontier_edges: bool,
-    /// Watchdog trip flag. Deliberately a *real* atomic: the watchdog is
-    /// control plane, not part of the paper's optimistically-racy state,
-    /// so it must stay reliable even under fault injection.
+    /// Watchdog/cancel trip flag. Deliberately a *real* atomic: the
+    /// watchdog is control plane, not part of the paper's
+    /// optimistically-racy state, so it must stay reliable even under
+    /// fault injection. Also latched when the run's cancel token fires,
+    /// so peers stop on the cached flag instead of re-polling the token.
     pub wd_abort: AtomicBool,
-    /// Wall-clock deadline of the level in progress (leader-written in
-    /// each barrier serial section when a deadline is configured).
-    pub wd_deadline: SerialCell<Option<Instant>>,
+    /// Deadline of the level in progress in [`obfs_sync::Clock`] ticks
+    /// (leader-written in each barrier serial section when a watchdog
+    /// deadline is configured).
+    pub wd_deadline: SerialCell<Option<u64>>,
     /// Levels the leader finished with the serial sweep.
     pub wd_degraded: SerialCell<u32>,
-    /// Cached `opts.watchdog.is_some()` so the hot-path poll is one branch.
-    wd_armed: bool,
+    /// Run-abort decision: the barrier leader publishes the cancel cause
+    /// here in the level-end serial section; workers read it after the
+    /// barrier and exit the level loop together (keeping the barrier
+    /// counts aligned — a worker must never decide to leave on its own
+    /// view of the token).
+    pub run_abort: SerialCell<Option<CancelCause>>,
+    /// Cached `opts.watchdog.is_some() || opts.cancel.is_some()` so the
+    /// hot-path poll is one branch.
+    abort_armed: bool,
     /// Worker count (`opts.threads`, validated).
     pub threads: usize,
     /// Resolved hub-degree threshold for the scale-free variants.
@@ -281,7 +290,8 @@ impl<'g> RunState<'g> {
             wd_abort: AtomicBool::new(false),
             wd_deadline: SerialCell::new(None),
             wd_degraded: SerialCell::new(0),
-            wd_armed: opts.watchdog.is_some(),
+            run_abort: SerialCell::new(None),
+            abort_armed: opts.watchdog.is_some() || opts.cancel.is_some(),
             threads: p,
             hub_threshold: opts.resolved_hub_threshold(graph),
             opts: opts.clone(),
@@ -408,7 +418,7 @@ impl<'g> RunState<'g> {
     /// # Safety
     /// Call only from a barrier serial section.
     pub unsafe fn watchdog_arm(&self) {
-        if !self.wd_armed {
+        if !self.abort_armed {
             return;
         }
         self.wd_abort.store(false, Ordering::Relaxed);
@@ -416,25 +426,40 @@ impl<'g> RunState<'g> {
             .opts
             .watchdog
             .and_then(|w| w.level_deadline)
-            .map(|d| Instant::now() + d);
+            .map(|d| self.opts.clock.deadline_after(d));
+    }
+
+    /// Leader-only poll of the run's cancel token (any-context safe, but
+    /// the *decision* it feeds must be made in a serial section so all
+    /// workers exit the level loop on the same iteration).
+    pub fn cancel_cause(&self) -> Option<CancelCause> {
+        self.opts.cancel.as_ref().and_then(|t| t.check())
     }
 
     /// Worker-side poll: true once this level has been declared degraded
-    /// (deadline passed, or another worker exhausted a retry budget). The
-    /// caller stops dispatching new work and falls through to the
-    /// level-end barrier, where the leader sweep finishes the level.
+    /// or the run cancelled (watchdog deadline passed, a worker exhausted
+    /// a retry budget, or the cancel token fired). The caller stops
+    /// dispatching new work and falls through to the level-end barrier,
+    /// where the leader either sweeps the level (watchdog) or publishes
+    /// the run abort (cancellation).
     #[inline]
     pub fn watchdog_tripped(&self) -> bool {
-        if !self.wd_armed {
+        if !self.abort_armed {
             return false;
         }
         if self.wd_abort.load(Ordering::Relaxed) {
             return true;
         }
+        if let Some(tok) = &self.opts.cancel {
+            if tok.check().is_some() {
+                self.wd_abort.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
         // SAFETY: written only in barrier serial sections; the level in
         // progress only reads it.
         if let Some(dl) = unsafe { *self.wd_deadline.get() } {
-            if Instant::now() >= dl {
+            if self.opts.clock.now_ns() >= dl {
                 self.wd_abort.store(true, Ordering::Relaxed);
                 return true;
             }
@@ -447,7 +472,7 @@ impl<'g> RunState<'g> {
     /// (budget exhausted, deadline passed, or already tripped elsewhere).
     #[inline]
     pub fn watchdog_retry(&self, retries: &mut u64) -> bool {
-        if !self.wd_armed {
+        if !self.abort_armed {
             return false;
         }
         *retries += 1;

@@ -163,6 +163,39 @@ pub struct LevelStats {
     pub counters: ThreadStats,
 }
 
+/// How a run ended (carried in [`RunStats::outcome`]).
+///
+/// `Complete` and `Degraded` label full traversals — every reachable
+/// vertex is labeled (a degraded run finished some levels with the
+/// watchdog's serial sweep but lost nothing). `Cancelled` and
+/// `DeadlineExceeded` label partial traversals: the run quiesced at a
+/// level boundary and the returned `levels`/`parents` state obeys the
+/// partial-state contract (DESIGN.md §10) — every labeled vertex has
+/// its exact BFS distance, and labeling is complete through the last
+/// fully consumed level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Outcome {
+    /// The traversal ran to termination with no degraded level.
+    #[default]
+    Complete,
+    /// The traversal ran to termination but the watchdog finished at
+    /// least one level with the serial sweep (see
+    /// [`RunStats::degraded_levels`]).
+    Degraded,
+    /// [`obfs_sync::CancelToken::cancel`] stopped the run early.
+    Cancelled,
+    /// The cancel token's deadline stopped the run early.
+    DeadlineExceeded,
+}
+
+impl Outcome {
+    /// Whether the returned `level`/`parents` arrays cover the full
+    /// traversal (false for the partial outcomes).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete | Outcome::Degraded)
+    }
+}
+
 /// Aggregated result statistics for one BFS run.
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
@@ -194,6 +227,14 @@ pub struct RunStats {
     /// Per-worker latency histograms; `None` unless
     /// [`crate::BfsOptions::collect_histograms`] was set.
     pub hists: Option<RunHists>,
+    /// How the run ended; anything but the default
+    /// [`Outcome::Complete`] needs [`crate::BfsOptions::watchdog`] or
+    /// [`crate::BfsOptions::cancel`].
+    pub outcome: Outcome,
+    /// Whether the labeling is partial (`outcome` is `Cancelled` or
+    /// `DeadlineExceeded`); partial state still satisfies
+    /// [`crate::validate::check_partial`].
+    pub partial: bool,
 }
 
 /// The histogram sets drained from every worker of a run
@@ -237,6 +278,8 @@ impl RunStats {
             level_stats: Vec::new(),
             flight: None,
             hists: None,
+            outcome: Outcome::default(),
+            partial: false,
         }
     }
 

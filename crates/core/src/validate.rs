@@ -127,6 +127,40 @@ pub fn check_self_consistent(
     Ok(())
 }
 
+/// Validate a *partial* result (a cancelled or deadline-exceeded run,
+/// `stats.partial == true`) against reference levels — the partial-state
+/// contract of DESIGN.md §10:
+///
+/// * every labeled vertex carries its **exact** BFS distance (level-`d`
+///   labels are only ever written while consuming level `d-1`, whose
+///   frontier holds exactly the distance-`d-1` vertices, so even a
+///   racy duplicate write stores the same value);
+/// * labeling is **complete** for every distance below
+///   `result.stats.levels` (those levels' predecessors were fully
+///   consumed before the abort barrier);
+/// * any recorded parents are self-consistent (the parent store follows
+///   the level store on the same thread, so a labeled vertex never has
+///   a missing or torn parent).
+///
+/// Also holds for complete runs, where it degenerates to
+/// [`check_levels`] + [`check_self_consistent`].
+pub fn check_partial(
+    graph: &CsrGraph,
+    src: VertexId,
+    result: &BfsResult,
+    reference: &[u32],
+) -> Result<(), ValidationError> {
+    assert_eq!(result.levels.len(), reference.len(), "vertex count mismatch");
+    let consumed = result.stats.levels;
+    for (v, (&got, &expected)) in result.levels.iter().zip(reference).enumerate() {
+        let missing = got == UNVISITED && expected != UNVISITED && expected < consumed;
+        if (got != UNVISITED && got != expected) || missing {
+            return Err(ValidationError::LevelMismatch { vertex: v as VertexId, got, expected });
+        }
+    }
+    check_self_consistent(graph, src, result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +210,36 @@ mod tests {
             check_self_consistent(&g, 0, &r),
             Err(ValidationError::BadSource { .. })
         ));
+    }
+
+    #[test]
+    fn check_partial_enforces_the_contract() {
+        let g = gen::path(6);
+        let reference = serial_bfs(&g, 0).levels.clone();
+        let mut r = serial_bfs(&g, 0);
+        // Simulate an abort at the end of level 3: distances 0..=3 fully
+        // labeled, the partially-consumed level may have labeled 4 too.
+        r.stats.levels = 4;
+        r.stats.partial = true;
+        r.levels[5] = UNVISITED; // beyond the completed prefix: fine
+        assert!(check_partial(&g, 0, &r, &reference).is_ok());
+        // A labeled vertex must carry its exact distance...
+        let mut bad = r.clone();
+        bad.levels[4] = 7;
+        assert!(matches!(
+            check_partial(&g, 0, &bad, &reference),
+            Err(ValidationError::LevelMismatch { vertex: 4, got: 7, expected: 4 })
+        ));
+        // ... and coverage through the completed levels is mandatory.
+        let mut hole = r.clone();
+        hole.levels[2] = UNVISITED;
+        assert!(matches!(
+            check_partial(&g, 0, &hole, &reference),
+            Err(ValidationError::LevelMismatch { vertex: 2, .. })
+        ));
+        // A complete run passes as-is.
+        let full = serial_bfs(&g, 0);
+        assert!(check_partial(&g, 0, &full, &reference).is_ok());
     }
 
     #[test]

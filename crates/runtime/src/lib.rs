@@ -9,13 +9,18 @@
 //!   baseline, which *does* rely on a dynamic task scheduler.
 //! * [`topology::Topology`] — a socket layout description driving the
 //!   NUMA-aware victim-selection policy of paper §IV-C.
+//! * [`manager::PoolManager`] — pool lifecycle management for the query
+//!   engine: rebuilds a panic-poisoned [`LevelPool`] automatically and
+//!   counts the rebuilds.
 
 #![warn(missing_docs)]
 
 pub mod forkjoin;
+pub mod manager;
 pub mod pool;
 pub mod topology;
 
 pub use forkjoin::{ForkJoinPool, TaskCtx};
+pub use manager::PoolManager;
 pub use pool::{LevelPool, PoolError, WorkerCtx};
 pub use topology::Topology;

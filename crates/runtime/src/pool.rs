@@ -259,6 +259,7 @@ fn worker_loop(tid: usize, shared: &Shared) {
             let _ = obfs_sync::chaos::uninstall();
             let _ = obfs_sync::flight::uninstall();
             let _ = obfs_sync::metrics::uninstall();
+            let _ = obfs_sync::cancel::uninstall_probe();
             let message = payload_msg(payload.as_ref());
             {
                 let mut st = shared.lock_state();

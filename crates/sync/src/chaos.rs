@@ -79,6 +79,24 @@ pub struct ChaosConfig {
     /// Maximum absolute additive skew; skew may also return a huge
     /// out-of-range index to probe bounds checks.
     pub skew_max: usize,
+    /// Inject one long stall when the thread's racy-operation counter
+    /// reaches this value (`None` = never). The stall sits *inside* a
+    /// dispatch quantum and spins for [`stall_spins`] iterations — but
+    /// polls the thread's cancellation probe
+    /// ([`crate::cancel::probe_fired`]) every iteration, so a stalled
+    /// worker still quiesces promptly when its run is cancelled or
+    /// deadline-expired. This is how cancellation-under-stall is made
+    /// testable.
+    ///
+    /// [`stall_spins`]: ChaosConfig::stall_spins
+    pub stall_after: Option<u64>,
+    /// Spin budget of an injected stall. Use a huge value to model a
+    /// stuck worker that only the cancellation probe can release.
+    pub stall_spins: u32,
+    /// Panic the thread when its racy-operation counter reaches this
+    /// value (`None` = never) — deterministic worker-death injection
+    /// for pool-rebuild and engine-retry tests.
+    pub panic_after: Option<u64>,
 }
 
 impl Default for ChaosConfig {
@@ -91,6 +109,9 @@ impl Default for ChaosConfig {
             delay_spins: 64,
             skew_chance: 0.0,
             skew_max: 0,
+            stall_after: None,
+            stall_spins: 0,
+            panic_after: None,
         }
     }
 }
@@ -114,7 +135,8 @@ impl ChaosConfig {
         }
     }
 
-    /// Everything at once, dialed high.
+    /// Everything at once, dialed high (stalls and panics stay off:
+    /// aggressive plans must still terminate on their own).
     pub fn aggressive(seed: u64) -> Self {
         Self {
             seed,
@@ -124,6 +146,34 @@ impl ChaosConfig {
             delay_spins: 128,
             skew_chance: 0.25,
             skew_max: 1 << 20,
+            ..Self::default()
+        }
+    }
+
+    /// A plan whose only fault is one stall of `spins` iterations at
+    /// the `after`-th racy operation (per thread). With a huge `spins`
+    /// this models a stuck worker that only the cancellation probe
+    /// releases.
+    pub fn stall(seed: u64, after: u64, spins: u32) -> Self {
+        Self {
+            seed,
+            defer_chance: 0.0,
+            delay_chance: 0.0,
+            stall_after: Some(after),
+            stall_spins: spins,
+            ..Self::default()
+        }
+    }
+
+    /// A plan whose only fault is a worker panic at the `after`-th racy
+    /// operation (per thread).
+    pub fn panic_at(seed: u64, after: u64) -> Self {
+        Self {
+            seed,
+            defer_chance: 0.0,
+            delay_chance: 0.0,
+            panic_after: Some(after),
+            ..Self::default()
         }
     }
 }
@@ -215,6 +265,9 @@ mod active {
         cfg: ChaosConfig,
         pending: VecDeque<Pending>,
         injected: u64,
+        /// Racy operations seen so far (the `stall_after`/`panic_after`
+        /// trigger counter).
+        ops: u64,
     }
 
     pub(super) struct Script {
@@ -288,6 +341,7 @@ mod active {
                 cfg: *cfg,
                 pending: VecDeque::new(),
                 injected: 0,
+                ops: 0,
             });
         });
     }
@@ -330,8 +384,38 @@ mod active {
     }
 
     /// Age the buffer by one racy operation, flushing expired entries in
-    /// FIFO order, and maybe inject a delay window.
+    /// FIFO order, and maybe inject a delay window, a one-shot stall,
+    /// or a scripted panic.
     fn step(plan: &mut Plan) {
+        plan.ops += 1;
+        if plan.cfg.panic_after == Some(plan.ops) {
+            plan.injected += 1;
+            // Unwinding releases the RefCell borrow; the pool's panic
+            // handler then uninstalls (and flushes) this plan.
+            panic!("chaos: injected worker panic at racy op {}", plan.ops);
+        }
+        if plan.cfg.stall_after == Some(plan.ops) {
+            plan.injected += 1;
+            let spins = plan.cfg.stall_spins.max(1);
+            crate::flight::record(
+                crate::flight::kind::FAULT,
+                0,
+                crate::flight::kind::FAULT_STALL,
+                u64::from(spins),
+            );
+            for i in 0..spins {
+                // The probe is the stall's only early exit: a stalled
+                // worker stays cooperative with cancellation.
+                if crate::cancel::probe_fired() {
+                    break;
+                }
+                if i % 64 == 63 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
         for pend in plan.pending.iter_mut() {
             pend.ttl = pend.ttl.saturating_sub(1);
         }
@@ -730,6 +814,74 @@ mod tests {
         assert_eq!(report.fed_u32, 1);
         uninstall();
         assert_eq!(c.load(), 9, "uninstall flushed the deferred store");
+    }
+
+    /// A bounded stall fires exactly once, at the configured op, and is
+    /// counted as an injected fault.
+    #[test]
+    fn stall_fires_once_at_the_configured_op() {
+        let cfg = ChaosConfig::stall(1, 3, 50);
+        let injected = with_plan(cfg, || {
+            let c = RacyU32::new(0);
+            for i in 0..10u32 {
+                c.store(i);
+            }
+        });
+        assert_eq!(injected, 1, "exactly one stall");
+    }
+
+    /// A huge stall breaks promptly once the thread's cancellation
+    /// probe fires — the cancellation-under-stall mechanism.
+    #[test]
+    fn probe_releases_a_stuck_stall() {
+        use crate::cancel::{install_probe, uninstall_probe, CancelToken};
+        use crate::clock::Clock;
+        let token = CancelToken::new(&Clock::wall());
+        token.cancel(); // pre-fired: the stall must exit on entry
+        install_probe(token);
+        let cfg = ChaosConfig::stall(1, 1, u32::MAX);
+        let t0 = std::time::Instant::now();
+        let injected = with_plan(cfg, || {
+            let c = RacyU32::new(0);
+            c.store(1);
+        });
+        assert_eq!(injected, 1);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "a fired probe must break the stall immediately"
+        );
+        assert!(uninstall_probe());
+    }
+
+    /// An unfired probe leaves a bounded stall to run its spin budget.
+    #[test]
+    fn unfired_probe_does_not_break_the_stall() {
+        use crate::cancel::{install_probe, uninstall_probe, CancelToken};
+        use crate::clock::Clock;
+        install_probe(CancelToken::new(&Clock::wall()));
+        let injected = with_plan(ChaosConfig::stall(1, 1, 100), || {
+            RacyU32::new(0).store(1);
+        });
+        assert_eq!(injected, 1);
+        assert!(uninstall_probe());
+    }
+
+    /// Panic injection fires deterministically at the configured op and
+    /// unwinds cleanly through the hook.
+    #[test]
+    fn panic_at_fires_deterministically() {
+        let result = std::panic::catch_unwind(|| {
+            install(&ChaosConfig::panic_at(1, 2), 0);
+            let c = RacyU32::new(0);
+            c.store(1); // op 1
+            c.store(2); // op 2: panics
+        });
+        let err = result.expect_err("op 2 must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected worker panic"), "{msg}");
+        // The plan survives the unwind; clean it up for later tests.
+        assert!(is_active());
+        let _ = uninstall();
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Injectable time source for deadlines (watchdog + cancellation).
+//!
+//! Both the per-level watchdog and the per-query [`CancelToken`]
+//! deadline need "has instant D passed?" checks on the polling path.
+//! Reading the wall clock there makes deadline behaviour untestable:
+//! a test either sleeps (slow, flaky) or cannot reach the deadline
+//! branch at all. [`Clock`] abstracts the source: the default
+//! [`Clock::wall`] reads monotonic host time, while [`Clock::manual`]
+//! hands the test a [`ManualClock`] that advances time explicitly, so
+//! deadline tests replay deterministically with zero sleeping.
+//!
+//! Time is a `u64` nanosecond count from an arbitrary per-clock epoch
+//! (the creation instant for wall clocks, 0 for manual ones). Absolute
+//! deadlines are plain tick values, comparable with `>=` — no `Instant`
+//! arithmetic on the polling path, and the same representation for both
+//! variants.
+//!
+//! The manual variant stores its ticks in an atomic so a test thread
+//! can advance time while workers poll; this is control-plane state
+//! (like the watchdog abort flag), not part of the racy data plane.
+//!
+//! [`CancelToken`]: crate::cancel::CancelToken
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+enum Source {
+    /// Monotonic host time relative to the creation instant.
+    Wall(Instant),
+    /// Test-controlled ticks, advanced only by a [`ManualClock`].
+    Manual(Arc<AtomicU64>),
+}
+
+/// A cloneable time source; clones share the same epoch (and, for
+/// manual clocks, the same tick cell).
+#[derive(Clone, Debug)]
+pub struct Clock(Source);
+
+impl Clock {
+    /// A monotonic wall clock; `now_ns` is the time since creation.
+    pub fn wall() -> Self {
+        Clock(Source::Wall(Instant::now()))
+    }
+
+    /// A frozen clock starting at 0, plus the handle that advances it.
+    pub fn manual() -> (Self, ManualClock) {
+        let ticks = Arc::new(AtomicU64::new(0));
+        (Clock(Source::Manual(Arc::clone(&ticks))), ManualClock { ticks })
+    }
+
+    /// Nanoseconds since this clock's epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.0 {
+            Source::Wall(epoch) => epoch.elapsed().as_nanos() as u64,
+            Source::Manual(ticks) => ticks.load(Relaxed),
+        }
+    }
+
+    /// The absolute tick value `d` from now (saturating).
+    #[inline]
+    pub fn deadline_after(&self, d: Duration) -> u64 {
+        self.now_ns().saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// Whether this is a test-controlled manual clock.
+    pub fn is_manual(&self) -> bool {
+        matches!(self.0, Source::Manual(_))
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::wall()
+    }
+}
+
+/// The advancing end of a [`Clock::manual`] pair. Holding this is the
+/// only way time moves on that clock.
+#[derive(Clone, Debug)]
+pub struct ManualClock {
+    ticks: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Move time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.ticks.fetch_add(d.as_nanos().min(u128::from(u64::MAX)) as u64, Relaxed);
+    }
+
+    /// Jump to an absolute tick value (must not move backwards in
+    /// sensible tests, but nothing enforces it).
+    pub fn set_ns(&self, ns: u64) {
+        self.ticks.store(ns, Relaxed);
+    }
+
+    /// Current tick value, as the paired clock sees it.
+    pub fn now_ns(&self) -> u64 {
+        self.ticks.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_moves() {
+        let c = Clock::wall();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+        assert!(!c.is_manual());
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let (c, m) = Clock::manual();
+        assert!(c.is_manual());
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0, "frozen until advanced");
+        m.advance(Duration::from_millis(5));
+        assert_eq!(c.now_ns(), 5_000_000);
+        m.set_ns(42);
+        assert_eq!(c.now_ns(), 42);
+        assert_eq!(m.now_ns(), 42);
+    }
+
+    #[test]
+    fn clones_share_the_tick_cell() {
+        let (c, m) = Clock::manual();
+        let c2 = c.clone();
+        m.advance(Duration::from_nanos(7));
+        assert_eq!(c.now_ns(), 7);
+        assert_eq!(c2.now_ns(), 7);
+    }
+
+    #[test]
+    fn deadline_after_saturates() {
+        let (c, m) = Clock::manual();
+        m.set_ns(u64::MAX - 10);
+        assert_eq!(c.deadline_after(Duration::from_secs(1)), u64::MAX);
+        m.set_ns(100);
+        assert_eq!(c.deadline_after(Duration::from_nanos(50)), 150);
+    }
+}

@@ -76,6 +76,10 @@ pub mod kind {
     /// new direction, `a` = new direction, `b` = old direction, both as
     /// [`DIR_TOP_DOWN`] / [`DIR_BOTTOM_UP`] codes).
     pub const DIR_SWITCH: u16 = 14;
+    /// The run was aborted cooperatively (leader-recorded; `level` = the
+    /// last level that ran, `a` = cause as [`CANCEL_EXPLICIT`] /
+    /// [`CANCEL_DEADLINE`]).
+    pub const CANCEL: u16 = 15;
 
     /// `FAULT` cause: injected delay window (`b` = spin count).
     pub const FAULT_DELAY: u64 = 1;
@@ -83,6 +87,15 @@ pub mod kind {
     pub const FAULT_DEFER: u64 = 2;
     /// `FAULT` cause: skewed index read (`b` = delta applied).
     pub const FAULT_SKEW: u64 = 3;
+    /// `FAULT` cause: injected worker stall (`b` = spin budget).
+    pub const FAULT_STALL: u64 = 4;
+
+    /// `CANCEL` cause: [`CancelToken::cancel`] was called.
+    ///
+    /// [`CancelToken::cancel`]: crate::cancel::CancelToken::cancel
+    pub const CANCEL_EXPLICIT: u64 = 1;
+    /// `CANCEL` cause: the token's deadline passed.
+    pub const CANCEL_DEADLINE: u64 = 2;
 
     /// `STEAL_FAIL` outcome: victim's lock was held.
     pub const STEAL_LOCKED: u64 = 1;
@@ -117,6 +130,7 @@ pub mod kind {
             WORKER_BEGIN => "worker-begin",
             WORKER_END => "worker-end",
             DIR_SWITCH => "direction-switch",
+            CANCEL => "cancel",
             _ => "unknown",
         }
     }

@@ -31,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod cancel;
 pub mod chaos;
+pub mod clock;
 pub mod flight;
 pub mod metrics;
 pub mod model;
@@ -41,7 +43,9 @@ pub mod spinlock;
 pub mod ticket;
 
 pub use barrier::SpinBarrier;
+pub use cancel::{CancelCause, CancelToken};
 pub use chaos::ChaosConfig;
+pub use clock::{Clock, ManualClock};
 pub use padded::CachePadded;
 pub use racy::{RacyBuf, RacyU32, RacyUsize};
 pub use spinlock::{SpinLock, SpinLockGuard};

@@ -44,9 +44,10 @@ run fig2 results/fig2.txt --divisor "$DIVISOR" --sources 5 --seed "$SEED"
 run levels results/levels.txt --divisor "$DIVISOR" --threads "$THREADS" --seed "$SEED"
 run ablations results/ablations.txt --divisor "$DIVISOR" --threads "$THREADS" --sources "$SOURCES" --seed "$SEED"
 
-# The three bins with machine-readable reports (BENCH_<name>.json in CWD).
+# The bins with machine-readable reports (BENCH_<name>.json in CWD).
 run table6 results/table6.txt --json --hybrid --divisor "$DIVISOR" --threads "$THREADS" --sources 20 --seed "$SEED"
 run fig3 results/fig3.txt --json --divisor "$DIVISOR" --threads "$THREADS" --sources "$SOURCES" --seed "$SEED"
 run graph500 results/graph500.txt --json --divisor 32 --threads "$THREADS" --sources 16 --seed "$SEED"
+run bombard results/bombard.txt --json --divisor "$DIVISOR" --threads "$THREADS" --seed "$SEED"
 
 echo "bench.sh: done (tables in results/, reports in BENCH_*.json)"
