@@ -15,6 +15,16 @@
 //! shed and the run measures scheduling overhead; with `--burst` >
 //! `--capacity` the overflow is shed at the door every round, which is
 //! exactly the overload behavior CI smoke-tests.
+//!
+//! `--batch` runs every contender twice over the same workload — once
+//! with coalescing disabled (`max_batch = 1`, the baseline the solo
+//! `serve_qps` gate watches) and once with the scheduler folding
+//! queued compatible queries into shared multi-source traversals (up
+//! to `--max-batch` sources per run). The second pass lands in a
+//! schema-v3 `serve.batch` block (occupancy, batched qps, speedup)
+//! gated by `serve_batch_qps`. Use `--burst`/`--capacity` well above
+//! `--max-batch` so the queue actually fills: coalescing only sees
+//! queries that are *waiting* while a traversal is in flight.
 
 use obfs_bench::env::HostInfo;
 use obfs_bench::json::{self, summary_json, Json};
@@ -41,6 +51,12 @@ struct BombardArgs {
     queries: usize,
     /// Default per-query deadline (0 = none).
     deadline_ms: u64,
+    /// Batched mode: run each contender twice — coalescing disabled,
+    /// then enabled — and report the batched throughput/occupancy next
+    /// to the unbatched baseline (schema-v3 `serve.batch`).
+    batch: bool,
+    /// Coalescing width for the batched pass (clamped to [2, 64]).
+    max_batch: usize,
 }
 
 fn parse_args() -> BombardArgs {
@@ -50,6 +66,8 @@ fn parse_args() -> BombardArgs {
         burst: 8,
         queries: 64,
         deadline_ms: 0,
+        batch: false,
+        max_batch: obfs_core::MAX_BATCH,
     };
     let mut burst_set = false;
     let mut rest: Vec<String> = Vec::new();
@@ -69,9 +87,14 @@ fn parse_args() -> BombardArgs {
             }
             "--queries" => own.queries = num(value("--queries"), "--queries") as usize,
             "--deadline-ms" => own.deadline_ms = num(value("--deadline-ms"), "--deadline-ms"),
+            "--batch" => own.batch = true,
+            "--max-batch" => {
+                own.max_batch = num(value("--max-batch"), "--max-batch") as usize;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --capacity <c> --burst <b> --queries <n> --deadline-ms <d> \
+                     --batch --max-batch <k> \
                      plus the shared bench flags (--divisor --threads --seed --json)"
                 );
                 std::process::exit(0);
@@ -96,6 +119,16 @@ fn parse_args() -> BombardArgs {
     assert!(own.capacity >= 1, "--capacity must be >= 1");
     assert!(own.burst >= 1, "--burst must be >= 1");
     assert!(own.queries >= 1, "--queries must be >= 1");
+    if own.batch {
+        // Deadlined queries never coalesce (the engine keeps their
+        // deadline contract by running them solo), so a batched pass
+        // with a default deadline would silently measure nothing.
+        assert!(
+            own.deadline_ms == 0,
+            "--batch is incompatible with --deadline-ms (deadlined queries never coalesce)"
+        );
+        own.max_batch = own.max_batch.clamp(2, obfs_core::MAX_BATCH);
+    }
     own
 }
 
@@ -110,6 +143,10 @@ struct LoopResult {
     failed: u64,
     retries: u64,
     pool_rebuilds: u64,
+    /// Coalesced multi-source traversals (k >= 2) the engine ran.
+    batched_runs: u64,
+    /// Queries answered by those coalesced runs.
+    coalesced: u64,
     elapsed: Duration,
     /// Submit-to-response latency, microseconds.
     lat_us: LogHistogram,
@@ -127,6 +164,7 @@ fn drive(
     references: &HashMap<u32, (Vec<u32>, u64)>,
     sources: &[u32],
     args: &BombardArgs,
+    max_batch: usize,
 ) -> LoopResult {
     let cfg = EngineConfig {
         threads: args.base.threads,
@@ -134,6 +172,7 @@ fn drive(
         default_deadline: (args.deadline_ms > 0)
             .then(|| Duration::from_millis(args.deadline_ms)),
         seed: args.base.seed,
+        max_batch,
         ..Default::default()
     };
     let engine = Engine::new(Arc::clone(graph), cfg);
@@ -148,6 +187,8 @@ fn drive(
         failed: 0,
         retries: 0,
         pool_rebuilds: 0,
+        batched_runs: 0,
+        coalesced: 0,
         elapsed: Duration::ZERO,
         lat_us: LogHistogram::new(),
         traversal_ms: OnlineStats::new(),
@@ -214,6 +255,8 @@ fn drive(
     assert_eq!(st.submitted, out.admitted, "engine admission count disagrees");
     out.retries = st.retries;
     out.pool_rebuilds = st.pool_rebuilds;
+    out.batched_runs = st.batched_runs;
+    out.coalesced = st.queries_coalesced;
     let done = out.completed + out.degraded;
     if done > 0 {
         out.hmean_teps = done as f64 / inv_teps_sum;
@@ -221,17 +264,44 @@ fn drive(
     out
 }
 
-/// `serve` block for one row (see `json::validate_report`).
-fn serve_json(r: &LoopResult, args: &BombardArgs) -> Json {
-    let int = |x: u64| Json::Num(x as f64);
+/// Drained-queries-per-second over one closed loop.
+fn qps_of(r: &LoopResult) -> f64 {
     let done = r.completed + r.degraded + r.cancelled + r.deadline_exceeded + r.failed;
-    let qps = if r.elapsed.as_secs_f64() > 0.0 {
+    if r.elapsed.as_secs_f64() > 0.0 {
         done as f64 / r.elapsed.as_secs_f64()
     } else {
         0.0
-    };
-    let pct = |q: f64| Json::Num(r.lat_us.percentile(q) as f64 / 1e3);
+    }
+}
+
+/// Schema-v3 `serve.batch` block: the coalescing-enabled pass over the
+/// same workload, next to the unbatched baseline it is compared
+/// against (see `json::validate_report` for the invariants).
+fn batch_json(b: &LoopResult, unbatched_qps: f64, args: &BombardArgs) -> Json {
+    let int = |x: u64| Json::Num(x as f64);
+    let qps = qps_of(b);
+    let occupancy =
+        if b.batched_runs > 0 { b.coalesced as f64 / b.batched_runs as f64 } else { 0.0 };
+    let speedup = if unbatched_qps > 0.0 { qps / unbatched_qps } else { 0.0 };
+    let pct = |q: f64| Json::Num(b.lat_us.percentile(q) as f64 / 1e3);
     Json::Obj(vec![
+        ("max_batch".into(), int(args.max_batch as u64)),
+        ("runs".into(), int(b.batched_runs)),
+        ("coalesced".into(), int(b.coalesced)),
+        ("occupancy".into(), Json::Num(occupancy)),
+        ("qps".into(), Json::Num(qps)),
+        ("p50_ms".into(), pct(0.50)),
+        ("p99_ms".into(), pct(0.99)),
+        ("speedup".into(), Json::Num(speedup)),
+    ])
+}
+
+/// `serve` block for one row (see `json::validate_report`).
+fn serve_json(r: &LoopResult, batch: Option<Json>, args: &BombardArgs) -> Json {
+    let int = |x: u64| Json::Num(x as f64);
+    let qps = qps_of(r);
+    let pct = |q: f64| Json::Num(r.lat_us.percentile(q) as f64 / 1e3);
+    let mut members = vec![
         ("capacity".into(), int(args.capacity as u64)),
         ("burst".into(), int(args.burst as u64)),
         ("queries".into(), int(args.queries as u64)),
@@ -248,7 +318,11 @@ fn serve_json(r: &LoopResult, args: &BombardArgs) -> Json {
         ("p50_ms".into(), pct(0.50)),
         ("p90_ms".into(), pct(0.90)),
         ("p99_ms".into(), pct(0.99)),
-    ])
+    ];
+    if let Some(batch) = batch {
+        members.push(("batch".into(), batch));
+    }
+    Json::Obj(members)
 }
 
 fn main() {
@@ -280,7 +354,7 @@ fn main() {
 
     let contenders = [Algorithm::Bfscl, Algorithm::Bfswsl];
     let mut report = args.base.json.then(|| BenchReport::new("serve", &args.base));
-    let mut t = Table::new(&[
+    let mut cols = vec![
         "contender",
         "queries/s",
         "p50 ms",
@@ -288,20 +362,48 @@ fn main() {
         "shed",
         "retries",
         "rebuilds",
-    ]);
+    ];
+    if args.batch {
+        cols.extend(["batch q/s", "occupancy", "speedup"]);
+    }
+    let mut t = Table::new(&cols);
     for algo in contenders {
-        let r = drive(algo, &graph, &references, &sources, &args);
-        let serve = serve_json(&r, &args);
-        let qps = serve.get("qps").and_then(Json::as_f64).unwrap_or(0.0);
-        t.row(vec![
+        // The baseline pass runs with coalescing disabled so its qps
+        // keeps meaning "one traversal per query" even now that the
+        // engine coalesces deadline-free queries by default.
+        let r = drive(algo, &graph, &references, &sources, &args, 1);
+        let unbatched_qps = qps_of(&r);
+        // The batched pass replays the same closed loop with
+        // coalescing on: queued compatible queries fold into shared
+        // multi-source traversals (up to --max-batch sources each).
+        let batch = args.batch.then(|| {
+            let b = drive(algo, &graph, &references, &sources, &args, args.max_batch);
+            (batch_json(&b, unbatched_qps, &args), b)
+        });
+        let serve = serve_json(&r, batch.as_ref().map(|(j, _)| j.clone()), &args);
+        let mut row = vec![
             algo.to_string(),
-            format!("{qps:.1}"),
+            format!("{unbatched_qps:.1}"),
             format!("{:.3}", r.lat_us.percentile(0.50) as f64 / 1e3),
             format!("{:.3}", r.lat_us.percentile(0.99) as f64 / 1e3),
             r.shed.to_string(),
             r.retries.to_string(),
             r.pool_rebuilds.to_string(),
-        ]);
+        ];
+        if let Some((_, b)) = &batch {
+            let occ = if b.batched_runs > 0 {
+                b.coalesced as f64 / b.batched_runs as f64
+            } else {
+                0.0
+            };
+            let bq = qps_of(b);
+            row.extend([
+                format!("{bq:.1}"),
+                format!("{occ:.1}"),
+                format!("{:.2}x", if unbatched_qps > 0.0 { bq / unbatched_qps } else { 0.0 }),
+            ]);
+        }
+        t.row(row);
         if let Some(report) = &mut report {
             report.add_result(Json::Obj(vec![
                 ("contender".into(), Json::Str(algo.to_string())),

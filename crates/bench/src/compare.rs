@@ -1,4 +1,4 @@
-//! Regression gate: diff two schema-v2 `BENCH_*.json` reports.
+//! Regression gate: diff two schema-v2/v3 `BENCH_*.json` reports.
 //!
 //! The bench binaries emit machine-readable reports with per-result
 //! time summaries (mean/stddev over repeated sources) and counter
@@ -338,6 +338,28 @@ pub fn compare(base: &Json, new: &Json, opts: &CompareOpts) -> Result<Comparison
                 regression: change > allowed,
             });
         }
+        // Batched-serving throughput (schema-v3 `serve.batch`, bombard
+        // `--batch`): queries/sec over coalesced multi-source runs.
+        // Regresses downward like the other throughput metrics and
+        // honors the `scale_time` self-test. Guards the whole batching
+        // pipeline — a coalescing policy or batch-kernel regression
+        // shows up here even when solo-query qps is unchanged.
+        if let (Some(bq), Some(nq)) =
+            (f(b, &["serve", "batch", "qps"]), f(n, &["serve", "batch", "qps"]))
+        {
+            let nq = nq / opts.scale_time;
+            let change = if bq > 0.0 { (nq - bq) / bq } else { 0.0 };
+            cmp.deltas.push(Delta {
+                contender: contender.clone(),
+                graph: graph.clone(),
+                metric: "serve_batch_qps".into(),
+                base: bq,
+                new: nq,
+                change,
+                allowed,
+                regression: -change > allowed,
+            });
+        }
     }
 
     for (pos, (key, _)) in new_by_key.iter().enumerate() {
@@ -508,6 +530,62 @@ mod tests {
         let c = compare(&base, &base, &opts).unwrap();
         assert!(c.regressions().iter().any(|d| d.metric == "serve_qps"));
         assert!(c.regressions().iter().any(|d| d.metric == "serve_p99_ms"));
+    }
+
+    /// Attach a schema-v3 `serve.batch` block (batched qps) to every
+    /// result that already carries a serve block.
+    fn with_batch(mut doc: Json, batch_qps: f64) -> Json {
+        let batch = Json::Obj(vec![("qps".into(), Json::Num(batch_qps))]);
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(rs) = v {
+                        for r in rs {
+                            if let Some(Json::Obj(serve)) =
+                                r.get("serve").cloned().as_ref()
+                            {
+                                let mut serve = serve.clone();
+                                serve.push(("batch".into(), batch.clone()));
+                                if let Json::Obj(m) = r {
+                                    m.retain(|(k, _)| k != "serve");
+                                    m.push(("serve".into(), Json::Obj(serve)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn batched_serve_qps_gates_downward() {
+        let base = with_batch(with_serve(report(1.0, 100, 0.05), 200.0, 5.0), 900.0);
+        // Identity: compared, not flagged.
+        let c = compare(&base, &base, &CompareOpts::default()).unwrap();
+        assert!(!c.failed(), "{}", c.render_table());
+        assert!(c.deltas.iter().any(|d| d.metric == "serve_batch_qps"));
+        // Batched throughput collapse fails even with solo qps steady.
+        let slow = with_batch(with_serve(report(1.0, 100, 0.05), 200.0, 5.0), 500.0);
+        let c = compare(&base, &slow, &CompareOpts::default()).unwrap();
+        assert!(
+            c.regressions().iter().any(|d| d.metric == "serve_batch_qps"),
+            "{}",
+            c.render_table()
+        );
+        assert!(!c.regressions().iter().any(|d| d.metric == "serve_qps"));
+        // A batched-throughput gain is an improvement, not a regression.
+        let better = with_batch(with_serve(report(1.0, 100, 0.05), 200.0, 5.0), 2000.0);
+        assert!(!compare(&base, &better, &CompareOpts::default()).unwrap().failed());
+        // The scale-time self-test trips this gate too.
+        let opts = CompareOpts { scale_time: 2.0, ..CompareOpts::default() };
+        let c = compare(&base, &base, &opts).unwrap();
+        assert!(c.regressions().iter().any(|d| d.metric == "serve_batch_qps"));
+        // A baseline without the batch block simply skips the metric.
+        let v2 = with_serve(report(1.0, 100, 0.05), 200.0, 5.0);
+        let c = compare(&v2, &base, &CompareOpts::default()).unwrap();
+        assert!(!c.deltas.iter().any(|d| d.metric == "serve_batch_qps"));
     }
 
     #[test]

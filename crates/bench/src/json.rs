@@ -22,7 +22,15 @@ pub use obfs_util::json::Json;
 /// Current report schema version (bump on breaking layout changes).
 /// v2: hybrid direction-optimizing support — `frontier_edges` counter,
 /// per-level `direction` ("td"/"bu"), `hybrid` run parameter.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: batched multi-source serving — optional `serve.batch` block
+/// (bombard `--batch`) recording coalesced-run occupancy and batched
+/// throughput next to the unbatched baseline.
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// Oldest schema still accepted by [`validate_report`]. v2 reports
+/// differ from v3 only by the absence of the optional `serve.batch`
+/// block, so committed v2 artifacts stay valid without regeneration.
+pub const MIN_SCHEMA_VERSION: u64 = 2;
 
 fn num(x: f64) -> Json {
     Json::Num(x)
@@ -250,7 +258,7 @@ const STEAL_KEYS: &[&str] = &[
 /// sum to `degraded_levels`).
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let version = req_u64(doc, "schema_version", "report")?;
-    if version != SCHEMA_VERSION {
+    if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
         return Err(format!("unsupported schema_version {version}"));
     }
     req(doc, "bench", "report")?.as_str().ok_or("report.bench: not a string")?;
@@ -325,6 +333,47 @@ fn validate_serve(serve: &Json, at: &str) -> Result<(), String> {
         return Err(format!(
             "{at}: terminal statuses sum to {done} but submitted = {submitted}"
         ));
+    }
+    if let Some(batch) = serve.get("batch") {
+        validate_serve_batch(batch, &at)?;
+    }
+    Ok(())
+}
+
+/// Validate the optional schema-v3 `serve.batch` block (bombard
+/// `--batch`): a second pass over the same workload with coalescing
+/// enabled. Invariants: every coalesced run carries at least two
+/// queries and at most `max_batch`, so when `runs > 0` the mean
+/// occupancy must lie in `[2, max_batch]`; with no batched runs the
+/// coalesced count must be zero.
+fn validate_serve_batch(batch: &Json, at: &str) -> Result<(), String> {
+    let at = format!("{at}.batch");
+    let max_batch = req_u64(batch, "max_batch", &at)?;
+    if max_batch < 2 {
+        return Err(format!("{at}.max_batch: {max_batch} < 2"));
+    }
+    let runs = req_u64(batch, "runs", &at)?;
+    let coalesced = req_u64(batch, "coalesced", &at)?;
+    for key in ["qps", "p50_ms", "p99_ms", "occupancy", "speedup"] {
+        req_f64(batch, key, &at)?;
+    }
+    let occupancy = req_f64(batch, "occupancy", &at)?;
+    if runs == 0 {
+        if coalesced != 0 {
+            return Err(format!("{at}: coalesced {coalesced} queries across 0 runs"));
+        }
+    } else {
+        if coalesced < 2 * runs || coalesced > max_batch * runs {
+            return Err(format!(
+                "{at}: coalesced ({coalesced}) outside [2, max_batch] x runs ({runs})"
+            ));
+        }
+        let mean = coalesced as f64 / runs as f64;
+        if (occupancy - mean).abs() > 1e-6 {
+            return Err(format!(
+                "{at}: occupancy {occupancy} != coalesced/runs = {mean}"
+            ));
+        }
     }
     Ok(())
 }
@@ -579,6 +628,80 @@ mod tests {
         }
         let err = validate_report(&report_with_serve(serve)).unwrap_err();
         assert!(err.contains("p99_ms"), "{err}");
+    }
+
+    fn batch_block(max_batch: u64, runs: u64, coalesced: u64, occupancy: f64) -> Json {
+        Json::Obj(vec![
+            ("max_batch".into(), int(max_batch)),
+            ("runs".into(), int(runs)),
+            ("coalesced".into(), int(coalesced)),
+            ("occupancy".into(), num(occupancy)),
+            ("qps".into(), num(500.0)),
+            ("p50_ms".into(), num(0.5)),
+            ("p99_ms".into(), num(1.5)),
+            ("speedup".into(), num(4.2)),
+        ])
+    }
+
+    fn serve_with_batch(batch: Json) -> Json {
+        let mut serve = serve_block(10, 8, 2, 8);
+        if let Json::Obj(members) = &mut serve {
+            members.push(("batch".into(), batch));
+        }
+        serve
+    }
+
+    #[test]
+    fn validate_accepts_conserving_batch_block() {
+        // 3 coalesced runs carrying 160 queries: occupancy 53.33… of 64.
+        let b = batch_block(64, 3, 160, 160.0 / 3.0);
+        validate_report(&report_with_serve(serve_with_batch(b))).unwrap();
+        // No batched runs at all is fine as long as coalesced is 0.
+        let b = batch_block(64, 0, 0, 0.0);
+        validate_report(&report_with_serve(serve_with_batch(b))).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_batch_conservation_breaks() {
+        // Occupancy above max_batch: 3 runs cannot carry 200 queries at
+        // max_batch 64.
+        let err = validate_report(&report_with_serve(serve_with_batch(batch_block(
+            64, 3, 250, 250.0 / 3.0,
+        ))))
+        .unwrap_err();
+        assert!(err.contains("max_batch"), "{err}");
+        // A "batched" run with a single member is not a batch.
+        let err = validate_report(&report_with_serve(serve_with_batch(batch_block(
+            64, 3, 5, 5.0 / 3.0,
+        ))))
+        .unwrap_err();
+        assert!(err.contains("coalesced"), "{err}");
+        // Recorded occupancy disagreeing with coalesced/runs.
+        let err = validate_report(&report_with_serve(serve_with_batch(batch_block(
+            64, 2, 128, 63.0,
+        ))))
+        .unwrap_err();
+        assert!(err.contains("occupancy"), "{err}");
+        // Coalesced queries with zero batched runs.
+        let err = validate_report(&report_with_serve(serve_with_batch(batch_block(
+            64, 0, 7, 0.0,
+        ))))
+        .unwrap_err();
+        assert!(err.contains("0 runs"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_previous_schema_version() {
+        // Committed v2 artifacts (no serve.batch anywhere) stay valid.
+        let mut doc = report_with_serve(serve_block(10, 8, 2, 8));
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "schema_version" {
+                    *v = int(MIN_SCHEMA_VERSION);
+                }
+            }
+        }
+        validate_report(&doc).unwrap();
     }
 
     #[test]

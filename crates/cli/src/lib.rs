@@ -16,8 +16,9 @@ pub fn usage() -> String {
        gen        --model <rmat|er|ba|chung-lu|grid|torus|suite:NAME> --n <n> \
      [--edge-factor k] [--gamma g] [--seed s] --out FILE\n\
        stats      --in FILE\n\
-       bfs        --in FILE --algo NAME [--src v] [--threads p] [--validate] \
-     [--parents] [--trace [OUT.json]] [--histograms] [--hybrid] [--alpha a] [--beta b]\n\
+       bfs        --in FILE --algo NAME [--src v | --sources a,b,c] [--threads p] \
+     [--validate] [--parents] [--trace [OUT.json]] [--histograms] [--hybrid] \
+     [--alpha a] [--beta b]   (--sources runs one batched multi-source traversal)\n\
        engine     --in FILE [--algo NAME] [--threads p] [--capacity c] [--queries n] \
      [--burst b] [--deadline-ms d] [--seed s]   (closed-loop resilient query engine)\n\
        analyze    TRACE.json [--json]   (post-mortem profile of a recorded trace)\n\
@@ -224,6 +225,12 @@ fn algo_flag(flags: &HashMap<String, String>, default: Algorithm) -> Result<Algo
 fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
     let g = load_graph(get(flags, "in")?)?;
     let algo = algo_flag(flags, Algorithm::Bfswsl)?;
+    if let Some(list) = flags.get("sources") {
+        if has(flags, "src") {
+            return Err("--src and --sources are mutually exclusive".into());
+        }
+        return cmd_bfs_batch(&g, algo, list, flags);
+    }
     let src: u32 = get_num(flags, "src", 0)?;
     if src as usize >= g.num_vertices() {
         return Err(format!("--src {src} out of range (n={})", g.num_vertices()));
@@ -353,6 +360,66 @@ fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
     Ok(out)
 }
 
+/// `bfs --sources a,b,c`: one batched bit-parallel traversal answering
+/// every listed source (up to 64; see `obfs_core::batch`), with the
+/// same validation contract per query as a single-source run.
+fn cmd_bfs_batch(
+    g: &CsrGraph,
+    algo: Algorithm,
+    list: &str,
+    flags: &HashMap<String, String>,
+) -> Result<String, String> {
+    let sources: Vec<u32> = list
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad source {s:?} in --sources")))
+        .collect::<Result<_, _>>()?;
+    if sources.is_empty() || sources.len() > obfs_core::MAX_BATCH {
+        return Err(format!(
+            "--sources takes 1..={} comma-separated vertices, got {}",
+            obfs_core::MAX_BATCH,
+            sources.len()
+        ));
+    }
+    for &s in &sources {
+        if s as usize >= g.num_vertices() {
+            return Err(format!("source {s} out of range (n={})", g.num_vertices()));
+        }
+    }
+    let opts = bfs_opts(flags)?;
+    let b = obfs_core::run_batch(algo, g, &sources, &opts);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{algo} batched x{}: {} union levels, {:.3} ms ({} threads)",
+        sources.len(),
+        b.stats.levels,
+        b.stats.traversal_time.as_secs_f64() * 1e3,
+        opts.threads
+    );
+    for q in &b.queries {
+        let _ = writeln!(
+            out,
+            "  src {:>8}: reached {} of {}",
+            q.source,
+            q.reached(),
+            g.num_vertices()
+        );
+    }
+    if has(flags, "validate") {
+        for q in &b.queries {
+            let ser = serial_bfs(g, q.source);
+            let r = q.as_bfs_result(&b.stats);
+            obfs_core::validate::check_levels(&r, &ser.levels).map_err(|e| e.to_string())?;
+            if r.parents.is_some() {
+                obfs_core::validate::check_self_consistent(g, q.source, &r)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        let _ = writeln!(out, "validated {} queries against serial BFS: OK", b.queries.len());
+    }
+    Ok(out)
+}
+
 /// `engine --in FILE ...`: drive a closed-loop batch of BFS queries
 /// through the resilient multi-query engine (obfs-engine) and report
 /// throughput, latency percentiles, and the shedding/retry counters.
@@ -420,14 +487,16 @@ fn cmd_engine(flags: &HashMap<String, String>) -> Result<String, String> {
     let _ = writeln!(
         out,
         "completed={} degraded={} cancelled={} deadline-exceeded={} shed={} retries={} \
-         pool-rebuilds={}",
+         pool-rebuilds={} batched-runs={} coalesced={}",
         st.completed,
         st.degraded,
         st.cancelled,
         st.deadline_exceeded,
         shed,
         st.retries,
-        st.pool_rebuilds
+        st.pool_rebuilds,
+        st.batched_runs,
+        st.queries_coalesced
     );
     let _ = writeln!(
         out,
@@ -581,6 +650,29 @@ mod tests {
         .unwrap();
         assert!(rep.contains("validated against serial BFS: OK"), "{rep}");
         assert!(rep.contains("level  dir  frontier"), "trace table missing: {rep}");
+    }
+
+    #[test]
+    fn bfs_sources_flag_runs_a_validated_batch() {
+        let path = tmp("batch.bin");
+        dispatch(&strs(&[
+            "gen", "--model", "er", "--n", "600", "--edge-factor", "7", "--out", &path,
+        ]))
+        .unwrap();
+        let rep = dispatch(&strs(&[
+            "bfs", "--in", &path, "--algo", "BFS_WSL", "--threads", "3", "--sources",
+            "0,17,99,300", "--parents", "--validate",
+        ]))
+        .unwrap();
+        assert!(rep.contains("batched x4"), "{rep}");
+        assert!(rep.contains("validated 4 queries against serial BFS: OK"), "{rep}");
+        // Errors: mixed flags, bad list entries, out-of-range sources.
+        assert!(dispatch(&strs(&[
+            "bfs", "--in", &path, "--src", "1", "--sources", "0,1",
+        ]))
+        .is_err());
+        assert!(dispatch(&strs(&["bfs", "--in", &path, "--sources", "0,zebra"])).is_err());
+        assert!(dispatch(&strs(&["bfs", "--in", &path, "--sources", "999999"])).is_err());
     }
 
     #[test]

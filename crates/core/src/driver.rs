@@ -152,6 +152,63 @@ pub fn try_run_on_pool_with_transpose<'g>(
     }
 }
 
+/// Batch dispatch: one traversal answers every source in `sources` (see
+/// [`crate::batch`]). `Algorithm::Serial` degrades to a loop of serial
+/// runs; every parallel variant shares the batched driver.
+pub fn try_run_batch_on_pool(
+    algo: Algorithm,
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    opts: &BfsOptions,
+    pool: &LevelPool,
+) -> Result<crate::batch::BatchResult, PoolError> {
+    try_run_batch_on_pool_with_transpose(algo, graph, sources, opts, pool, None)
+}
+
+/// As [`try_run_batch_on_pool`], with a caller-provided in-edge graph for
+/// hybrid bottom-up levels.
+pub fn try_run_batch_on_pool_with_transpose<'g>(
+    algo: Algorithm,
+    graph: &'g CsrGraph,
+    sources: &[VertexId],
+    opts: &BfsOptions,
+    pool: &LevelPool,
+    transpose: Option<&'g CsrGraph>,
+) -> Result<crate::batch::BatchResult, PoolError> {
+    if algo == Algorithm::Serial {
+        return Ok(crate::batch::serial_batch(graph, sources, opts));
+    }
+    assert_eq!(opts.threads, pool.threads(), "options/pool thread mismatch");
+    let t = transpose;
+    match algo {
+        Algorithm::Serial => unreachable!("handled above"),
+        Algorithm::Bfsc => {
+            try_drive_batch_with_transpose(&crate::centralized::CentralLocked, graph, sources, opts, pool, t)
+        }
+        Algorithm::Bfscl => {
+            try_drive_batch_with_transpose(&crate::centralized::CentralLockfree, graph, sources, opts, pool, t)
+        }
+        Algorithm::Bfsdl => {
+            try_drive_batch_with_transpose(&crate::decentralized::Decentralized, graph, sources, opts, pool, t)
+        }
+        Algorithm::Bfsw => {
+            try_drive_batch_with_transpose(&crate::worksteal::WorkStealing { locked: true, scale_free: false }, graph, sources, opts, pool, t)
+        }
+        Algorithm::Bfswl => {
+            try_drive_batch_with_transpose(&crate::worksteal::WorkStealing { locked: false, scale_free: false }, graph, sources, opts, pool, t)
+        }
+        Algorithm::Bfsws => {
+            try_drive_batch_with_transpose(&crate::worksteal::WorkStealing { locked: true, scale_free: true }, graph, sources, opts, pool, t)
+        }
+        Algorithm::Bfswsl => {
+            try_drive_batch_with_transpose(&crate::worksteal::WorkStealing { locked: false, scale_free: true }, graph, sources, opts, pool, t)
+        }
+        Algorithm::EdgeCl => {
+            try_drive_batch_with_transpose(&crate::ext::EdgePartitioned, graph, sources, opts, pool, t)
+        }
+    }
+}
+
 /// The shared driver.
 pub fn drive<S: Strategy>(
     strategy: &S,
@@ -187,22 +244,80 @@ pub fn try_drive_with_transpose<'g, S: Strategy>(
     pool: &LevelPool,
     transpose: Option<&'g CsrGraph>,
 ) -> Result<BfsResult, PoolError> {
-    let mut st = RunState::new_with_transpose(graph, opts, transpose);
-    let stats = PerThread::new(opts.threads, |_| ThreadStats::default());
-    let deepest = PerThread::new(opts.threads, |_| 0u32);
+    let st = RunState::new_with_transpose(graph, opts, transpose);
+    let stats = drive_shared(strategy, &st, src, pool)?;
+    let n = graph.num_vertices();
+    let levels: Vec<u32> = (0..n).map(|v| st.levels.get(v)).collect();
+    let parents = st
+        .parents
+        .as_ref()
+        .map(|p| (0..n).map(|v| p.get(v)).collect::<Vec<VertexId>>());
+    debug_assert!(levels[src as usize] == 0);
+    debug_assert!(parents.as_ref().is_none_or(|p| p[src as usize] == src));
+    // An aborted run may have partially consumed its last level L,
+    // labeling some vertices L+1 == stats.levels before quiescing.
+    let max_label = stats.levels + u32::from(stats.partial);
+    debug_assert!(
+        levels.iter().all(|&l| l == UNVISITED || l < max_label),
+        "level exceeds executed level count"
+    );
+    let _ = INVALID_VERTEX;
+    Ok(BfsResult { levels, parents, stats })
+}
+
+/// Batch counterpart of [`try_drive_with_transpose`]: one traversal over
+/// the union frontier answers every source in `sources` (1..=64, see
+/// [`crate::batch`]). The level loop, dispatchers, watchdog and
+/// cancellation run completely unchanged — only the seed section and the
+/// per-vertex discovery kernel differ.
+pub fn try_drive_batch_with_transpose<'g, S: Strategy>(
+    strategy: &S,
+    graph: &'g CsrGraph,
+    sources: &[VertexId],
+    opts: &BfsOptions,
+    pool: &LevelPool,
+    transpose: Option<&'g CsrGraph>,
+) -> Result<crate::batch::BatchResult, PoolError> {
+    let st = RunState::new_batch(graph, opts, transpose, sources);
+    let stats = drive_shared(strategy, &st, 0, pool)?;
+    let b = st.batch.as_ref().expect("batch state armed by new_batch");
+    let queries = crate::batch::extract_results(b, graph.num_vertices());
+    for qr in &queries {
+        debug_assert_eq!(qr.levels[qr.source as usize], 0);
+        debug_assert!(qr
+            .parents
+            .as_ref()
+            .is_none_or(|p| p[qr.source as usize] == qr.source));
+    }
+    Ok(crate::batch::BatchResult { queries, stats })
+}
+
+/// The shared driver body: seeds the frontier (single-source or batched,
+/// depending on how `st` was constructed), runs the level loop on the
+/// pool, and assembles [`RunStats`]. Label extraction is the caller's
+/// job (`src` is ignored for batch-mode state).
+fn drive_shared<'g, S: Strategy>(
+    strategy: &S,
+    st: &RunState<'g>,
+    src: VertexId,
+    pool: &LevelPool,
+) -> Result<RunStats, PoolError> {
+    let threads = st.threads;
+    let stats = PerThread::new(threads, |_| ThreadStats::default());
+    let deepest = PerThread::new(threads, |_| 0u32);
     // Per-level counter snapshots: each worker copies its cumulative
     // ThreadStats here right before the level-end barrier so the leader
     // can merge a consistent cross-thread view without aliasing the
     // workers' live `&mut` stats. The hybrid heuristic needs the same
     // snapshots for its cross-thread frontier-edge sums.
     let level_snap = (st.opts.collect_level_stats || st.opts.hybrid.is_some())
-        .then(|| PerThread::new(opts.threads, |_| ThreadStats::default()));
+        .then(|| PerThread::new(threads, |_| ThreadStats::default()));
     // Drained flight-recorder rings, filled by each worker on exit.
     let flight_dumps =
-        PerThread::new(opts.threads, |_| None::<obfs_sync::flight::RingDump>);
+        PerThread::new(threads, |_| None::<obfs_sync::flight::RingDump>);
     // Drained latency-histogram sets, same lifecycle as the rings.
     let hist_dumps =
-        PerThread::new(opts.threads, |_| None::<Box<obfs_sync::metrics::WorkerHists>>);
+        PerThread::new(threads, |_| None::<Box<obfs_sync::metrics::WorkerHists>>);
 
     let t0 = std::time::Instant::now();
     pool.run(|ctx| {
@@ -236,30 +351,60 @@ pub fn try_drive_with_transpose<'g, S: Strategy>(
 
         st.init_chunk(tid);
         ctx.barrier().wait_then(|| {
-            // Seed the frontier: src goes into the queue it hashes to, so
-            // the work-stealing variants start at a "random" owner.
-            let q0 = (src as usize) % st.threads;
-            st.levels.set(src as usize, 0);
-            if let Some(p) = &st.parents {
-                p.set(src as usize, src);
-            }
-            if let Some(o) = &st.owner {
-                o.set(src as usize, q0 as u32 + 1);
-            }
-            let queue = st.qin(0).queue(q0);
-            let mut rear = 0usize;
-            queue.push(&mut rear, src);
-            st.next_total.store(1);
+            // Seed the frontier: each source goes into the queue it hashes
+            // to, so the work-stealing variants start at a "random" owner.
+            let (seeded, seed_edges) = match &st.batch {
+                Some(b) => {
+                    // Batch seeds: claim level-0 slots per query, merge
+                    // duplicate sources, push each distinct vertex once
+                    // (pushed_at doubles as the in-section dedup).
+                    let mut rears = vec![0usize; st.threads];
+                    let mut seeded = 0usize;
+                    let mut seed_edges = 0u64;
+                    for (q, &s) in b.sources.iter().enumerate() {
+                        let v = s as usize;
+                        b.levels.set(v * b.k + q, 0);
+                        if let Some(p) = &b.parents {
+                            p.set(v * b.k + q, s);
+                        }
+                        b.visited_by.set(v, b.visited_by.get(v) | (1 << q));
+                        if b.pushed_at.get(v) != 0 {
+                            b.pushed_at.set(v, 0);
+                            let qi = v % st.threads;
+                            st.qin(0).queue(qi).push(&mut rears[qi], s);
+                            seeded += 1;
+                            seed_edges += st.graph.degree(s) as u64;
+                        }
+                    }
+                    flight::record(flight::kind::BATCH, 0, b.k as u64, seeded as u64);
+                    (seeded, seed_edges)
+                }
+                None => {
+                    let q0 = (src as usize) % st.threads;
+                    st.levels.set(src as usize, 0);
+                    if let Some(p) = &st.parents {
+                        p.set(src as usize, src);
+                    }
+                    if let Some(o) = &st.owner {
+                        o.set(src as usize, q0 as u32 + 1);
+                    }
+                    let queue = st.qin(0).queue(q0);
+                    let mut rear = 0usize;
+                    queue.push(&mut rear, src);
+                    (1, st.graph.degree(src) as u64)
+                }
+            };
+            st.next_total.store(seeded);
             if let (Some(hyb), Some(pol)) = (&st.hyb, st.opts.hybrid) {
-                // Level-0 direction: Beamer's rule with nf = 1,
-                // mf = degree(src), mu = m (nothing explored yet) —
+                // Level-0 direction: Beamer's rule with nf = seed count,
+                // mf = seed degree sum, mu = m (nothing explored yet) —
                 // the same inputs the baseline uses for its first level.
                 // SAFETY: barrier serial section.
                 let ctl = unsafe { hyb.ctl.get_mut() };
                 let dir0 = pol.decide(
                     Direction::TopDown,
-                    1,
-                    st.graph.degree(src) as u64,
+                    seeded as u64,
+                    seed_edges,
                     ctl.unexplored_edges,
                     st.graph.num_vertices() as u64,
                 );
@@ -271,9 +416,9 @@ pub fn try_drive_with_transpose<'g, S: Strategy>(
                 // SAFETY: barrier serial section.
                 let t = unsafe { tr.get_mut() };
                 t.mark = std::time::Instant::now();
-                t.frontier_in = 1;
+                t.frontier_in = seeded;
             }
-            strategy.serial_prepare(&LevelEnv { st: &st, parity: 0, level: 0 });
+            strategy.serial_prepare(&LevelEnv { st, parity: 0, level: 0 });
             // SAFETY: barrier serial section.
             unsafe { st.watchdog_arm() };
         });
@@ -297,7 +442,7 @@ pub fn try_drive_with_transpose<'g, S: Strategy>(
                 // including the leader's degraded-sweep writes).
                 st.fill_bitmap_chunk(level, tid);
             }
-            let env = LevelEnv { st: &st, parity, level };
+            let env = LevelEnv { st, parity, level };
             strategy.level_start(&env, tid);
             ctx.barrier().wait();
             flight::record(
@@ -477,7 +622,7 @@ pub fn try_drive_with_transpose<'g, S: Strategy>(
             let next_level = level;
             ctx.barrier().wait_then(|| {
                 strategy.serial_prepare(&LevelEnv {
-                    st: &st,
+                    st,
                     parity: next_env_parity,
                     level: next_level,
                 });
@@ -512,28 +657,13 @@ pub fn try_drive_with_transpose<'g, S: Strategy>(
         }
     })?;
     let traversal_time = t0.elapsed();
+    let _ = src;
 
     let levels_run = deepest.into_values().into_iter().max().unwrap_or(0) + 1;
     let per_thread = stats.into_values();
-    let n = graph.num_vertices();
-    let levels: Vec<u32> = (0..n).map(|v| st.levels.get(v)).collect();
-    let parents = st
-        .parents
-        .as_ref()
-        .map(|p| (0..n).map(|v| p.get(v)).collect::<Vec<VertexId>>());
     // SAFETY: workers are done (pool.run returned); no serial section can
     // be mutating the cell.
     let abort_cause = unsafe { *st.run_abort.get() };
-    debug_assert!(levels[src as usize] == 0);
-    debug_assert!(parents.as_ref().is_none_or(|p| p[src as usize] == src));
-    // An aborted run may have partially consumed its last level L,
-    // labeling some vertices L+1 == levels_run before quiescing.
-    let max_label = levels_run + u32::from(abort_cause.is_some());
-    debug_assert!(
-        levels.iter().all(|&l| l == UNVISITED || l < max_label),
-        "level exceeds executed level count"
-    );
-    let _ = INVALID_VERTEX;
     let mut stats = RunStats::from_threads(per_thread, levels_run, traversal_time);
     stats.partial = abort_cause.is_some();
     stats.outcome = match abort_cause {
@@ -547,20 +677,21 @@ pub fn try_drive_with_transpose<'g, S: Strategy>(
     if stats.outcome == Outcome::Complete && stats.degraded_levels > 0 {
         stats.outcome = Outcome::Degraded;
     }
-    if let Some(hyb) = st.hyb.take() {
-        // Workers are done (pool.run returned); sole owner.
-        let ctl = hyb.ctl.into_inner();
+    if let Some(hyb) = &st.hyb {
+        // SAFETY: workers are done (pool.run returned); no serial section
+        // can be mutating the cell.
+        let ctl = unsafe { hyb.ctl.get() };
         debug_assert_eq!(
             ctl.directions.len() as u32,
             levels_run,
             "one recorded direction per executed level"
         );
-        stats.directions = ctl.directions;
+        stats.directions = ctl.directions.clone();
         stats.direction_switches = ctl.switches;
     }
-    if let Some(tr) = st.trace.take() {
-        // Workers are done (pool.run returned); sole owner.
-        stats.level_stats = tr.into_inner().entries;
+    if let Some(tr) = &st.trace {
+        // SAFETY: workers are done, as above.
+        stats.level_stats = unsafe { tr.get() }.entries.clone();
     }
     let dumps = flight_dumps.into_values();
     if dumps.iter().any(|d| d.is_some()) {
@@ -571,7 +702,7 @@ pub fn try_drive_with_transpose<'g, S: Strategy>(
             workers: dumps.into_iter().map(Option::unwrap_or_default).collect(),
         });
     }
-    if opts.collect_histograms {
+    if st.opts.collect_histograms {
         stats.hists = Some(crate::stats::RunHists {
             workers: hist_dumps
                 .into_values()
@@ -580,7 +711,7 @@ pub fn try_drive_with_transpose<'g, S: Strategy>(
                 .collect(),
         });
     }
-    Ok(BfsResult { levels, parents, stats })
+    Ok(stats)
 }
 
 /// Walk helper used by the lock-free consumers: read slot `i` of `queue`,

@@ -133,8 +133,19 @@ pub(crate) fn consume_edge_ranges(
                 // Count each frontier entry once, at its first edge.
                 st.note_pop(h, level, ts);
             }
-            for &w in &neigh[lo..hi] {
-                st.try_discover(w, h, next, tid, out, out_rear, ts);
+            if st.batch.is_some() {
+                // Frontier bits are level-barrier-published, so every
+                // piece of h's adjacency derives the same word.
+                let fbits = st.frontier_bits(h, level);
+                if fbits != 0 {
+                    for &w in &neigh[lo..hi] {
+                        st.try_discover_batch(w, h, fbits, next, out, out_rear, ts);
+                    }
+                }
+            } else {
+                for &w in &neigh[lo..hi] {
+                    st.try_discover(w, h, next, tid, out, out_rear, ts);
+                }
             }
             e = v_start + hi as u64;
             vi += 1;

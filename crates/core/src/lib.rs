@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod centralized;
 pub mod decentralized;
 pub mod driver;
@@ -42,6 +43,7 @@ pub mod stats;
 pub mod validate;
 pub mod worksteal;
 
+pub use batch::{BatchQueryResult, BatchResult, MAX_BATCH};
 pub use flight::FlightRecording;
 pub use options::{
     Algorithm, BfsOptions, DedupMode, Direction, ForcedDirection, HybridPolicy, SegmentPolicy,
@@ -112,6 +114,34 @@ pub fn try_run_bfs(
     driver::try_run_on_pool(algo, graph, src, opts, &pool)
 }
 
+/// Run `algo` from every source in `sources` (1..=[`MAX_BATCH`]) in one
+/// batched bit-parallel traversal; result `q` answers `sources[q]`.
+/// Panics on a worker failure; see [`try_run_batch`]. Incompatible with
+/// [`DedupMode::OwnerArray`] (asserted).
+pub fn run_batch(
+    algo: Algorithm,
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    opts: &BfsOptions,
+) -> BatchResult {
+    try_run_batch(algo, graph, sources, opts)
+        .unwrap_or_else(|e| panic!("BFS worker pool failed: {e}"))
+}
+
+/// As [`run_batch`], surfacing a worker panic as [`PoolError`].
+pub fn try_run_batch(
+    algo: Algorithm,
+    graph: &CsrGraph,
+    sources: &[VertexId],
+    opts: &BfsOptions,
+) -> Result<BatchResult, PoolError> {
+    if algo == Algorithm::Serial {
+        return Ok(batch::serial_batch(graph, sources, opts));
+    }
+    let pool = LevelPool::new(opts.threads);
+    driver::try_run_batch_on_pool(algo, graph, sources, opts, &pool)
+}
+
 /// A reusable runner owning a worker pool.
 pub struct BfsRunner {
     pool: LevelPool,
@@ -167,6 +197,39 @@ impl BfsRunner {
             "BfsOptions::threads must match the runner's pool size"
         );
         driver::try_run_on_pool(algo, graph, src, opts, &self.pool)
+    }
+
+    /// As [`run_batch`], on the owned pool: one batched traversal
+    /// answering every source in `sources` (1..=[`MAX_BATCH`]).
+    pub fn run_batch(
+        &self,
+        algo: Algorithm,
+        graph: &CsrGraph,
+        sources: &[VertexId],
+        opts: &BfsOptions,
+    ) -> BatchResult {
+        self.try_run_batch(algo, graph, sources, opts)
+            .unwrap_or_else(|e| panic!("BFS worker pool failed: {e}"))
+    }
+
+    /// As [`BfsRunner::run_batch`], surfacing a worker panic as
+    /// [`PoolError`]. On `Err` the pool is poisoned; replace the runner.
+    pub fn try_run_batch(
+        &self,
+        algo: Algorithm,
+        graph: &CsrGraph,
+        sources: &[VertexId],
+        opts: &BfsOptions,
+    ) -> Result<BatchResult, PoolError> {
+        if algo == Algorithm::Serial {
+            return Ok(batch::serial_batch(graph, sources, opts));
+        }
+        assert_eq!(
+            opts.threads,
+            self.pool.threads(),
+            "BfsOptions::threads must match the runner's pool size"
+        );
+        driver::try_run_batch_on_pool(algo, graph, sources, opts, &self.pool)
     }
 
     /// As [`BfsRunner::run`], but probing hybrid bottom-up levels

@@ -223,3 +223,60 @@ fn worksteal_counterexample_hits_invalid_steal_in_real_dispatcher() {
     assert_eq!(st.descs[0].snapshot(), (0, 0, 0), "thief published nothing");
     assert_eq!(st.descs[1].snapshot(), (0, 0, 0), "victim untouched");
 }
+
+/// Batch-or-claim: the weakened model overwrites an already-claimed
+/// per-query level slot after a lost membership OR made the vertex look
+/// undiscovered. Reconstructing the late claimant's observation in real
+/// batch state — membership word missing the bit, level slot claimed —
+/// and feeding its revalidation read into the real
+/// `try_discover_batch` must *reject* the claim: the slot keeps its
+/// first-claim level, nothing is pushed, and only the membership bit is
+/// OR'd back.
+#[test]
+fn batch_counterexample_hits_slot_revalidation_in_real_kernel() {
+    let cx = batch_or_claim::check(true, bounds()).counterexample.expect("weakened cx");
+    let tid = failing_tid(&cx);
+    let loads = traced_loads(batch_or_claim::system(true), &cx.schedule, tid, &cx.failure);
+
+    // The late claimant's final load is the revalidation read of query
+    // 0's level slot (the check the weakening deleted); the load before
+    // it is the membership word with the lost bit.
+    let &(slot_addr, slot_level) = loads.last().unwrap();
+    assert_eq!(slot_addr, batch_or_claim::slot_addr(0));
+    assert_ne!(slot_level, batch_or_claim::UNSET, "slot was claimed at level 1");
+    let &(vis_addr, vis) = &loads[loads.len() - 2];
+    assert_eq!(vis_addr, batch_or_claim::VISITED);
+    assert_eq!(vis & 1, 0, "query-0 bit was lost from the membership word");
+
+    // Real state: a 2-query batch; plant the model's observation — the
+    // slot claimed at level 1, the membership word missing bit 0.
+    let g = isolated(8);
+    let w: u32 = 4;
+    let opts = BfsOptions { threads: 1, ..Default::default() };
+    let st = RunState::new_batch(&g, &opts, None, &[0, 1]);
+    let b = st.batch.as_ref().expect("batch state armed");
+    b.levels.set(w as usize * b.k, slot_level);
+    b.visited_by.set(w as usize, u64::from(vis));
+    let mut ts = ThreadStats::default();
+    let mut out_rear = 0usize;
+
+    // One hooked `u32` load on the rejection path: the revalidation
+    // read (the membership load is a `u64` and passes through).
+    install_script(&ChaosScript {
+        usize_loads: Vec::new(),
+        u32_loads: vec![Some(slot_level)],
+    });
+    st.try_discover_batch(w, 3, 1, 2, st.qout(0).queue(0), &mut out_rear, &mut ts);
+    let rep = uninstall_script();
+
+    assert_eq!(rep.fed_u32, 1, "the revalidation read was replayed");
+    assert_eq!(rep.leftover, 0);
+    assert_eq!(ts.vertices_discovered, 0, "the real revalidation rejected the claim");
+    assert_eq!(out_rear, 0, "a rejected claim pushes nothing");
+    assert_eq!(
+        b.levels.get(w as usize * b.k),
+        slot_level,
+        "the slot keeps its first-claim level"
+    );
+    assert_eq!(b.visited_by.get(w as usize), u64::from(vis) | 1, "the bit was OR'd back");
+}

@@ -1,6 +1,7 @@
 //! Shared run state and the discovery fast path common to every parallel
 //! BFS variant.
 
+use crate::batch::BatchState;
 use crate::frontier::{
     decode, FrontierBitmap, FrontierQueue, QueueSet, SegmentDesc, BITMAP_WORD_BITS, EMPTY_SLOT,
 };
@@ -177,6 +178,11 @@ pub struct RunState<'g> {
     /// Direction-optimizing hybrid state; `None` unless
     /// [`BfsOptions::hybrid`] is set.
     pub hyb: Option<HybridState<'g>>,
+    /// Batched multi-source state; `Some` only for runs entered through
+    /// the batch driver. When set, the single-source `levels` / `parents`
+    /// / `owner` arrays above are empty and every discovery flows through
+    /// the bit-parallel kernel in [`RunState::try_discover_batch`].
+    pub batch: Option<BatchState>,
     /// Cached `opts.hybrid.is_some()` so the `frontier_edges` accounting
     /// in [`RunState::try_discover`] is one predictable branch (and the
     /// paper's top-down hot path pays nothing when hybrid is off).
@@ -286,6 +292,7 @@ impl<'g> RunState<'g> {
             flat_prefix: SerialCell::new(Vec::new()),
             trace: opts.collect_level_stats.then(|| SerialCell::new(TraceState::default())),
             hyb,
+            batch: None,
             count_frontier_edges: opts.hybrid.is_some(),
             wd_abort: AtomicBool::new(false),
             wd_deadline: SerialCell::new(None),
@@ -296,6 +303,33 @@ impl<'g> RunState<'g> {
             hub_threshold: opts.resolved_hub_threshold(graph),
             opts: opts.clone(),
         }
+    }
+
+    /// Like [`RunState::new_with_transpose`], but for a batched
+    /// multi-source run over `sources` (1..=64 of them, duplicates
+    /// allowed). The single-source label arrays are replaced by the
+    /// bit-parallel [`BatchState`]; the owner-array dedup is
+    /// incompatible with batching (a vertex legitimately re-enters the
+    /// frontier once per query) and is rejected.
+    pub fn new_batch(
+        graph: &'g CsrGraph,
+        opts: &BfsOptions,
+        transpose: Option<&'g CsrGraph>,
+        sources: &[obfs_graph::VertexId],
+    ) -> Self {
+        assert!(
+            opts.dedup == DedupMode::None,
+            "owner-array dedup is incompatible with batched multi-source BFS"
+        );
+        let mut st = Self::new_with_transpose(graph, opts, transpose);
+        let n = graph.num_vertices();
+        st.batch = Some(BatchState::new(n, sources, opts.record_parents, opts.hybrid.is_some()));
+        // Empty out the single-source arrays: batch mode must never touch
+        // them, and a zero-length buffer turns any missed call site into
+        // an immediate bounds panic instead of silent corruption.
+        st.levels = RacyBuf::new(0);
+        st.parents = None;
+        st
     }
 
     /// This level's input queue set.
@@ -332,6 +366,21 @@ impl<'g> RunState<'g> {
         let per = obfs_util::div_ceil(n, self.threads);
         let lo = (tid * per).min(n);
         let hi = ((tid + 1) * per).min(n);
+        if let Some(b) = &self.batch {
+            for v in lo..hi {
+                for q in 0..b.k {
+                    b.levels.set(v * b.k + q, UNVISITED);
+                }
+                if let Some(p) = &b.parents {
+                    for q in 0..b.k {
+                        p.set(v * b.k + q, INVALID_VERTEX);
+                    }
+                }
+                b.visited_by.set(v, 0);
+                b.pushed_at.set(v, UNVISITED);
+            }
+            return;
+        }
         for v in lo..hi {
             self.levels.set(v, UNVISITED);
         }
@@ -380,6 +429,86 @@ impl<'g> RunState<'g> {
         }
     }
 
+    /// Batch mode: derive the membership bits of frontier vertex `v` at
+    /// `level` — bit `q` set iff query `q`'s BFS reaches `v` at exactly
+    /// this depth. Reads only per-query level slots published by the
+    /// barrier that ended level `level - 1` (claims made *during* the
+    /// current level carry `level + 1` and are excluded), so the result
+    /// is race-free and identical for every worker that pops `v`.
+    #[inline]
+    pub fn frontier_bits(&self, v: VertexId, level: u32) -> u64 {
+        let b = self.batch.as_ref().expect("batch state not armed");
+        let row = b.levels.row(v as usize * b.k, b.k);
+        let mut bits = 0u64;
+        for (q, slot) in row.iter().enumerate() {
+            bits |= u64::from(slot.load() == level) << q;
+        }
+        bits
+    }
+
+    /// The batch-mode discovery fast path: `fbits` are the popped
+    /// parent's frontier bits ([`RunState::frontier_bits`]). Skips `w`
+    /// with one membership-word load in the common all-seen case, claims
+    /// each surviving (query, vertex) level slot with an idempotent racy
+    /// store, ORs the membership word back with a plain store, and pushes
+    /// `w` at most once per level per worker (see the
+    /// [`crate::batch`] module docs for why every race here is benign).
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // hot path: flat args beat a param struct here
+    pub fn try_discover_batch(
+        &self,
+        w: VertexId,
+        parent: VertexId,
+        fbits: u64,
+        next_level: u32,
+        out: &FrontierQueue,
+        out_rear: &mut usize,
+        ts: &mut ThreadStats,
+    ) {
+        let b = self.batch.as_ref().expect("batch state not armed");
+        let vis = b.visited_by.get(w as usize);
+        // `& b.mask` makes the bound `q < k` below locally evident even
+        // for a caller-corrupted `fbits`.
+        let news = fbits & b.mask & !vis;
+        if news == 0 {
+            return;
+        }
+        let base = w as usize * b.k;
+        let row = b.levels.row(base, b.k);
+        let mut claimed = 0u64;
+        let mut rem = news;
+        while rem != 0 {
+            let q = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            // SAFETY: `rem ⊆ news ⊆ b.mask`, whose set bits are all
+            // below `k == row.len()`, so `q` is in bounds.
+            let slot = unsafe { row.get_unchecked(q) };
+            // Revalidate against the level slot: the membership word is
+            // only an under-approximation (racy ORs lose bits).
+            if slot.load() == UNVISITED {
+                slot.store(next_level);
+                if let Some(p) = &b.parents {
+                    p.set(base + q, parent);
+                }
+                claimed |= 1 << q;
+            }
+        }
+        // OR back `news`, not just `claimed`: a bit that failed the slot
+        // check was claimed by another worker whose store is (at latest)
+        // barrier-published, so recording it only skips redundant work.
+        b.visited_by.set(w as usize, vis | news);
+        if claimed != 0 {
+            ts.vertices_discovered += claimed.count_ones() as u64;
+            if b.pushed_at.get(w as usize) != next_level {
+                b.pushed_at.set(w as usize, next_level);
+                out.push(out_rear, w);
+                if self.count_frontier_edges {
+                    ts.frontier_edges += self.graph.degree(w) as u64;
+                }
+            }
+        }
+    }
+
     /// Pop-side checks shared by all variants. Returns `false` if the
     /// vertex should be skipped (duplicate under owner-array dedup).
     #[inline]
@@ -406,6 +535,19 @@ impl<'g> RunState<'g> {
     ) {
         let next = level + 1;
         let neigh = self.graph.neighbors(v);
+        if self.batch.is_some() {
+            // A replayed duplicate pop re-derives the same frontier bits,
+            // so re-exploration (e.g. the watchdog sweep) stays idempotent.
+            let fbits = self.frontier_bits(v, level);
+            if fbits == 0 {
+                return;
+            }
+            ts.edges_scanned += neigh.len() as u64;
+            for &w in neigh {
+                self.try_discover_batch(w, v, fbits, next, out, out_rear, ts);
+            }
+            return;
+        }
         ts.edges_scanned += neigh.len() as u64;
         for &w in neigh {
             self.try_discover(w, v, next, out_queue_id, out, out_rear, ts);
@@ -529,6 +671,15 @@ impl<'g> RunState<'g> {
     #[inline]
     pub fn note_pop(&self, v: VertexId, level: u32, ts: &mut ThreadStats) {
         ts.vertices_explored += 1;
+        if let Some(b) = &self.batch {
+            // Batch mode has no single level word to compare against; a
+            // pushed_at mismatch is the analogous signal that this slot
+            // is a duplicate push or a stale segment replay.
+            if b.pushed_at.get(v as usize) != level {
+                ts.duplicate_explorations += 1;
+            }
+            return;
+        }
         // A slot holding v at level d implies level[v] == d was set when it
         // was pushed; observing anything else means another queue also
         // carried v (duplicate push) or a stale segment replay.
@@ -546,6 +697,30 @@ impl<'g> RunState<'g> {
     /// starts the bottom-up probes.
     pub fn fill_bitmap_chunk(&self, level: u32, tid: usize) {
         let hyb = self.hyb.as_ref().expect("hybrid state not armed");
+        if let Some(b) = &self.batch {
+            // Batch mode: rebuild per-vertex frontier *words* instead of
+            // the single-source bitmap. One whole u64 per vertex, so the
+            // vertex partition itself makes each word single-writer.
+            let fb = b.front_by.as_ref().expect("hybrid batch state not armed");
+            let n = self.graph.num_vertices();
+            let per = obfs_util::div_ceil(n, self.threads);
+            let lo = (tid * per).min(n);
+            let hi = ((tid + 1) * per).min(n);
+            for v in lo..hi {
+                // visited_by is an under-approximation, but at a level
+                // barrier it can only *miss* claimed bits — a vertex with
+                // any claimed slot has a nonzero word (every OR writes a
+                // nonzero value), so zero words are exactly never-claimed
+                // vertices and the k slot loads can be skipped.
+                let w = if b.visited_by.get(v) == 0 {
+                    0
+                } else {
+                    self.frontier_bits(v as VertexId, level)
+                };
+                fb.set(v, w);
+            }
+            return;
+        }
         let words = hyb.bitmap.word_count();
         let per = obfs_util::div_ceil(words, self.threads);
         let wlo = (tid * per).min(words);
@@ -585,6 +760,10 @@ impl<'g> RunState<'g> {
         ts: &mut ThreadStats,
     ) {
         let hyb = self.hyb.as_ref().expect("hybrid state not armed");
+        if self.batch.is_some() {
+            self.bottom_up_level_batch(level, tid, out, out_rear, ts);
+            return;
+        }
         let tg = hyb.transpose.graph();
         let n = self.graph.num_vertices();
         let words = hyb.bitmap.word_count();
@@ -623,6 +802,82 @@ impl<'g> RunState<'g> {
                 }
             }
             ts.edges_scanned += probes;
+        }
+    }
+
+    /// Batch-mode bottom-up level: for every vertex in this worker's
+    /// static chunk, probe in-edges for parents on *any* missing query's
+    /// frontier, accumulating found bits until all missing queries are
+    /// satisfied or the in-edge list is exhausted (no early break on the
+    /// first hit — different queries may need different parents).
+    ///
+    /// The vertex partition makes this worker the only writer of the
+    /// vertex's level row, membership word and queue slot, so like the
+    /// single-source kernel it has no races at all; `visited_by` reads
+    /// are exact here (barrier-published, single writer since).
+    fn bottom_up_level_batch(
+        &self,
+        level: u32,
+        tid: usize,
+        out: &FrontierQueue,
+        out_rear: &mut usize,
+        ts: &mut ThreadStats,
+    ) {
+        let hyb = self.hyb.as_ref().expect("hybrid state not armed");
+        let b = self.batch.as_ref().expect("batch state not armed");
+        let fb = b.front_by.as_ref().expect("hybrid batch state not armed");
+        let tg = hyb.transpose.graph();
+        let n = self.graph.num_vertices();
+        let per = obfs_util::div_ceil(n, self.threads);
+        let lo = (tid * per).min(n);
+        let hi = ((tid + 1) * per).min(n);
+        let next = level + 1;
+        for v in lo..hi {
+            if v & 0xFF == 0 && self.watchdog_tripped() {
+                // Abandon the scan; the leader sweep re-explores the
+                // (never-consumed) input queues top-down, which is
+                // idempotent with everything done so far.
+                return;
+            }
+            let vis = b.visited_by.get(v);
+            let miss = b.mask & !vis;
+            if miss == 0 {
+                continue;
+            }
+            let base = v * b.k;
+            let mut found = 0u64;
+            let mut probes = 0u64;
+            for &u in tg.neighbors(v as VertexId) {
+                probes += 1;
+                let mut hits = fb.get(u as usize) & miss & !found;
+                while hits != 0 {
+                    let q = hits.trailing_zeros() as usize;
+                    hits &= hits - 1;
+                    // visited_by may under-approximate: a bit claimed in
+                    // an earlier level can be missing from `vis`, so the
+                    // slot check is still required before claiming.
+                    if b.levels.get(base + q) == UNVISITED {
+                        b.levels.set(base + q, next);
+                        if let Some(p) = &b.parents {
+                            p.set(base + q, u);
+                        }
+                        found |= 1 << q;
+                    }
+                }
+                if (miss & !found) == 0 {
+                    break;
+                }
+            }
+            ts.edges_scanned += probes;
+            if found != 0 {
+                b.visited_by.set(v, vis | found);
+                b.pushed_at.set(v, next);
+                out.push(out_rear, v as VertexId);
+                ts.vertices_discovered += found.count_ones() as u64;
+                if self.count_frontier_edges {
+                    ts.frontier_edges += self.graph.degree(v as VertexId) as u64;
+                }
+            }
         }
     }
 }

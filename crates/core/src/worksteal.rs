@@ -409,8 +409,19 @@ impl WorkStealing {
             let lo = len * tid / p;
             let hi = len * (tid + 1) / p;
             ts.edges_scanned += (hi - lo) as u64;
-            for &w in &neigh[lo..hi] {
-                st.try_discover(w, h, next, tid, out, out_rear, ts);
+            if st.batch.is_some() {
+                // Bit-parallel kernel: every chunk of h's adjacency sees
+                // the same barrier-published frontier word.
+                let fbits = st.frontier_bits(h, env.level);
+                if fbits != 0 {
+                    for &w in &neigh[lo..hi] {
+                        st.try_discover_batch(w, h, fbits, next, out, out_rear, ts);
+                    }
+                }
+            } else {
+                for &w in &neigh[lo..hi] {
+                    st.try_discover(w, h, next, tid, out, out_rear, ts);
+                }
             }
         }
     }

@@ -58,6 +58,13 @@ pub struct EngineConfig {
     /// (the watchdog swept at least one level). Off by default: a
     /// degraded result is complete, just slower.
     pub retry_degraded: bool,
+    /// Maximum queries coalesced into one batched traversal (clamped to
+    /// [`obfs_core::MAX_BATCH`]; 1 disables coalescing). When the EDF
+    /// pop yields a deadline-free, chaos-free query, every compatible
+    /// queued query (same algorithm, same `record_parents`, also
+    /// deadline- and chaos-free) joins it in a single batched run — one
+    /// traversal answers the whole set (see `obfs_core::batch`).
+    pub max_batch: usize,
     /// Seed for the backoff jitter (deterministic across reruns).
     pub seed: u64,
     /// Time source for deadlines and latency accounting; inject
@@ -74,6 +81,7 @@ impl Default for EngineConfig {
             max_retries: 2,
             backoff_base: Duration::from_millis(1),
             retry_degraded: false,
+            max_batch: obfs_core::MAX_BATCH,
             seed: 0x0E46,
             clock: Clock::default(),
         }
@@ -228,6 +236,11 @@ pub struct EngineStats {
     /// Panic-poisoned pools replaced by the scheduler's
     /// [`PoolManager`].
     pub pool_rebuilds: u64,
+    /// Batched traversals executed (each answered ≥ 2 queries).
+    pub batched_runs: u64,
+    /// Queries answered by batched traversals (sum of batch sizes over
+    /// [`EngineStats::batched_runs`]).
+    pub queries_coalesced: u64,
 }
 
 struct Job {
@@ -378,9 +391,76 @@ fn pop_edf(queue: &mut VecDeque<Job>) -> Option<Job> {
     queue.remove(best)
 }
 
+/// True when a query may join a batched run: deadline-free (a batch has
+/// no shared deadline to honor) and chaos-free (fault plans stay
+/// attributable to one query).
+fn coalescible(job: &Job) -> bool {
+    job.deadline_abs.is_none() && job.query.chaos.is_none()
+}
+
+/// Extract every queued job compatible with `leader` (same algorithm,
+/// same parent recording, itself coalescible), up to `extra` of them.
+fn extract_members(queue: &mut VecDeque<Job>, leader: &Job, extra: usize) -> Vec<Job> {
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < queue.len() && members.len() < extra {
+        let j = &queue[i];
+        if coalescible(j)
+            && j.query.algo == leader.query.algo
+            && j.query.record_parents == leader.query.record_parents
+        {
+            members.push(queue.remove(i).expect("index in bounds"));
+        } else {
+            i += 1;
+        }
+    }
+    members
+}
+
+/// Book-keep and send one query's terminal response. Counters are
+/// updated BEFORE responding: a caller returning from `wait()` must
+/// observe its own query in the stats.
+#[allow(clippy::too_many_arguments)] // response plumbing: flat args beat a param struct here
+fn respond(
+    shared: &Shared,
+    cfg: &EngineConfig,
+    pool_rebuilds: u64,
+    job: Job,
+    status: QueryStatus,
+    result: Option<BfsResult>,
+    retries: u32,
+    wait_ns: u64,
+) {
+    let total_ns = cfg.clock.now_ns().saturating_sub(job.submitted_ns);
+    let response =
+        QueryResponse { id: job.id, status: status.clone(), result, retries, wait_ns, total_ns };
+    {
+        let mut st = shared.lock();
+        st.in_flight -= 1;
+        st.stats.retries += u64::from(retries);
+        st.stats.pool_rebuilds = pool_rebuilds;
+        match status {
+            QueryStatus::Complete => st.stats.completed += 1,
+            QueryStatus::Degraded => st.stats.degraded += 1,
+            QueryStatus::Cancelled => st.stats.cancelled += 1,
+            QueryStatus::DeadlineExceeded => st.stats.deadline_exceeded += 1,
+            QueryStatus::Failed(_) => st.stats.failed += 1,
+        }
+    }
+    let _ = job.tx.send(response);
+}
+
+fn pop_status(cause: obfs_sync::CancelCause) -> QueryStatus {
+    match cause {
+        obfs_sync::CancelCause::Cancelled => QueryStatus::Cancelled,
+        obfs_sync::CancelCause::DeadlineExceeded => QueryStatus::DeadlineExceeded,
+    }
+}
+
 fn scheduler_loop(shared: &Shared, graph: &CsrGraph, cfg: &EngineConfig) {
     let mut pm = PoolManager::new(cfg.threads);
     let mut rng = Xoshiro256StarStar::new(cfg.seed);
+    let max_batch = cfg.max_batch.clamp(1, obfs_core::MAX_BATCH);
     loop {
         let job = {
             let mut st = shared.lock();
@@ -395,34 +475,138 @@ fn scheduler_loop(shared: &Shared, graph: &CsrGraph, cfg: &EngineConfig) {
             }
         };
         let wait_ns = cfg.clock.now_ns().saturating_sub(job.submitted_ns);
-        let (status, result, retries) = match job.token.check() {
+        if let Some(cause) = job.token.check() {
             // Resolved at pop time: the query never runs (a cancelled or
             // expired queue slot costs no pool time at all).
-            Some(obfs_sync::CancelCause::Cancelled) => (QueryStatus::Cancelled, None, 0),
-            Some(obfs_sync::CancelCause::DeadlineExceeded) => {
-                (QueryStatus::DeadlineExceeded, None, 0)
-            }
-            None => run_with_retry(&job, graph, cfg, &mut pm, &mut rng),
-        };
-        let total_ns = cfg.clock.now_ns().saturating_sub(job.submitted_ns);
-        let response =
-            QueryResponse { id: job.id, status: status.clone(), result, retries, wait_ns, total_ns };
-        // Book-keep BEFORE responding: a caller returning from wait()
-        // must observe its own query in the counters.
-        {
+            respond(shared, cfg, pm.rebuilds(), job, pop_status(cause), None, 0, wait_ns);
+            continue;
+        }
+        // Coalesce: a deadline-free leader adopts every compatible
+        // queued query into one batched traversal.
+        let members = if max_batch > 1 && coalescible(&job) {
             let mut st = shared.lock();
-            st.in_flight -= 1;
-            st.stats.retries += u64::from(retries);
-            st.stats.pool_rebuilds = pm.rebuilds();
-            match status {
-                QueryStatus::Complete => st.stats.completed += 1,
-                QueryStatus::Degraded => st.stats.degraded += 1,
-                QueryStatus::Cancelled => st.stats.cancelled += 1,
-                QueryStatus::DeadlineExceeded => st.stats.deadline_exceeded += 1,
-                QueryStatus::Failed(_) => st.stats.failed += 1,
+            extract_members(&mut st.queue, &job, max_batch - 1)
+        } else {
+            Vec::new()
+        };
+        let mut live = Vec::new();
+        for m in members {
+            let w = cfg.clock.now_ns().saturating_sub(m.submitted_ns);
+            match m.token.check() {
+                // Same pop-time resolution as a solo pop.
+                Some(cause) => respond(shared, cfg, pm.rebuilds(), m, pop_status(cause), None, 0, w),
+                None => live.push((m, w)),
             }
         }
-        let _ = job.tx.send(response);
+        if live.is_empty() {
+            let (status, result, retries) = run_with_retry(&job, graph, cfg, &mut pm, &mut rng);
+            respond(shared, cfg, pm.rebuilds(), job, status, result, retries, wait_ns);
+        } else {
+            run_batch_coalesced(shared, graph, cfg, &mut pm, &mut rng, job, live, wait_ns);
+        }
+    }
+}
+
+/// Run the leader plus its adopted members as one batched traversal and
+/// fan the per-query results back out. A coalesced run carries no cancel
+/// token (members are deadline-free by construction; a cancel arriving
+/// mid-run missed its pop window and is honored only if the pool fails
+/// and the retry loop re-checks). Pool failures retry the whole batch.
+#[allow(clippy::too_many_arguments)]
+fn run_batch_coalesced(
+    shared: &Shared,
+    graph: &CsrGraph,
+    cfg: &EngineConfig,
+    pm: &mut PoolManager,
+    rng: &mut Xoshiro256StarStar,
+    leader: Job,
+    members: Vec<(Job, u64)>,
+    leader_wait_ns: u64,
+) {
+    let opts = BfsOptions {
+        threads: cfg.threads,
+        record_parents: leader.query.record_parents,
+        clock: cfg.clock.clone(),
+        ..Default::default()
+    };
+    // Duplicate sources share one kernel column: hot-key workloads
+    // (many queries for a few popular sources) collapse to one traversal
+    // slot per *distinct* source, while the batch still answers every
+    // adopted query. `col[i]` maps query `i` to its column in `distinct`.
+    let k = 1 + members.len();
+    let mut distinct: Vec<VertexId> = Vec::with_capacity(k);
+    let col: Vec<usize> = std::iter::once(leader.query.src)
+        .chain(members.iter().map(|(m, _)| m.query.src))
+        .map(|s| {
+            distinct.iter().position(|&d| d == s).unwrap_or_else(|| {
+                distinct.push(s);
+                distinct.len() - 1
+            })
+        })
+        .collect();
+    let mut attempt = 0u32;
+    let run = loop {
+        match obfs_core::driver::try_run_batch_on_pool(
+            leader.query.algo,
+            graph,
+            &distinct,
+            &opts,
+            pm.pool(),
+        ) {
+            Ok(b) => break Ok(b),
+            Err(_) if attempt < cfg.max_retries => {
+                attempt += 1;
+                std::thread::sleep(cfg.backoff_base.saturating_mul(1 << (attempt - 1).min(16)));
+                let _ = rng.next_f64(); // keep the jitter stream aligned
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    {
+        let mut st = shared.lock();
+        st.stats.batched_runs += 1;
+        st.stats.queries_coalesced += k as u64;
+    }
+    let jobs = std::iter::once((leader, leader_wait_ns)).chain(members);
+    match run {
+        Ok(b) => {
+            let status = match b.stats.outcome {
+                Outcome::Degraded => QueryStatus::Degraded,
+                _ => QueryStatus::Complete,
+            };
+            // Fan the per-column results back out: the last query on a
+            // column moves the label arrays, earlier duplicates clone.
+            let mut remaining = vec![0usize; distinct.len()];
+            for &c in &col {
+                remaining[c] += 1;
+            }
+            let mut columns: Vec<Option<_>> = b.queries.into_iter().map(Some).collect();
+            for ((j, w), c) in jobs.zip(col) {
+                remaining[c] -= 1;
+                let q = if remaining[c] == 0 {
+                    columns[c].take().expect("column responded early")
+                } else {
+                    columns[c].clone().expect("column responded early")
+                };
+                let result = Some(q.into_bfs_result(&b.stats));
+                respond(shared, cfg, pm.rebuilds(), j, status.clone(), result, attempt, w);
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for (j, w) in jobs {
+                respond(
+                    shared,
+                    cfg,
+                    pm.rebuilds(),
+                    j,
+                    QueryStatus::Failed(msg.clone()),
+                    None,
+                    attempt,
+                    w,
+                );
+            }
+        }
     }
 }
 
@@ -632,6 +816,74 @@ mod tests {
         assert_eq!(pop_edf(&mut q).unwrap().id, 1);
         assert_eq!(pop_edf(&mut q).unwrap().id, 0, "no deadline sorts last");
         assert!(pop_edf(&mut q).is_none());
+    }
+
+    /// Compatible queries that pile up behind a running query must be
+    /// coalesced into batched traversals, each answer must still be the
+    /// exact per-source BFS, and the coalescing counters must surface
+    /// it. (A burst of `n` submits behind a busy scheduler can drain in
+    /// at most a handful of pops once batching works; per-round retries
+    /// absorb the scheduling race.)
+    #[test]
+    fn compatible_queued_queries_coalesce_into_batched_runs() {
+        let g = Arc::new(gen::erdos_renyi(20_000, 120_000, 77));
+        let serial0 = obfs_core::serial::serial_bfs(&g, 0).reached();
+        let e = Engine::new(
+            Arc::clone(&g),
+            EngineConfig { threads: 2, capacity: 128, ..Default::default() },
+        );
+        for round in 0..5 {
+            // Query 0 is popped alone; the rest queue while it runs and
+            // must ride batched runs.
+            let handles: Vec<QueryHandle> = (0..48u32)
+                .map(|i| e.submit(Query::new(Algorithm::Bfscl, i % 100)).unwrap())
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                let resp = h.wait();
+                assert_eq!(resp.status, QueryStatus::Complete, "query {i}");
+                let r = resp.result.expect("complete query carries a result");
+                assert!(!r.stats.partial, "query {i}");
+                if i == 0 {
+                    assert_eq!(r.reached(), serial0, "query 0 reach differs from serial");
+                }
+            }
+            let st = e.stats();
+            if st.batched_runs >= 1 {
+                assert!(
+                    st.queries_coalesced >= 2,
+                    "a batched run must answer at least two queries"
+                );
+                assert_eq!(st.completed, 48 * (round + 1), "all queries still complete");
+                return;
+            }
+        }
+        panic!("48-query bursts never coalesced in 5 rounds");
+    }
+
+    /// Deadlined and chaos-carrying queries never join a batch: the
+    /// compatibility predicate excludes them.
+    #[test]
+    fn deadlined_queries_do_not_coalesce() {
+        let mk = |id, deadline_abs, chaos| Job {
+            id,
+            query: Query { chaos, ..Query::new(Algorithm::Bfscl, 0) },
+            token: CancelToken::new(&Clock::wall()),
+            deadline_abs,
+            tx: mpsc::channel().0,
+            submitted_ns: 0,
+        };
+        let leader = mk(0, None, None);
+        let mut q = VecDeque::from([
+            mk(1, Some(500), None),                         // deadlined: solo
+            mk(2, None, None),                              // compatible
+            mk(3, None, Some(ChaosConfig::store_buffer(1))), // chaos: solo
+            mk(4, None, None),                              // compatible
+        ]);
+        let members = extract_members(&mut q, &leader, 63);
+        assert_eq!(members.iter().map(|j| j.id).collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(q.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert!(!coalescible(&mk(5, Some(1), None)));
+        assert!(coalescible(&mk(6, None, None)));
     }
 
     /// Worker panic mid-query: the query retries on a rebuilt pool and

@@ -223,7 +223,7 @@ mod active {
     use obfs_util::Xoshiro256StarStar;
     use std::cell::RefCell;
     use std::collections::VecDeque;
-    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering::Relaxed};
+    use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering::Relaxed};
 
     /// Cap on simultaneously deferred stores per thread; past this,
     /// stores go straight to memory.
@@ -231,6 +231,7 @@ mod active {
 
     enum Target {
         U32(*const AtomicU32, u32),
+        U64(*const AtomicU64, u64),
         Usize(*const AtomicUsize, usize),
     }
 
@@ -238,6 +239,7 @@ mod active {
         fn addr(&self) -> usize {
             match *self {
                 Target::U32(p, _) => p as usize,
+                Target::U64(p, _) => p as usize,
                 Target::Usize(p, _) => p as usize,
             }
         }
@@ -250,6 +252,7 @@ mod active {
         unsafe fn flush(&self) {
             match *self {
                 Target::U32(p, v) => (*p).store(v, Relaxed),
+                Target::U64(p, v) => (*p).store(v, Relaxed),
                 Target::Usize(p, v) => (*p).store(v, Relaxed),
             }
         }
@@ -496,6 +499,7 @@ mod active {
                     .find(|pend| pend.target.addr() == addr)
                     .map(|pend| match pend.target {
                         Target::U32(_, v) => v,
+                        Target::U64(_, v) => v as u32,
                         Target::Usize(_, v) => v as u32,
                     })
             })
@@ -508,6 +512,35 @@ mod active {
                 let Some(plan) = plan.as_mut() else { return false };
                 step(plan);
                 maybe_defer(plan, Target::U32(cell, v))
+            })
+        }
+
+        #[inline]
+        pub(crate) fn load_u64(cell: &AtomicU64) -> Option<u64> {
+            PLAN.with(|p| {
+                let mut plan = p.borrow_mut();
+                let plan = plan.as_mut()?;
+                step(plan);
+                let addr = cell as *const AtomicU64 as usize;
+                plan.pending
+                    .iter()
+                    .rev()
+                    .find(|pend| pend.target.addr() == addr)
+                    .map(|pend| match pend.target {
+                        Target::U32(_, v) => u64::from(v),
+                        Target::U64(_, v) => v,
+                        Target::Usize(_, v) => v as u64,
+                    })
+            })
+        }
+
+        #[inline]
+        pub(crate) fn store_u64(cell: &AtomicU64, v: u64) -> bool {
+            PLAN.with(|p| {
+                let mut plan = p.borrow_mut();
+                let Some(plan) = plan.as_mut() else { return false };
+                step(plan);
+                maybe_defer(plan, Target::U64(cell, v))
             })
         }
 
@@ -527,6 +560,7 @@ mod active {
                     .find(|pend| pend.target.addr() == addr)
                     .map(|pend| match pend.target {
                         Target::U32(_, v) => v as usize,
+                        Target::U64(_, v) => v as usize,
                         Target::Usize(_, v) => v,
                     })
             })
@@ -715,6 +749,23 @@ mod tests {
             }
         });
         assert!(injected > 0, "defer_chance=1.0 must inject");
+    }
+
+    /// The 64-bit membership-word cells get the same forwarding and
+    /// quiesce treatment as the 32-bit cells.
+    #[test]
+    fn u64_cells_forward_and_flush() {
+        use crate::racy::RacyU64;
+        let c = RacyU64::new(0);
+        install(&ChaosConfig { defer_chance: 1.0, stale_window: 1000, ..Default::default() }, 0);
+        c.store(1 << 40);
+        assert_eq!(c.load(), 1 << 40, "owner must forward its own deferred u64 store");
+        // SAFETY: RacyU64 is repr(transparent) over one u64-sized word.
+        let raw = unsafe { &*(&c as *const RacyU64 as *const std::sync::atomic::AtomicU64) };
+        assert_eq!(raw.load(std::sync::atomic::Ordering::Relaxed), 0, "store must be deferred");
+        quiesce();
+        assert_eq!(raw.load(std::sync::atomic::Ordering::Relaxed), 1 << 40, "quiesce must flush");
+        uninstall();
     }
 
     /// Deferred stores become visible after quiesce (the barrier hook).

@@ -80,6 +80,9 @@ pub mod kind {
     /// last level that ran, `a` = cause as [`CANCEL_EXPLICIT`] /
     /// [`CANCEL_DEADLINE`]).
     pub const CANCEL: u16 = 15;
+    /// A batched multi-source run was seeded (leader-recorded at level
+    /// 0; `a` = batch size k, `b` = distinct seed vertices pushed).
+    pub const BATCH: u16 = 16;
 
     /// `FAULT` cause: injected delay window (`b` = spin count).
     pub const FAULT_DELAY: u64 = 1;
@@ -131,6 +134,7 @@ pub mod kind {
             WORKER_END => "worker-end",
             DIR_SWITCH => "direction-switch",
             CANCEL => "cancel",
+            BATCH => "batch",
             _ => "unknown",
         }
     }

@@ -47,6 +47,6 @@ pub use cancel::{CancelCause, CancelToken};
 pub use chaos::ChaosConfig;
 pub use clock::{Clock, ManualClock};
 pub use padded::CachePadded;
-pub use racy::{RacyBuf, RacyU32, RacyUsize};
+pub use racy::{RacyBuf, RacyBuf64, RacyU32, RacyU64, RacyUsize};
 pub use spinlock::{SpinLock, SpinLockGuard};
 pub use ticket::TicketLock;

@@ -17,7 +17,45 @@
 
 #[cfg(not(feature = "volatile-racy"))]
 mod backend {
-    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering::Relaxed};
+    use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+    /// A shared 64-bit cell accessed with plain (relaxed) loads/stores.
+    ///
+    /// The storage type behind per-vertex query-membership words in the
+    /// batched multi-source BFS: a "visited-by" word is OR-updated with
+    /// `load; store(v | bits)` — deliberately no `fetch_or`, so racing
+    /// updates can lose bits. Consumers treat the word as an
+    /// under-approximation and revalidate against the per-query level
+    /// rows, the same optimistic discipline as the queue cursors.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct RacyU64(AtomicU64);
+
+    impl RacyU64 {
+        /// A cell holding `v`.
+        #[inline]
+        pub const fn new(v: u64) -> Self {
+            Self(AtomicU64::new(v))
+        }
+        /// Plain racy load.
+        #[inline]
+        pub fn load(&self) -> u64 {
+            #[cfg(feature = "chaos")]
+            if let Some(v) = crate::chaos::hooks::load_u64(&self.0) {
+                return v;
+            }
+            self.0.load(Relaxed)
+        }
+        /// Plain racy store.
+        #[inline]
+        pub fn store(&self, v: u64) {
+            #[cfg(feature = "chaos")]
+            if crate::chaos::hooks::store_u64(&self.0, v) {
+                return;
+            }
+            self.0.store(v, Relaxed)
+        }
+    }
 
     /// A shared 32-bit cell accessed with plain (relaxed) loads/stores.
     #[repr(transparent)]
@@ -85,6 +123,43 @@ mod backend {
 #[cfg(feature = "volatile-racy")]
 mod backend {
     use std::cell::UnsafeCell;
+
+    /// A shared 64-bit cell accessed with volatile loads/stores.
+    ///
+    /// See [`RacyU32`] for the fidelity/safety discussion; the 64-bit cell
+    /// backs the batched-BFS query-membership words.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct RacyU64(UnsafeCell<u64>);
+
+    // SAFETY (by construction, not by the abstract machine): all accesses go
+    // through volatile single-word loads/stores on naturally aligned u64,
+    // which no mainstream 64-bit ISA tears, and every algorithmic consumer
+    // treats the value as an under-approximation to be revalidated
+    // (optimistic parallelization).
+    unsafe impl Sync for RacyU64 {}
+    // SAFETY: plain owned data — same argument as above.
+    unsafe impl Send for RacyU64 {}
+
+    impl RacyU64 {
+        /// A cell holding `v`.
+        #[inline]
+        pub const fn new(v: u64) -> Self {
+            Self(UnsafeCell::new(v))
+        }
+        /// Plain (volatile) racy load.
+        #[inline]
+        pub fn load(&self) -> u64 {
+            // SAFETY: aligned, live, word-sized — see the Sync impl.
+            unsafe { std::ptr::read_volatile(self.0.get()) }
+        }
+        /// Plain (volatile) racy store.
+        #[inline]
+        pub fn store(&self, v: u64) {
+            // SAFETY: aligned, live, word-sized — see the Sync impl.
+            unsafe { std::ptr::write_volatile(self.0.get(), v) }
+        }
+    }
 
     /// A shared 32-bit cell accessed with volatile loads/stores.
     ///
@@ -155,7 +230,7 @@ mod backend {
     }
 }
 
-pub use backend::{RacyU32, RacyUsize};
+pub use backend::{RacyU32, RacyU64, RacyUsize};
 
 /// A shared buffer of racy `u32` slots.
 ///
@@ -206,6 +281,14 @@ impl RacyBuf {
         self.slots[i].store(v)
     }
 
+    /// Borrow `len` consecutive slots starting at `start` (one bounds
+    /// check for a whole row — the batched-BFS per-vertex level rows are
+    /// scanned on every frontier pop, where per-slot indexing costs).
+    #[inline]
+    pub fn row(&self, start: usize, len: usize) -> &[RacyU32] {
+        &self.slots[start..start + len]
+    }
+
     /// Overwrite every slot with `value` (single-threaded reset path).
     pub fn fill(&self, value: u32) {
         for s in self.slots.iter() {
@@ -219,10 +302,80 @@ impl RacyBuf {
     }
 }
 
+/// A shared buffer of racy `u64` slots.
+///
+/// The storage type behind batched-BFS per-vertex words: `visited_by[v]`
+/// (which queries have claimed `v`) and the per-level bottom-up frontier
+/// words. Same access discipline as [`RacyBuf`], one word per vertex.
+#[derive(Debug, Default)]
+pub struct RacyBuf64 {
+    slots: Box<[RacyU64]>,
+}
+
+impl RacyBuf64 {
+    /// A zero-filled buffer of `len` slots.
+    pub fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || RacyU64::new(0));
+        Self { slots: v.into_boxed_slice() }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when there are no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Plain racy load of slot `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.slots[i].load()
+    }
+
+    /// Plain racy store to slot `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: u64) {
+        self.slots[i].store(v)
+    }
+
+    /// Overwrite every slot with `value` (single-threaded reset path).
+    pub fn fill(&self, value: u64) {
+        for s in self.slots.iter() {
+            s.store(value);
+        }
+    }
+
+    /// Copy the buffer into a plain vector (test/diagnostic helper).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.load()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn cell64_roundtrip() {
+        let c = RacyU64::new(1 << 63);
+        assert_eq!(c.load(), 1 << 63);
+        c.store(u64::MAX);
+        assert_eq!(c.load(), u64::MAX);
+        let b = RacyBuf64::new(3);
+        assert!(!b.is_empty());
+        assert_eq!(b.len(), 3);
+        b.set(1, 0xDEAD_BEEF_DEAD_BEEF);
+        assert_eq!(b.get(1), 0xDEAD_BEEF_DEAD_BEEF);
+        b.fill(7);
+        assert_eq!(b.snapshot(), vec![7; 3]);
+    }
 
     #[test]
     fn cell_roundtrip() {

@@ -48,6 +48,7 @@ run ablations results/ablations.txt --divisor "$DIVISOR" --threads "$THREADS" --
 run table6 results/table6.txt --json --hybrid --divisor "$DIVISOR" --threads "$THREADS" --sources 20 --seed "$SEED"
 run fig3 results/fig3.txt --json --divisor "$DIVISOR" --threads "$THREADS" --sources "$SOURCES" --seed "$SEED"
 run graph500 results/graph500.txt --json --divisor 32 --threads "$THREADS" --sources 16 --seed "$SEED"
-run bombard results/bombard.txt --json --divisor "$DIVISOR" --threads "$THREADS" --seed "$SEED"
+run bombard results/bombard.txt --json --batch --divisor "$DIVISOR" --threads "$THREADS" --seed "$SEED" \
+    --queries 512 --capacity 256 --burst 256
 
 echo "bench.sh: done (tables in results/, reports in BENCH_*.json)"

@@ -26,8 +26,9 @@ pub use obfs_util as util;
 /// Everything a typical downstream user needs.
 pub mod prelude {
     pub use obfs_core::{
-        run_bfs, serial::serial_bfs, Algorithm, BfsOptions, BfsResult, DedupMode, Direction,
-        ForcedDirection, HybridPolicy, SegmentPolicy, WatchdogPolicy,
+        run_batch, run_bfs, serial::serial_bfs, Algorithm, BatchResult, BfsOptions, BfsResult,
+        DedupMode, Direction, ForcedDirection, HybridPolicy, SegmentPolicy, WatchdogPolicy,
+        MAX_BATCH,
     };
     pub use obfs_graph::{gen, CsrGraph, GraphBuilder};
     pub use obfs_sync::ChaosConfig;

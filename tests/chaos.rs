@@ -387,3 +387,99 @@ fn no_plan_means_no_faults() {
         assert_eq!(r.stats.degraded_levels, 0, "{algo}");
     }
 }
+
+/// Store-buffer staleness on the batch kernel's racy cells — membership
+/// words (`u64`), per-query level slots, and the push-dedup word all go
+/// through the chaos hooks. Every query's levels must stay exactly
+/// serial, and the plan must demonstrably inject.
+#[test]
+fn batch_store_buffer_chaos_stays_exact() {
+    for seed in [3u64, 0xBEEF] {
+        let g = gen::erdos_renyi(500, 3500, seed);
+        let sources: Vec<u32> = (0..17).map(|q| (q * 29 + 1) % 500).collect();
+        let opts = BfsOptions {
+            threads: 4,
+            record_parents: true,
+            chaos: Some(ChaosConfig::store_buffer(0xBA7C ^ seed)),
+            ..Default::default()
+        };
+        for algo in PARALLEL {
+            let b = run_batch(algo, &g, &sources, &opts);
+            for (q, qr) in b.queries.iter().enumerate() {
+                let reference = serial_bfs(&g, sources[q]);
+                assert_eq!(
+                    qr.levels, reference.levels,
+                    "{algo} seed={seed} query {q}: batch diverged under chaos"
+                );
+                let r = qr.as_bfs_result(&b.stats);
+                assert!(
+                    validate::check_self_consistent(&g, sources[q], &r).is_ok(),
+                    "{algo} seed={seed} query {q}: invalid tree under chaos"
+                );
+            }
+            assert!(
+                b.stats.totals.injected_faults > 0,
+                "{algo} seed={seed}: plan installed but no faults injected"
+            );
+        }
+    }
+}
+
+/// Batch runs through the watchdog's serial sweep: a zero deadline
+/// degrades every level, the sweep re-derives frontier words from the
+/// barrier-published level rows, and each query stays exact.
+#[test]
+fn batch_watchdog_degradation_stays_exact() {
+    let g = gen::erdos_renyi(400, 2800, 21);
+    let sources: Vec<u32> = (0..33).map(|q| (q * 11 + 2) % 400).collect();
+    let opts = BfsOptions {
+        threads: 4,
+        watchdog: Some(WatchdogPolicy::deadline(Duration::ZERO)),
+        ..Default::default()
+    };
+    for algo in PARALLEL {
+        let b = run_batch(algo, &g, &sources, &opts);
+        assert_eq!(
+            b.stats.degraded_levels, b.stats.levels,
+            "{algo}: zero deadline must degrade every batched level"
+        );
+        for (q, qr) in b.queries.iter().enumerate() {
+            let reference = serial_bfs(&g, sources[q]);
+            assert_eq!(qr.levels, reference.levels, "{algo} query {q} after sweep");
+        }
+    }
+}
+
+/// Aggressive chaos + single-slot segments + retry budget of one on a
+/// full 64-wide batch: recovery counters still fire and nothing bleeds
+/// between queries.
+#[test]
+fn batch_chaos_recovery_counters_still_fire() {
+    let mut injected = 0u64;
+    let mut recovered = 0u64;
+    for seed in 0..4u64 {
+        let g = gen::erdos_renyi(300, 2100, seed + 100);
+        let sources: Vec<u32> = (0..64).map(|q| (q * 7 + 1) % 300).collect();
+        let opts = BfsOptions {
+            threads: 4,
+            segment: SegmentPolicy::Fixed(1),
+            chaos: Some(ChaosConfig::aggressive(seed)),
+            watchdog: Some(WatchdogPolicy {
+                max_fetch_retries: Some(1),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let b = run_batch(Algorithm::Bfscl, &g, &sources, &opts);
+        for (q, qr) in b.queries.iter().enumerate() {
+            let reference = serial_bfs(&g, sources[q]);
+            assert_eq!(qr.levels, reference.levels, "seed {seed} query {q}");
+        }
+        injected += b.stats.totals.injected_faults;
+        recovered += b.stats.totals.fetch_retries
+            + b.stats.totals.stale_slot_aborts
+            + u64::from(b.stats.degraded_levels);
+    }
+    assert!(injected > 0, "aggressive plans never injected into batch runs");
+    assert!(recovered > 0, "no recovery machinery fired across batch chaos seeds");
+}

@@ -79,7 +79,11 @@ fn all_algorithms_from_many_sources() {
 #[test]
 fn option_grid_does_not_break_correctness() {
     let g = gen::barabasi_albert(700, 3, 23);
-    let reference = serial_bfs(&g, 0);
+    // Rotate the source through the grid instead of pinning vertex 0:
+    // option bugs that only bite from a hub, a leaf, or the last vertex
+    // would all pass a src=0-only sweep.
+    let sources = [0u32, 3, 377, 699];
+    let references: Vec<_> = sources.iter().map(|&s| serial_bfs(&g, s)).collect();
     let segments = [
         SegmentPolicy::Fixed(1),
         SegmentPolicy::Fixed(64),
@@ -87,9 +91,13 @@ fn option_grid_does_not_break_correctness() {
         SegmentPolicy::Adaptive { div: 16, max: 8 },
     ];
     let dedups = [DedupMode::None, DedupMode::OwnerArray];
+    let mut combo = 0usize;
     for segment in segments {
         for dedup in dedups {
             for phase2_steal in [false, true] {
+                let src = sources[combo % sources.len()];
+                let reference = &references[combo % sources.len()];
+                combo += 1;
                 let opts = BfsOptions {
                     threads: 4,
                     segment,
@@ -101,14 +109,46 @@ fn option_grid_does_not_break_correctness() {
                 };
                 for algo in [Algorithm::Bfscl, Algorithm::Bfsdl, Algorithm::Bfswl, Algorithm::Bfswsl]
                 {
-                    let r = run_bfs(algo, &g, 0, &opts);
+                    let r = run_bfs(algo, &g, src, &opts);
                     assert_eq!(
                         r.levels, reference.levels,
-                        "{algo} wrong with {segment:?}/{dedup:?}/p2steal={phase2_steal}"
+                        "{algo} wrong from {src} with {segment:?}/{dedup:?}/p2steal={phase2_steal}"
                     );
-                    obfs::core::validate::check_self_consistent(&g, 0, &r)
+                    obfs::core::validate::check_self_consistent(&g, src, &r)
                         .unwrap_or_else(|e| panic!("{algo}: invalid tree: {e}"));
                 }
+            }
+        }
+    }
+}
+
+/// Sources inside secondary components and isolated vertices: the
+/// degree>0 source pick used elsewhere always lands in the first
+/// component, so a traversal that "accidentally" bleeds across
+/// components (or mishandles an immediately-empty frontier) would never
+/// be caught there. Every algorithm must reproduce serial levels —
+/// reaching exactly the source's own component — from each such source.
+#[test]
+fn sources_in_secondary_components_match_serial() {
+    let g = CsrGraph::from_edges(
+        300,
+        &[(0, 1), (1, 2), (2, 0), (100, 101), (101, 102), (200, 201)],
+    );
+    // Component reps (100, 200), interior (101), and isolated (50, 299).
+    for src in [100u32, 101, 200, 50, 299] {
+        let reference = serial_bfs(&g, src);
+        let reached = reference.reached();
+        for &threads in &[1usize, 4] {
+            let opts = BfsOptions { threads, record_parents: true, ..BfsOptions::default() };
+            for algo in Algorithm::ALL {
+                let r = run_bfs(algo, &g, src, &opts);
+                assert_eq!(
+                    r.levels, reference.levels,
+                    "{algo} wrong from secondary-component source {src} (p={threads})"
+                );
+                assert_eq!(r.reached(), reached, "{algo} bled across components from {src}");
+                obfs::core::validate::check_self_consistent(&g, src, &r)
+                    .unwrap_or_else(|e| panic!("{algo} from {src}: invalid tree: {e}"));
             }
         }
     }

@@ -291,3 +291,74 @@ fn engine_soak_full() {
     );
     assert_eq!(e.in_flight(), 0);
 }
+
+/// The per-query partial-state contract on a batched run: a deadline
+/// that expires mid-traversal aborts the *shared* level loop at one
+/// barrier, and every query's column must then independently satisfy
+/// `check_partial` — labeled vertices carry exact distances, and every
+/// union-frontier level the run consumed is completely labeled for every
+/// member query.
+#[test]
+fn expired_deadline_batch_yields_consistent_per_query_partial_state() {
+    let g = test_graph(13);
+    let sources: Vec<u32> = (0..17).map(|q| q * 83 + 1).collect();
+    let (clock, hand) = Clock::manual();
+    hand.set_ns(5_000_000);
+    for algo in [Algorithm::Bfscl, Algorithm::Bfswl, Algorithm::Bfswsl, Algorithm::EdgeCl] {
+        let token = CancelToken::with_deadline_at(&clock, 5_000_000); // now
+        let opts = BfsOptions {
+            threads: 3,
+            clock: clock.clone(),
+            cancel: Some(token),
+            ..Default::default()
+        };
+        let b = obfs_core::run_batch(algo, &g, &sources, &opts);
+        assert_eq!(b.stats.outcome, Outcome::DeadlineExceeded, "{algo}");
+        assert!(b.stats.partial, "{algo}: aborted batch must be tagged partial");
+        for (q, qr) in b.queries.iter().enumerate() {
+            let reference = serial_bfs(&g, sources[q]);
+            let r = qr.as_bfs_result(&b.stats);
+            obfs_core::validate::check_partial(&g, sources[q], &r, &reference.levels)
+                .unwrap_or_else(|e| {
+                    panic!("{algo} query {q}: per-query partial contract broken: {e}")
+                });
+        }
+    }
+}
+
+/// Cancellation reaches a worker stalled inside a batched dispatch
+/// quantum, and after the leader publishes the abort every query's
+/// partial column is still contract-clean.
+#[cfg(feature = "chaos")]
+#[test]
+fn cancellation_breaks_a_stalled_batch_run() {
+    use obfs_sync::ChaosConfig;
+    let g = test_graph(14);
+    let sources: Vec<u32> = (0..64).map(|q| q * 31 + 1).collect();
+    let clock = Clock::wall();
+    let token = CancelToken::new(&clock);
+    let opts = BfsOptions {
+        threads: 4,
+        clock,
+        cancel: Some(token.clone()),
+        chaos: Some(ChaosConfig::stall(15, 25, u32::MAX)),
+        ..Default::default()
+    };
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            token.cancel();
+        })
+    };
+    let b = obfs_core::run_batch(Algorithm::Bfscl, &g, &sources, &opts);
+    canceller.join().unwrap();
+    assert_eq!(b.stats.outcome, Outcome::Cancelled);
+    assert!(b.stats.partial);
+    for (q, qr) in b.queries.iter().enumerate() {
+        let reference = serial_bfs(&g, sources[q]);
+        let r = qr.as_bfs_result(&b.stats);
+        obfs_core::validate::check_partial(&g, sources[q], &r, &reference.levels)
+            .unwrap_or_else(|e| panic!("query {q}: partial contract broken: {e}"));
+    }
+}
