@@ -29,15 +29,22 @@ fn result_json(
     hmean_teps: f64,
     dup: f64,
     steal: &StealCounters,
+    compacted_levels: u64,
+    kernel_backend: Option<&str>,
 ) -> Json {
-    Json::Obj(vec![
+    let mut members = vec![
         ("contender".to_string(), Json::Str(name.to_string())),
         ("graph".to_string(), Json::Str(graph.to_string())),
         ("time_ms".to_string(), json::summary_json(&per_key_ms.summary())),
         ("teps".to_string(), Json::Num(hmean_teps)),
         ("duplicate_overhead".to_string(), Json::Num(dup)),
         ("steal".to_string(), json::steal_json(steal)),
-    ])
+        ("compacted_levels".to_string(), Json::Num(compacted_levels as f64)),
+    ];
+    if let Some(b) = kernel_backend {
+        members.push(("kernel_backend".to_string(), Json::Str(b.to_string())));
+    }
+    Json::Obj(members)
 }
 
 fn main() {
@@ -79,13 +86,16 @@ fn main() {
     let beamer_pool = LevelPool::new(args.threads);
     let opts = BfsOptions { threads: args.threads, ..Default::default() };
 
-    // The hybrid rows always run here: dense low-diameter RMAT is
-    // exactly the regime direction optimization targets, so this binary
-    // is where the top-down vs hybrid crossover is measured.
+    // The hybrid and compaction rows always run here: dense low-diameter
+    // RMAT is exactly the regime direction optimization and prefix-sum
+    // frontier compaction target, so this binary is where the top-down
+    // vs hybrid vs compacted crossover is measured.
     let mut contenders: Vec<Contender> = vec![
         Contender::Ours(Algorithm::Serial),
         Contender::Ours(Algorithm::Bfscl),
         Contender::Ours(Algorithm::Bfswsl),
+        Contender::OursCompact(Algorithm::Bfscl),
+        Contender::OursCompact(Algorithm::Bfswsl),
     ];
     contenders.extend(Contender::hybrid_roster());
     contenders.push(Contender::Baseline1);
@@ -99,6 +109,8 @@ fn main() {
         let mut per_key = OnlineStats::new();
         let mut dup = OnlineStats::new();
         let mut steal = StealCounters::default();
+        let mut compacted = 0u64;
+        let mut backend: Option<String> = None;
         for (i, &src) in sources.iter().enumerate() {
             let r = pool.run_with_transpose(*c, &graph, Some(&transpose), src, &opts);
             if i == 0 {
@@ -112,6 +124,10 @@ fn main() {
                     .max(0.0),
             );
             steal.merge(&r.stats.totals.steal);
+            compacted += u64::from(r.stats.compacted_levels);
+            if backend.is_none() {
+                backend = r.stats.kernel_backend.map(|b| b.label().to_string());
+            }
         }
         let hmean = sources.len() as f64 / inv_teps_sum;
         if let Some(report) = &mut report {
@@ -122,6 +138,8 @@ fn main() {
                 hmean,
                 dup.mean(),
                 &steal,
+                compacted,
+                backend.as_deref(),
             ));
         }
         t.row(vec![c.name(), teps(hmean), format!("{:.3}", per_key.mean())]);
@@ -148,6 +166,8 @@ fn main() {
                 hmean,
                 0.0, // direction-opt never re-explores
                 &StealCounters::default(),
+                0,    // external baseline: no compaction path
+                None, // ...and no dispatched kernels
             ));
         }
         t.row(vec![

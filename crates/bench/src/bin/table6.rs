@@ -85,6 +85,8 @@ fn main() {
         let mut total = StealCounters::default();
         let mut recovery = ThreadStats::default();
         let mut degraded = 0u64;
+        let mut compacted = 0u64;
+        let mut backend: Option<String> = None;
         let mut time_ms = 0.0f64;
         let mut per_source = OnlineStats::new();
         let mut teps = OnlineStats::new();
@@ -96,6 +98,10 @@ fn main() {
                 total.merge(&r.stats.totals.steal);
                 recovery.merge(&r.stats.totals);
                 degraded += u64::from(r.stats.degraded_levels);
+                compacted += u64::from(r.stats.compacted_levels);
+                if backend.is_none() {
+                    backend = r.stats.kernel_backend.map(|b| b.label().to_string());
+                }
                 let ms = r.stats.traversal_time.as_secs_f64() * 1e3;
                 time_ms += ms;
                 per_source.push(ms);
@@ -160,7 +166,11 @@ fn main() {
                 ("steal".to_string(), json::steal_json(&total)),
                 ("recovery".to_string(), json::thread_stats_json(&recovery)),
                 ("degraded_levels".to_string(), Json::Num(degraded as f64)),
+                ("compacted_levels".to_string(), Json::Num(compacted as f64)),
             ];
+            if let Some(b) = &backend {
+                members.push(("kernel_backend".to_string(), Json::Str(b.clone())));
+            }
             if !r.stats.level_stats.is_empty() {
                 members.push((
                     "series".to_string(),

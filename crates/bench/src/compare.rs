@@ -1,4 +1,4 @@
-//! Regression gate: diff two schema-v2/v3 `BENCH_*.json` reports.
+//! Regression gate: diff two schema-v2..v4 `BENCH_*.json` reports.
 //!
 //! The bench binaries emit machine-readable reports with per-result
 //! time summaries (mean/stddev over repeated sources) and counter
@@ -66,6 +66,21 @@ pub struct Delta {
     pub regression: bool,
 }
 
+/// Informational kernel-backend identity of one matched result pair
+/// (schema-v4 `kernel_backend`). Never gated: the dispatched kernels
+/// are interchangeable by construction, and the probe legitimately
+/// picks differently on different machines — the note exists so a
+/// surprise backend flip is *visible* next to a time regression.
+#[derive(Debug, Clone)]
+pub struct BackendNote {
+    /// `contender/graph` pair key.
+    pub key: String,
+    /// Baseline backend label (`"-"` if the baseline predates v4).
+    pub base: String,
+    /// Contender backend label (`"-"` if absent).
+    pub new: String,
+}
+
 /// The full diff of two reports.
 #[derive(Debug, Clone, Default)]
 pub struct Comparison {
@@ -77,6 +92,9 @@ pub struct Comparison {
     pub missing: Vec<String>,
     /// Keys present only in the contender report (informational).
     pub added: Vec<String>,
+    /// Kernel-backend identities of matched pairs that record one
+    /// (informational, never a regression).
+    pub kernel_backends: Vec<BackendNote>,
 }
 
 impl Comparison {
@@ -105,6 +123,21 @@ impl Comparison {
             (
                 "added".into(),
                 Json::Arr(self.added.iter().map(|m| Json::Str(m.clone())).collect()),
+            ),
+            (
+                "kernel_backends".into(),
+                Json::Arr(
+                    self.kernel_backends
+                        .iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("key".into(), Json::Str(b.key.clone())),
+                                ("base".into(), Json::Str(b.base.clone())),
+                                ("new".into(), Json::Str(b.new.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             (
                 "deltas".into(),
@@ -138,6 +171,10 @@ impl Comparison {
         }
         for m in &self.added {
             writeln!(out, "added    {m} (new in contender, not gated)").unwrap();
+        }
+        for b in &self.kernel_backends {
+            let flip = if b.base != b.new { "  (changed — informational)" } else { "" };
+            writeln!(out, "backend  {:<26} {} -> {}{flip}", b.key, b.base, b.new).unwrap();
         }
         let regs = self.regressions();
         for d in &regs {
@@ -288,6 +325,18 @@ pub fn compare(base: &Json, new: &Json, opts: &CompareOpts) -> Result<Comparison
                 change,
                 allowed,
                 regression: -change > allowed, // TEPS regress downward
+            });
+        }
+
+        // Schema-v4 kernel identity: recorded but never gated (see
+        // [`BackendNote`]).
+        let bk = b.get("kernel_backend").and_then(Json::as_str);
+        let nk = n.get("kernel_backend").and_then(Json::as_str);
+        if bk.is_some() || nk.is_some() {
+            cmp.kernel_backends.push(BackendNote {
+                key: key.clone(),
+                base: bk.unwrap_or("-").to_string(),
+                new: nk.unwrap_or("-").to_string(),
             });
         }
 
@@ -481,6 +530,68 @@ mod tests {
         let c = compare(&r, &r, &CompareOpts { scale_time: 1.0, ..CompareOpts::default() })
             .unwrap();
         assert!(!c.failed());
+    }
+
+    /// Attach schema-v4 compaction/kernel fields to every result.
+    fn with_kernel(mut doc: Json, backend: &str, compacted: u64) -> Json {
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(rs) = v {
+                        for r in rs {
+                            if let Json::Obj(m) = r {
+                                m.push((
+                                    "kernel_backend".into(),
+                                    Json::Str(backend.into()),
+                                ));
+                                m.push((
+                                    "compacted_levels".into(),
+                                    Json::Num(compacted as f64),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn kernel_backend_is_informational_never_gated() {
+        // A backend flip between reports (different machine, different
+        // probe outcome) is surfaced but must not fail the gate.
+        let base = with_kernel(report(1.0, 100, 0.05), "wordwise", 3);
+        let flipped = with_kernel(report(1.0, 100, 0.05), "scalar", 3);
+        let c = compare(&base, &flipped, &CompareOpts::default()).unwrap();
+        assert!(!c.failed(), "{}", c.render_table());
+        assert_eq!(c.kernel_backends.len(), 2);
+        assert!(c.kernel_backends.iter().all(|b| b.base == "wordwise" && b.new == "scalar"));
+        assert!(c.render_table().contains("changed — informational"));
+        assert!(c.to_json().render().contains("kernel_backends"));
+        // A v3 baseline without the key still gets a note (base "-").
+        let c = compare(&report(1.0, 100, 0.05), &base, &CompareOpts::default()).unwrap();
+        assert!(!c.failed());
+        assert!(c.kernel_backends.iter().all(|b| b.base == "-" && b.new == "wordwise"));
+    }
+
+    #[test]
+    fn gate_trips_on_synthetic_regression_in_a_compacted_run() {
+        // The CI must-trip self-test in miniature: a compacted-run
+        // report (compacted_levels > 0, kernel backend recorded) slowed
+        // 1.5x must fail, proving the gate still has teeth on v4
+        // reports carrying the new informational fields.
+        let base = with_kernel(report(1.0, 100, 0.05), "wordwise", 3);
+        let slow = with_kernel(report(1.5, 100, 0.05), "wordwise", 3);
+        let c = compare(&base, &slow, &CompareOpts::default()).unwrap();
+        assert!(c.failed(), "{}", c.render_table());
+        assert!(c.regressions().iter().any(|d| d.metric == "time_ms"));
+        assert!(c.regressions().iter().any(|d| d.metric == "harmonic_teps"));
+        // And through the scale_time knob, exactly as CI invokes it
+        // (`compare X X --scale-time 1.5`).
+        let opts = CompareOpts { scale_time: 1.5, ..CompareOpts::default() };
+        let c = compare(&base, &base, &opts).unwrap();
+        assert!(c.failed(), "identity compare with 1.5x scale must fail");
     }
 
     /// Attach a serve block (qps, p99) to every result of a report.

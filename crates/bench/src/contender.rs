@@ -3,7 +3,9 @@
 
 use obfs_baselines::hong::{hong_bfs_on_pool, HongVariant};
 use obfs_baselines::pbfs::PbfsRunner;
-use obfs_core::{run_bfs, Algorithm, BfsOptions, BfsResult, BfsRunner, HybridPolicy};
+use obfs_core::{
+    run_bfs, Algorithm, BfsOptions, BfsResult, BfsRunner, CompactionPolicy, HybridPolicy,
+};
 use obfs_graph::{CsrGraph, VertexId};
 use obfs_runtime::LevelPool;
 
@@ -13,8 +15,14 @@ pub enum Contender {
     /// One of this paper's algorithms.
     Ours(Algorithm),
     /// One of this paper's algorithms with the direction-optimizing
-    /// hybrid enabled (default α/β heuristic).
+    /// hybrid enabled (default α/β heuristic). Hybrid rows also enable
+    /// prefix-sum frontier compaction (default density policy), so they
+    /// exercise the full optimized top-down + bottom-up pipeline.
     OursHybrid(Algorithm),
+    /// One of this paper's algorithms with prefix-sum frontier
+    /// compaction enabled (default density policy) but no hybrid —
+    /// isolates the compaction gain on top-down-only execution.
+    OursCompact(Algorithm),
     /// Leiserson–Schardl bag PBFS.
     Baseline1,
     /// A Hong et al. multicore variant.
@@ -25,6 +33,8 @@ impl Contender {
     /// The full roster in the paper's table-row order.
     pub fn roster() -> Vec<Contender> {
         let mut v: Vec<Contender> = Algorithm::ALL.into_iter().map(Contender::Ours).collect();
+        v.push(Contender::OursCompact(Algorithm::Bfscl));
+        v.push(Contender::OursCompact(Algorithm::Bfswsl));
         v.push(Contender::Baseline1);
         v.push(Contender::Baseline2(HongVariant::Queue));
         v.push(Contender::Baseline2(HongVariant::LocalQueueReadBitmap));
@@ -46,6 +56,7 @@ impl Contender {
         match self {
             Contender::Ours(a) => a.name().to_string(),
             Contender::OursHybrid(a) => format!("{}+hyb", a.name()),
+            Contender::OursCompact(a) => format!("{}+cmp", a.name()),
             Contender::Baseline1 => "Baseline1[bag]".to_string(),
             Contender::Baseline2(v) => format!("Baseline2/{v}"),
         }
@@ -119,9 +130,18 @@ impl ContenderPool {
                 let opts = BfsOptions {
                     threads: self.threads,
                     hybrid: Some(HybridPolicy::default()),
+                    compaction: Some(CompactionPolicy::default()),
                     ..opts.clone()
                 };
                 self.ours.run_with_transpose(a, graph, transpose, src, &opts)
+            }
+            Contender::OursCompact(a) => {
+                let opts = BfsOptions {
+                    threads: self.threads,
+                    compaction: Some(CompactionPolicy::default()),
+                    ..opts.clone()
+                };
+                self.ours.run(a, graph, src, &opts)
             }
             Contender::Baseline1 => self.pbfs.run(graph, src),
             Contender::Baseline2(v) => hong_bfs_on_pool(v, graph, src, &self.hong_pool),
@@ -138,7 +158,8 @@ mod tests {
     #[test]
     fn roster_covers_everything_once() {
         let r = Contender::roster();
-        assert_eq!(r.len(), Algorithm::ALL.len() + 4);
+        // ALL + two +cmp rows + Baseline1 + three Baseline2 variants.
+        assert_eq!(r.len(), Algorithm::ALL.len() + 6);
         let names: std::collections::HashSet<_> = r.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), r.len(), "duplicate contender names");
     }
@@ -174,6 +195,32 @@ mod tests {
                 "{c}: hybrid runs must record a direction per level"
             );
         }
+    }
+
+    #[test]
+    fn compaction_contenders_compact_and_stay_correct() {
+        let g = gen::erdos_renyi(400, 2800, 5);
+        let ser = serial_bfs(&g, 0);
+        let mut pool = ContenderPool::new(4);
+        let opts = BfsOptions { threads: 4, ..Default::default() };
+        for c in [
+            Contender::OursCompact(Algorithm::Bfscl),
+            Contender::OursCompact(Algorithm::Bfswsl),
+        ] {
+            assert!(c.name().ends_with("+cmp"), "{c}");
+            let r = pool.run(c, &g, 0, &opts);
+            assert_eq!(r.levels, ser.levels, "{c} produced wrong levels");
+            assert!(
+                r.stats.compacted_levels > 0,
+                "{c}: dense ER levels should trigger compaction"
+            );
+            assert!(r.stats.kernel_backend.is_some(), "{c}: backend not recorded");
+        }
+        // Hybrid rows carry compaction too (dense top-down levels may
+        // switch to bottom-up instead, so only the option is asserted).
+        let r = pool.run(Contender::OursHybrid(Algorithm::Bfscl), &g, 0, &opts);
+        assert_eq!(r.levels, ser.levels);
+        assert!(r.stats.kernel_backend.is_some());
     }
 
     #[test]

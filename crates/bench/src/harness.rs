@@ -49,6 +49,13 @@ pub struct Measurement {
     pub stale_slot_aborts: u64,
     /// Total pops skipped by the owner-array dedup.
     pub dedup_skips: u64,
+    /// Total levels consumed through a prefix-sum-compacted frontier
+    /// (0 unless the contender enables `BfsOptions::compaction`).
+    pub compacted_levels: u64,
+    /// Bitmap scan kernel the runs dispatched to (`"wordwise"` /
+    /// `"scalar"`); `None` for serial and external contenders whose
+    /// runs never touch the dispatched kernels.
+    pub kernel_backend: Option<String>,
     /// Per-level series from one extra collection run; `None` unless
     /// measured via [`measure_with_series`].
     pub series: Option<SeriesRun>,
@@ -77,6 +84,8 @@ pub fn measure(
     let mut fetch_retries = 0u64;
     let mut stale_slot_aborts = 0u64;
     let mut dedup_skips = 0u64;
+    let mut compacted_levels = 0u64;
+    let mut kernel_backend = None;
     for (i, &src) in sources.iter().enumerate() {
         let r = pool.run(contender, graph, src, opts);
         if i == 0 {
@@ -98,6 +107,12 @@ pub fn measure(
         fetch_retries += r.stats.totals.fetch_retries;
         stale_slot_aborts += r.stats.totals.stale_slot_aborts;
         dedup_skips += r.stats.totals.dedup_skips;
+        compacted_levels += u64::from(r.stats.compacted_levels);
+        // The probe is cached per process, so every parallel run of the
+        // cell reports the same backend; keep the first.
+        if kernel_backend.is_none() {
+            kernel_backend = r.stats.kernel_backend.map(|b| b.label().to_string());
+        }
     }
     Measurement {
         contender: contender.name(),
@@ -111,6 +126,8 @@ pub fn measure(
         fetch_retries,
         stale_slot_aborts,
         dedup_skips,
+        compacted_levels,
+        kernel_backend,
         series: None,
     }
 }
@@ -190,6 +207,10 @@ mod tests {
         assert!(m.teps > 0.0);
         assert!(m.duplicate_overhead >= 0.0);
         assert!(m.levels >= 1.0);
+        assert!(
+            matches!(m.kernel_backend.as_deref(), Some("wordwise" | "scalar")),
+            "parallel runs must report the dispatched kernel"
+        );
     }
 
     #[test]

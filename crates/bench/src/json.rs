@@ -25,11 +25,16 @@ pub use obfs_util::json::Json;
 /// v3: batched multi-source serving — optional `serve.batch` block
 /// (bombard `--batch`) recording coalesced-run occupancy and batched
 /// throughput next to the unbatched baseline.
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: prefix-sum frontier compaction + dispatched scan kernels —
+/// per-level `compacted` flag (implies direction "td"), per-result
+/// `compacted_levels` count and informational `kernel_backend`
+/// ("wordwise"/"scalar"), `series.compacted_levels` conservation sum.
+pub const SCHEMA_VERSION: u64 = 4;
 
-/// Oldest schema still accepted by [`validate_report`]. v2 reports
-/// differ from v3 only by the absence of the optional `serve.batch`
-/// block, so committed v2 artifacts stay valid without regeneration.
+/// Oldest schema still accepted by [`validate_report`]. v3 and v2
+/// reports differ from v4 only by the absence of optional keys
+/// (`serve.batch`, the compaction/kernel fields), so committed older
+/// artifacts stay valid without regeneration.
 pub const MIN_SCHEMA_VERSION: u64 = 2;
 
 fn num(x: f64) -> Json {
@@ -98,6 +103,7 @@ pub fn level_json(e: &LevelStats) -> Json {
         ("time_us".into(), num(e.duration.as_secs_f64() * 1e6)),
         ("degraded".into(), Json::Bool(e.degraded)),
         ("direction".into(), s(e.direction.label())),
+        ("compacted".into(), Json::Bool(e.compacted)),
         ("counters".into(), thread_stats_json(&e.counters)),
     ])
 }
@@ -106,8 +112,10 @@ pub fn level_json(e: &LevelStats) -> Json {
 /// deltas plus the same run's totals so the conservation invariant
 /// (sum over levels == totals) is checkable file-internally.
 pub fn series_json(levels: &[LevelStats], totals: &ThreadStats, degraded_levels: u32) -> Json {
+    let compacted = levels.iter().filter(|e| e.compacted).count() as u64;
     Json::Obj(vec![
         ("degraded_levels".into(), int(u64::from(degraded_levels))),
+        ("compacted_levels".into(), int(compacted)),
         ("totals".into(), thread_stats_json(totals)),
         ("levels".into(), Json::Arr(levels.iter().map(level_json).collect())),
     ])
@@ -132,7 +140,11 @@ pub fn measurement_json(m: &Measurement) -> Json {
                 ("dedup_skips".into(), int(m.dedup_skips)),
             ]),
         ),
+        ("compacted_levels".into(), int(m.compacted_levels)),
     ];
+    if let Some(backend) = &m.kernel_backend {
+        members.push(("kernel_backend".into(), s(backend)));
+    }
     if let Some(series) = &m.series {
         members.push((
             "series".into(),
@@ -294,6 +306,18 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         if !steal.is_consistent() {
             return Err(format!("{at}.steal: buckets do not sum to attempts: {steal:?}"));
         }
+        // v4 optional keys: absent in committed v2/v3 artifacts.
+        if let Some(cl) = r.get("compacted_levels") {
+            cl.as_u64().ok_or_else(|| format!("{at}.compacted_levels: not an integer"))?;
+        }
+        if let Some(kb) = r.get("kernel_backend") {
+            let label = kb
+                .as_str()
+                .ok_or_else(|| format!("{at}.kernel_backend: not a string"))?;
+            if obfs_core::ScanBackend::from_label(label).is_none() {
+                return Err(format!("{at}.kernel_backend: unknown kernel {label:?}"));
+            }
+        }
         if let Some(series) = r.get("series") {
             validate_series(series, &at)?;
         }
@@ -386,6 +410,7 @@ fn validate_series(series: &Json, at: &str) -> Result<(), String> {
         .as_arr()
         .ok_or_else(|| format!("{at}.levels: not an array"))?;
     let mut degraded_sum = 0u64;
+    let mut compacted_sum = 0u64;
     let mut counter_sums = vec![0u64; COUNTER_KEYS.len()];
     let mut steal_sums = vec![0u64; STEAL_KEYS.len()];
     for (i, e) in levels.iter().enumerate() {
@@ -404,6 +429,18 @@ fn validate_series(series: &Json, at: &str) -> Result<(), String> {
         if direction != "td" && direction != "bu" {
             return Err(format!("{lat}.direction: {direction:?} is not \"td\"/\"bu\""));
         }
+        // v4 optional key: compaction only replaces *top-down* queue
+        // dispatch, so a compacted bottom-up level is a contradiction.
+        if let Some(c) = e.get("compacted") {
+            let compacted =
+                c.as_bool().ok_or_else(|| format!("{lat}.compacted: not a bool"))?;
+            if compacted && direction != "td" {
+                return Err(format!(
+                    "{lat}: compacted level with direction {direction:?} (must be \"td\")"
+                ));
+            }
+            compacted_sum += u64::from(compacted);
+        }
         let counters = req(e, "counters", &lat)?;
         for (j, key) in COUNTER_KEYS.iter().enumerate() {
             counter_sums[j] += req_u64(counters, key, &format!("{lat}.counters"))?;
@@ -421,6 +458,18 @@ fn validate_series(series: &Json, at: &str) -> Result<(), String> {
         return Err(format!(
             "{at}: degraded flags sum to {degraded_sum} but degraded_levels = {degraded_levels}"
         ));
+    }
+    // v4 optional key: when present, the count must reproduce the
+    // per-level compacted flags (conservation, like degraded_levels).
+    if let Some(cl) = series.get("compacted_levels") {
+        let compacted_levels =
+            cl.as_u64().ok_or_else(|| format!("{at}.compacted_levels: not an integer"))?;
+        if compacted_sum != compacted_levels {
+            return Err(format!(
+                "{at}: compacted flags sum to {compacted_sum} but compacted_levels = \
+                 {compacted_levels}"
+            ));
+        }
     }
     for (j, key) in COUNTER_KEYS.iter().enumerate() {
         let total = req_u64(totals, key, &format!("{at}.totals"))?;
@@ -562,6 +611,79 @@ mod tests {
         let series = tiny_series(vec![entry], thread_stats_json(&a), 0);
         let err = validate_report(&report_with_series(series)).unwrap_err();
         assert!(err.contains("direction"), "{err}");
+    }
+
+    fn with_compacted(mut entry: Json, compacted: bool) -> Json {
+        if let Json::Obj(members) = &mut entry {
+            members.push(("compacted".into(), Json::Bool(compacted)));
+        }
+        entry
+    }
+
+    #[test]
+    fn validate_accepts_compacted_top_down_levels() {
+        let a = ThreadStats::default();
+        let mut series = tiny_series(
+            vec![with_compacted(level_entry(&a, false), true)],
+            thread_stats_json(&a),
+            0,
+        );
+        if let Json::Obj(members) = &mut series {
+            members.push(("compacted_levels".into(), int(1)));
+        }
+        validate_report(&report_with_series(series)).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_compacted_bottom_up_level() {
+        let a = ThreadStats::default();
+        let mut entry = level_entry(&a, false);
+        if let Json::Obj(members) = &mut entry {
+            for (k, v) in members.iter_mut() {
+                if k == "direction" {
+                    *v = s("bu");
+                }
+            }
+        }
+        let series =
+            tiny_series(vec![with_compacted(entry, true)], thread_stats_json(&a), 0);
+        let err = validate_report(&report_with_series(series)).unwrap_err();
+        assert!(err.contains("compacted"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_compacted_count_mismatch() {
+        let a = ThreadStats::default();
+        let mut series = tiny_series(
+            vec![with_compacted(level_entry(&a, false), true)],
+            thread_stats_json(&a),
+            0,
+        );
+        if let Json::Obj(members) = &mut series {
+            members.push(("compacted_levels".into(), int(3)));
+        }
+        let err = validate_report(&report_with_series(series)).unwrap_err();
+        assert!(err.contains("compacted_levels"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_unknown_kernel_backend() {
+        let a = ThreadStats::default();
+        let mut doc =
+            report_with_series(tiny_series(vec![], thread_stats_json(&a), 0));
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(rs) = v {
+                        if let Json::Obj(r) = &mut rs[0] {
+                            r.push(("kernel_backend".into(), s("simd512")));
+                        }
+                    }
+                }
+            }
+        }
+        let err = validate_report(&doc).unwrap_err();
+        assert!(err.contains("kernel_backend"), "{err}");
     }
 
     fn serve_block(queries: u64, submitted: u64, shed: u64, completed: u64) -> Json {

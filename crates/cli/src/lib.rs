@@ -3,7 +3,9 @@
 
 #![warn(missing_docs)]
 
-use obfs_core::{run_bfs, serial::serial_bfs, Algorithm, BfsOptions, HybridPolicy};
+use obfs_core::{
+    run_bfs, serial::serial_bfs, Algorithm, BfsOptions, CompactionPolicy, HybridPolicy,
+};
 use obfs_graph::{gen, io, stats, CsrGraph};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -18,7 +20,8 @@ pub fn usage() -> String {
        stats      --in FILE\n\
        bfs        --in FILE --algo NAME [--src v | --sources a,b,c] [--threads p] \
      [--validate] [--parents] [--trace [OUT.json]] [--histograms] [--hybrid] \
-     [--alpha a] [--beta b]   (--sources runs one batched multi-source traversal)\n\
+     [--alpha a] [--beta b] [--compaction] [--compact-density d]   \
+     (--sources runs one batched multi-source traversal)\n\
        engine     --in FILE [--algo NAME] [--threads p] [--capacity c] [--queries n] \
      [--burst b] [--deadline-ms d] [--seed s]   (closed-loop resilient query engine)\n\
        analyze    TRACE.json [--json]   (post-mortem profile of a recorded trace)\n\
@@ -205,12 +208,22 @@ fn bfs_opts(flags: &HashMap<String, String>) -> Result<BfsOptions, String> {
     }
     let hybrid = (has(flags, "hybrid") || has(flags, "alpha") || has(flags, "beta"))
         .then(|| HybridPolicy::with_constants(alpha, beta));
+    // `--compaction` enables prefix-sum frontier compaction for dense
+    // top-down levels; `--compact-density d` tunes the density divisor
+    // (compact when frontier >= n/d) and implies `--compaction`.
+    let density: u64 = get_num(flags, "compact-density", CompactionPolicy::default().density_div)?;
+    if density == 0 {
+        return Err("--compact-density must be at least 1".into());
+    }
+    let compaction = (has(flags, "compaction") || has(flags, "compact-density"))
+        .then_some(CompactionPolicy { density_div: density, force: None });
     Ok(BfsOptions {
         threads,
         record_parents: has(flags, "parents"),
         collect_level_stats: has(flags, "trace"),
         collect_histograms: has(flags, "histograms"),
         hybrid,
+        compaction,
         ..BfsOptions::default()
     })
 }
@@ -275,14 +288,22 @@ fn cmd_bfs(flags: &HashMap<String, String>) -> Result<String, String> {
             r.stats.direction_switches
         );
     }
+    if let Some(b) = r.stats.kernel_backend {
+        let _ = writeln!(
+            out,
+            "kernel backend: {b}; compacted levels: {}",
+            r.stats.compacted_levels
+        );
+    }
     if has(flags, "trace") {
-        let _ = writeln!(out, "level  dir  frontier  discovered   time(us)");
+        let _ = writeln!(out, "level  dir  cmp  frontier  discovered   time(us)");
         for e in &r.stats.level_stats {
             let _ = writeln!(
                 out,
-                "{:>5}  {:>3}  {:>8}  {:>10}  {:>9.1}",
+                "{:>5}  {:>3}  {:>3}  {:>8}  {:>10}  {:>9.1}",
                 e.level,
                 e.direction.label(),
+                if e.compacted { "y" } else { "-" },
                 e.frontier,
                 e.discovered,
                 e.duration.as_secs_f64() * 1e6
@@ -649,7 +670,7 @@ mod tests {
         ]))
         .unwrap();
         assert!(rep.contains("validated against serial BFS: OK"), "{rep}");
-        assert!(rep.contains("level  dir  frontier"), "trace table missing: {rep}");
+        assert!(rep.contains("level  dir  cmp  frontier"), "trace table missing: {rep}");
     }
 
     #[test]
@@ -703,6 +724,43 @@ mod tests {
     }
 
     #[test]
+    fn compaction_flags_validate_and_mark_levels() {
+        let path = tmp("cmp.bin");
+        dispatch(&strs(&[
+            "gen", "--model", "er", "--n", "600", "--edge-factor", "8", "--out", &path,
+        ]))
+        .unwrap();
+        let rep = dispatch(&strs(&[
+            "bfs", "--in", &path, "--algo", "BFS_CL", "--threads", "3", "--compaction",
+            "--validate", "--parents", "--trace",
+        ]))
+        .unwrap();
+        assert!(rep.contains("validated against serial BFS: OK"), "{rep}");
+        assert!(rep.contains("kernel backend: "), "{rep}");
+        // Dense ER levels must actually compact, and the trace table
+        // must mark them in the cmp column.
+        let compacted: u64 = rep
+            .split("compacted levels: ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .expect("compacted-levels counter in report");
+        assert!(compacted > 0, "dense ER run should compact: {rep}");
+        assert!(rep.lines().any(|l| l.contains("  y  ")), "no compacted row: {rep}");
+        // --compact-density alone implies --compaction; an absurdly high
+        // divisor compacts every non-empty level.
+        let rep = dispatch(&strs(&[
+            "bfs", "--in", &path, "--threads", "2", "--compact-density", "1000000",
+            "--validate",
+        ]))
+        .unwrap();
+        assert!(rep.contains("compacted levels: "), "{rep}");
+        // Bad knobs are rejected.
+        assert!(dispatch(&strs(&["bfs", "--in", &path, "--compact-density", "0"])).is_err());
+        assert!(dispatch(&strs(&["bfs", "--in", &path, "--compact-density", "x"])).is_err());
+    }
+
+    #[test]
     fn bfs_trace_flag_with_path_writes_or_explains() {
         let path = tmp("tracegraph.bin");
         dispatch(&strs(&[
@@ -715,7 +773,7 @@ mod tests {
         ]))
         .unwrap();
         // The per-level table is printed either way.
-        assert!(rep.contains("level  dir  frontier"), "{rep}");
+        assert!(rep.contains("level  dir  cmp  frontier"), "{rep}");
         #[cfg(feature = "trace")]
         {
             assert!(rep.contains("wrote trace"), "{rep}");

@@ -32,7 +32,7 @@ fn model_report_matches_committed_golden() {
         "model report drifted from the committed golden — if the checker \
          changed intentionally, regenerate results/model_report.txt"
     );
-    assert!(got.ends_with("model: PASS (3/3 cores hold; 3/3 seeded bugs found)\n"), "{got}");
+    assert!(got.ends_with("model: PASS (4/4 cores hold; 4/4 seeded bugs found)\n"), "{got}");
 }
 
 #[test]

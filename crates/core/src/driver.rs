@@ -395,13 +395,14 @@ fn drive_shared<'g, S: Strategy>(
                 }
             };
             st.next_total.store(seeded);
+            let mut dir0 = Direction::TopDown;
             if let (Some(hyb), Some(pol)) = (&st.hyb, st.opts.hybrid) {
                 // Level-0 direction: Beamer's rule with nf = seed count,
                 // mf = seed degree sum, mu = m (nothing explored yet) —
                 // the same inputs the baseline uses for its first level.
                 // SAFETY: barrier serial section.
                 let ctl = unsafe { hyb.ctl.get_mut() };
-                let dir0 = pol.decide(
+                dir0 = pol.decide(
                     Direction::TopDown,
                     seeded as u64,
                     seed_edges,
@@ -411,6 +412,25 @@ fn drive_shared<'g, S: Strategy>(
                 ctl.directions.push(dir0);
                 // SAFETY: barrier serial section.
                 unsafe { *hyb.direction.get_mut() = dir0 };
+            }
+            if let (Some(cs), Some(pol)) = (&st.compact, st.opts.compaction) {
+                // Level-0 compaction: same density rule as every other
+                // level, fed the seed count (only a forced-on policy or a
+                // tiny graph compacts a single-seed frontier).
+                let on = dir0 == Direction::TopDown
+                    && pol.decide(seeded as u64, st.graph.num_vertices() as u64);
+                // SAFETY: barrier serial section.
+                unsafe { *cs.enabled.get_mut() = on };
+                if on {
+                    // SAFETY: barrier serial section.
+                    unsafe { *cs.levels_compacted.get_mut() += 1 };
+                    flight::record(
+                        flight::kind::COMPACT,
+                        0,
+                        seeded as u64,
+                        st.scan_backend.code(),
+                    );
+                }
             }
             if let Some(tr) = &st.trace {
                 // SAFETY: barrier serial section.
@@ -435,12 +455,26 @@ fn drive_shared<'g, S: Strategy>(
                 Some(h) => unsafe { *h.direction.get() },
                 None => Direction::TopDown,
             };
+            // Whether the leader chose prefix-sum compaction for this
+            // (always top-down) level.
+            let compacted = match &st.compact {
+                // SAFETY: written only in the previous barrier's serial
+                // section; read only between barriers.
+                Some(c) => unsafe { *c.enabled.get() },
+                None => false,
+            };
             if dir == Direction::BottomUp {
                 // Rebuild this worker's share of the frontier bitmap from
                 // the level[] stores the last barrier published (under
                 // chaos, that barrier also flushed every deferred store —
                 // including the leader's degraded-sweep writes).
                 st.fill_bitmap_chunk(level, tid);
+            } else if compacted {
+                // Compaction pass 1 (see crate::scan): rebuild the
+                // compaction bitmap and per-chunk popcounts from the same
+                // published level[] stores; the level-start barrier below
+                // publishes them for the materialize pass.
+                st.compact_fill_chunk(level, tid);
             }
             let env = LevelEnv { st, parity, level };
             strategy.level_start(&env, tid);
@@ -455,6 +489,20 @@ fn drive_shared<'g, S: Strategy>(
                 // All threads take this branch (they read the same cell),
                 // so strategies with internal barriers stay aligned.
                 st.bottom_up_level(
+                    level,
+                    tid,
+                    st.qout(parity).queue(tid),
+                    &mut out_rear,
+                    ts,
+                );
+            } else if compacted {
+                // Compaction passes 2+3 + consume. Every thread reads the
+                // same `enabled` cell, so all of them cross this internal
+                // barrier together (it publishes the materialized frontier
+                // array before the static-partition consume).
+                st.compact_materialize(tid);
+                ctx.barrier().wait();
+                st.compact_consume(
                     level,
                     tid,
                     st.qout(parity).queue(tid),
@@ -571,6 +619,34 @@ fn drive_shared<'g, S: Strategy>(
                         unsafe { *hyb.direction.get_mut() = next_dir };
                     }
                 }
+                if let (Some(cs), Some(pol)) = (&st.compact, st.opts.compaction) {
+                    // Compaction decision for the NEXT level, after the
+                    // hybrid block above settled its direction: compact
+                    // only a top-down level of a run that will actually
+                    // continue, so every decision recorded here is a
+                    // level that runs compacted.
+                    let next_dir = match &st.hyb {
+                        // SAFETY: barrier serial section (written above).
+                        Some(h) => unsafe { *h.direction.get() },
+                        None => Direction::TopDown,
+                    };
+                    let on = cause.is_none()
+                        && produced > 0
+                        && next_dir == Direction::TopDown
+                        && pol.decide(produced as u64, st.graph.num_vertices() as u64);
+                    // SAFETY: barrier serial section.
+                    unsafe { *cs.enabled.get_mut() = on };
+                    if on {
+                        // SAFETY: barrier serial section.
+                        unsafe { *cs.levels_compacted.get_mut() += 1 };
+                        flight::record(
+                            flight::kind::COMPACT,
+                            this_level + 1,
+                            produced as u64,
+                            st.scan_backend.code(),
+                        );
+                    }
+                }
                 if let (Some(tr), Some(snap)) = (&st.trace, &level_snap) {
                     // SAFETY: barrier serial section; every peer is parked
                     // at the barrier and published its snapshot (its own
@@ -594,6 +670,7 @@ fn drive_shared<'g, S: Strategy>(
                         duration: now - t.mark,
                         degraded,
                         direction: dir,
+                        compacted,
                         counters,
                     });
                     t.mark = now;
@@ -689,6 +766,14 @@ fn drive_shared<'g, S: Strategy>(
         stats.directions = ctl.directions.clone();
         stats.direction_switches = ctl.switches;
     }
+    if let Some(cs) = &st.compact {
+        // SAFETY: workers are done (pool.run returned); no serial section
+        // can be mutating the cell.
+        stats.compacted_levels = unsafe { *cs.levels_compacted.get() };
+    }
+    // Every parallel run resolves a backend (serial BFS never reaches
+    // this driver, so its reports honestly say `None`).
+    stats.kernel_backend = Some(st.scan_backend);
     if let Some(tr) = &st.trace {
         // SAFETY: workers are done, as above.
         stats.level_stats = unsafe { tr.get() }.entries.clone();

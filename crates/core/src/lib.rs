@@ -29,6 +29,7 @@
 pub mod batch;
 pub mod centralized;
 pub mod decentralized;
+pub mod dispatch;
 pub mod driver;
 pub mod ext;
 pub mod flight;
@@ -37,6 +38,7 @@ pub mod model;
 pub mod options;
 pub mod perthread;
 pub mod scalefree;
+pub mod scan;
 pub mod serial;
 pub mod state;
 pub mod stats;
@@ -44,10 +46,11 @@ pub mod validate;
 pub mod worksteal;
 
 pub use batch::{BatchQueryResult, BatchResult, MAX_BATCH};
+pub use dispatch::{KernelChoice, ScanBackend};
 pub use flight::FlightRecording;
 pub use options::{
-    Algorithm, BfsOptions, DedupMode, Direction, ForcedDirection, HybridPolicy, SegmentPolicy,
-    WatchdogPolicy,
+    Algorithm, BfsOptions, CompactionPolicy, DedupMode, Direction, ForcedDirection, HybridPolicy,
+    SegmentPolicy, WatchdogPolicy,
 };
 pub use stats::{LevelStats, Outcome, RunHists, RunStats, StealCounters, ThreadStats};
 

@@ -232,6 +232,62 @@ impl HybridPolicy {
     }
 }
 
+/// Prefix-sum frontier compaction configuration (see [`crate::scan`]).
+/// `None` in [`BfsOptions::compaction`] keeps every level on the paper's
+/// queue-segment dispatch.
+///
+/// The decision reuses the inputs the level-end serial section already
+/// computes for the hybrid α/β rule: the next frontier's vertex count
+/// `nf` (`produced`) against the graph's vertex count `n`. A level whose
+/// frontier holds at least `n / density_div` vertices is dense enough
+/// that dispatch overhead and duplicate explorations dominate, so the
+/// driver materializes that frontier by parallel prefix sum instead.
+/// Compaction applies only to top-down levels — a bottom-up level has no
+/// queue dispatch to replace — so it composes with the hybrid switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact a (top-down) level when its frontier holds at least
+    /// `n / density_div` vertices.
+    pub density_div: u64,
+    /// Force compaction on/off for every eligible level instead of the
+    /// density rule (tests / ablations); `None` runs the rule.
+    pub force: Option<bool>,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self { density_div: 16, force: None }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy compacting every eligible (top-down, non-empty) level.
+    pub fn forced_on() -> Self {
+        Self { force: Some(true), ..Self::default() }
+    }
+
+    /// A policy that never compacts (hybrid-style plumbing active,
+    /// decision always negative — isolates the bookkeeping overhead).
+    pub fn forced_off() -> Self {
+        Self { force: Some(false), ..Self::default() }
+    }
+
+    /// The density rule, in one place so the driver and tests replaying
+    /// recorded series agree exactly: given the next frontier's vertex
+    /// count `nf` and the graph's vertex count `n`, decide whether the
+    /// next (top-down) level runs compacted. A zero `nf` never compacts
+    /// (the run is about to end).
+    pub fn decide(&self, nf: u64, n: u64) -> bool {
+        if nf == 0 {
+            return false;
+        }
+        match self.force {
+            Some(f) => f,
+            None => nf >= n / self.density_div.max(1),
+        }
+    }
+}
+
 /// Per-level watchdog limits for graceful degradation (DESIGN.md §7).
 ///
 /// The optimistic dispatchers recover from racy corruption by retrying;
@@ -320,6 +376,17 @@ pub struct BfsOptions {
     /// dense levels bottom-up (BFSCL/BFSWSL and every other driver-based
     /// variant); `None` (default) keeps the paper's pure top-down runs.
     pub hybrid: Option<HybridPolicy>,
+    /// Prefix-sum frontier compaction: `Some` lets the per-level driver
+    /// materialize dense top-down frontiers by parallel prefix sum and
+    /// consume them with a static partition instead of queue-segment
+    /// dispatch; `None` (default) keeps the paper's dispatchers on every
+    /// level. Composes with [`BfsOptions::hybrid`]; ignored by batched
+    /// multi-source runs (their discovery path is already bit-parallel).
+    pub compaction: Option<CompactionPolicy>,
+    /// Scan-kernel selection for the bottom-up and compaction bitmap
+    /// walks; the default probes once per process and picks the fastest
+    /// backend (see [`crate::dispatch`]).
+    pub kernel: crate::dispatch::KernelChoice,
     /// Time source for watchdog and cancellation deadlines. The default
     /// wall clock is right for production; tests inject
     /// [`Clock::manual`] so deadline branches replay deterministically.
@@ -351,6 +418,8 @@ impl Default for BfsOptions {
             chaos: None,
             watchdog: None,
             hybrid: None,
+            compaction: None,
+            kernel: crate::dispatch::KernelChoice::default(),
             clock: Clock::default(),
             cancel: None,
         }
@@ -443,6 +512,19 @@ mod tests {
         assert_eq!(bu.decide(Direction::BottomUp, 0, 0, 1 << 40, 100), Direction::BottomUp);
         assert_eq!(Direction::TopDown.label(), "td");
         assert_eq!(Direction::BottomUp.label(), "bu");
+    }
+
+    #[test]
+    fn compaction_decide_follows_density_rule() {
+        let pol = CompactionPolicy::default(); // density_div = 16
+        assert!(!pol.decide(0, 1600), "empty next frontier never compacts");
+        assert!(!pol.decide(99, 1600), "sparse frontier stays on dispatch");
+        assert!(pol.decide(100, 1600), "nf >= n/16 compacts");
+        assert!(pol.decide(1600, 1600));
+        // Forced modes override the rule but never an empty frontier.
+        assert!(CompactionPolicy::forced_on().decide(1, 1 << 40));
+        assert!(!CompactionPolicy::forced_on().decide(0, 16));
+        assert!(!CompactionPolicy::forced_off().decide(1 << 40, 16));
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Prefix-sum frontier compaction primitives and the bitmap scan kernels.
+//!
+//! # The compaction pipeline
+//!
+//! Dense BFS levels pay real overhead in queue-segment dispatch: racy
+//! cursor traffic, sanity-check retries, and duplicate explorations. For
+//! a level the leader predicts dense, the driver instead materializes the
+//! frontier as one contiguous array via a work-efficient **parallel
+//! exclusive prefix sum** (Tithi/Fogel/Chowdhury, arXiv:2209.08764) and
+//! consumes it with a perfectly balanced static partition:
+//!
+//! 1. **Fill / reduce** — each worker rebuilds its chunk-aligned share of
+//!    a frontier bitmap from the `level[]` array (single writer per word,
+//!    like `bottom_up_level`), records a popcount per
+//!    [`COMPACT_CHUNK_WORDS`]-word chunk, and publishes its block total.
+//! 2. **Scan** — after the barrier publishes the block totals, every
+//!    worker independently computes the same exclusive prefix over the
+//!    `p` totals ([`block_prefix`]; replicated O(p) work instead of a
+//!    serial section — barrier-free within the pass).
+//! 3. **Downsweep / materialize** — each worker emits its chunks' set
+//!    bits into the disjoint output range `[prefix, prefix + total)` the
+//!    scan assigned it (single writer per output slot).
+//!
+//! Every pass is barrier-separated and single-writer within, so the
+//! whole pipeline needs no locks and no atomic RMW — the same discipline
+//! as the paper's optimistic dispatchers, minus even the benign races.
+//!
+//! # Scan kernels
+//!
+//! The bitmap walks (popcount, set-bit enumeration) come in two
+//! interchangeable kernels selected at startup by [`crate::dispatch`]:
+//! word-at-a-time (skip zero words, `trailing_zeros` iteration) and a
+//! branchy per-bit scalar fallback. Both emit vertices in ascending
+//! order, so the choice never changes results — only speed.
+
+use crate::dispatch::ScanBackend;
+use crate::frontier::{FrontierBitmap, BITMAP_WORD_BITS};
+use crate::perthread::PerThread;
+use obfs_runtime::LevelPool;
+use std::cell::UnsafeCell;
+
+/// Bitmap words per compaction chunk (2048 vertices): fine enough that
+/// per-chunk popcounts load-balance skewed frontiers, coarse enough that
+/// a chunk spans whole cache lines of bitmap words.
+pub const COMPACT_CHUNK_WORDS: usize = 64;
+
+/// Serial exclusive prefix sum: `out[i] = xs[0] + … + xs[i-1]`, with one
+/// extra trailing element holding the total (`out.len() == xs.len() + 1`).
+/// The reference the property tests pin the parallel scan against, and
+/// the leader-side helper for small inputs.
+pub fn exclusive_scan(xs: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(xs.len() + 1);
+    let mut acc = 0u64;
+    for &x in xs {
+        out.push(acc);
+        acc += x;
+    }
+    out.push(acc);
+    out
+}
+
+/// Contiguous block `[lo, hi)` of `len` items owned by `tid` of
+/// `threads` (the last blocks may be empty when `len < threads`).
+#[inline]
+pub fn block_range(len: usize, threads: usize, tid: usize) -> (usize, usize) {
+    let per = obfs_util::div_ceil(len, threads.max(1));
+    ((tid * per).min(len), ((tid + 1) * per).min(len))
+}
+
+/// Exclusive prefix of the published block totals: the sum of
+/// `totals[..tid]`. Every worker computes this independently after the
+/// barrier — replicated O(p) work in place of a serial section.
+#[inline]
+pub fn block_prefix(totals: &[u64], tid: usize) -> u64 {
+    totals[..tid].iter().sum()
+}
+
+/// Count the set bits of `bm.words[wlo..whi]` with the selected kernel.
+/// Both kernels return the same count; the wordwise one is a straight
+/// `count_ones` per word, the scalar one tests every bit individually.
+pub fn popcount_words(backend: ScanBackend, bm: &FrontierBitmap, wlo: usize, whi: usize) -> u64 {
+    match backend {
+        ScanBackend::Wordwise => {
+            let mut c = 0u64;
+            for wi in wlo..whi {
+                c += u64::from(bm.word(wi).count_ones());
+            }
+            c
+        }
+        ScanBackend::Scalar => {
+            let mut c = 0u64;
+            for wi in wlo..whi {
+                let w = bm.word(wi);
+                for b in 0..BITMAP_WORD_BITS {
+                    c += u64::from(w >> b & 1);
+                }
+            }
+            c
+        }
+    }
+}
+
+/// Call `f(v)` for every set bit of `bm.words[wlo..whi]`, ascending
+/// (`v = word_index * BITMAP_WORD_BITS + bit`). The wordwise kernel
+/// skips zero words outright and walks set bits by `trailing_zeros`;
+/// the scalar kernel tests every bit. Emission order is identical.
+pub fn for_each_set(
+    backend: ScanBackend,
+    bm: &FrontierBitmap,
+    wlo: usize,
+    whi: usize,
+    mut f: impl FnMut(usize),
+) {
+    match backend {
+        ScanBackend::Wordwise => {
+            for wi in wlo..whi {
+                let mut w = bm.word(wi);
+                if w == 0 {
+                    continue;
+                }
+                let base = wi * BITMAP_WORD_BITS;
+                while w != 0 {
+                    f(base + w.trailing_zeros() as usize);
+                    w &= w - 1;
+                }
+            }
+        }
+        ScanBackend::Scalar => {
+            for wi in wlo..whi {
+                let w = bm.word(wi);
+                let base = wi * BITMAP_WORD_BITS;
+                for b in 0..BITMAP_WORD_BITS {
+                    if w >> b & 1 == 1 {
+                        f(base + b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Call `f(base + bit)` for every set bit of the single word `w`,
+/// ascending. The inner step of the wordwise kernels (bottom-up
+/// candidate scan, compaction emit) — shared so both agree on order.
+#[inline]
+pub fn for_each_set_in_word(w: u32, base: usize, mut f: impl FnMut(usize)) {
+    let mut w = w;
+    while w != 0 {
+        f(base + w.trailing_zeros() as usize);
+        w &= w - 1;
+    }
+}
+
+/// Shared output slots for [`parallel_exclusive_scan`]: each worker
+/// writes only the disjoint index range the scan assigned it, and the
+/// pool join publishes everything before the buffer is read back.
+struct ScanSlots(Box<[UnsafeCell<u64>]>);
+
+// SAFETY: workers write disjoint index ranges (enforced by
+// `block_range`) and the pool join orders all writes before the
+// single-threaded read-back — the same discipline as `PerThread`.
+unsafe impl Sync for ScanSlots {}
+
+impl ScanSlots {
+    /// # Safety
+    /// Call only for an index in the caller's own disjoint range while
+    /// the pool region is active (no other writer of slot `i`).
+    unsafe fn write(&self, i: usize, v: u64) {
+        *self.0[i].get() = v;
+    }
+}
+
+/// Run the three-pass parallel exclusive prefix sum of `xs` on `pool`,
+/// returning `out` with `out[i] = xs[0] + … + xs[i-1]` and a trailing
+/// total (`out.len() == xs.len() + 1`) — element-for-element equal to
+/// [`exclusive_scan`]. This is the standalone form of the compaction
+/// scan (same phase structure, same helpers), kept callable on bare
+/// slices so the property tests can pin it against the serial reference
+/// across lengths and thread counts.
+pub fn parallel_exclusive_scan(pool: &LevelPool, xs: &[u64]) -> Vec<u64> {
+    let threads = pool.threads();
+    let slots = ScanSlots(
+        (0..xs.len() + 1).map(|_| UnsafeCell::new(0u64)).collect::<Vec<_>>().into_boxed_slice(),
+    );
+    // Pass 1 results: one published block total per worker.
+    let totals = PerThread::new(threads, |_| 0u64);
+    pool.run(|ctx| {
+        let tid = ctx.tid();
+        let (lo, hi) = block_range(xs.len(), threads, tid);
+        // Pass 1: reduce my block.
+        // SAFETY: own slot only while the region is active.
+        unsafe { *totals.get_mut(tid) = xs[lo..hi].iter().sum() };
+        ctx.barrier().wait();
+        // Pass 2 (replicated): exclusive prefix over the block totals.
+        // SAFETY: every peer published its slot before the barrier and
+        // none writes again — read-only from here on.
+        let all: Vec<u64> = (0..threads).map(|k| unsafe { *totals.get(k) }).collect();
+        let mut acc = block_prefix(&all, tid);
+        // Pass 3: downsweep my block into my disjoint output range.
+        for (i, &x) in xs.iter().enumerate().take(hi).skip(lo) {
+            // SAFETY: index ranges are disjoint per worker (block_range).
+            unsafe { slots.write(i, acc) };
+            acc += x;
+        }
+        if tid == threads - 1 {
+            // The last block's owner also writes the trailing total.
+            // SAFETY: index xs.len() belongs to no block; only this
+            // worker touches it.
+            unsafe { slots.write(xs.len(), acc) };
+        }
+    })
+    .expect("scan worker panicked");
+    slots.0.into_vec().into_iter().map(UnsafeCell::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_scan_reference() {
+        assert_eq!(exclusive_scan(&[]), vec![0]);
+        assert_eq!(exclusive_scan(&[7]), vec![0, 7]);
+        assert_eq!(exclusive_scan(&[1, 2, 3]), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn block_ranges_partition() {
+        for (len, threads) in [(0, 4), (1, 4), (3, 4), (4, 4), (17, 4), (4100, 8)] {
+            let mut next = 0;
+            for t in 0..threads {
+                let (lo, hi) = block_range(len, threads, t);
+                assert_eq!(lo, next.min(len), "len={len} t={t}");
+                assert!(hi >= lo);
+                next = hi;
+            }
+            assert_eq!(next, len, "blocks must cover [0, len)");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_smoke() {
+        let pool = LevelPool::new(3);
+        let xs: Vec<u64> = (0..257).map(|i| (i * 37 + 11) % 101).collect();
+        assert_eq!(parallel_exclusive_scan(&pool, &xs), exclusive_scan(&xs));
+        assert_eq!(parallel_exclusive_scan(&pool, &[]), vec![0]);
+    }
+
+    #[test]
+    fn kernels_agree_on_popcount_and_order() {
+        let bm = FrontierBitmap::new(200);
+        bm.set_word(0, 0xDEAD_BEEF);
+        bm.set_word(3, 0x8000_0001);
+        bm.set_word(6, 0xFF); // bits 192..=199 only (len 200)
+        let words = bm.word_count();
+        assert_eq!(
+            popcount_words(ScanBackend::Wordwise, &bm, 0, words),
+            popcount_words(ScanBackend::Scalar, &bm, 0, words),
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for_each_set(ScanBackend::Wordwise, &bm, 0, words, |v| a.push(v));
+        for_each_set(ScanBackend::Scalar, &bm, 0, words, |v| b.push(v));
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ascending emission");
+        let mut c = Vec::new();
+        for_each_set_in_word(0xDEAD_BEEF, 0, |v| c.push(v));
+        assert_eq!(c, a.iter().copied().take_while(|&v| v < 32).collect::<Vec<_>>());
+    }
+}

@@ -121,11 +121,41 @@ pub struct HybridState<'g> {
     pub transpose: TransposeRef<'g>,
     /// Frontier-membership bitmap, rebuilt per bottom-up level.
     pub bitmap: FrontierBitmap,
+    /// Visited-vertex bitmap rebuilt alongside `bitmap`: bit `v` set iff
+    /// `level[v] != UNVISITED` (out-of-range tail bits are pre-set so a
+    /// wordwise candidate scan of `!word` is automatically masked). Only
+    /// the word-at-a-time bottom-up kernel reads it.
+    pub visited: FrontierBitmap,
     /// Direction of the upcoming/current level (leader-written in the
     /// level-end serial section, worker-read between barriers).
     pub direction: SerialCell<Direction>,
     /// Heuristic bookkeeping (leader-only).
     pub ctl: SerialCell<HybridCtl>,
+}
+
+/// Everything the prefix-sum compaction mode adds to a run (see
+/// [`crate::scan`]). Present iff [`BfsOptions::compaction`] is set;
+/// never armed for batched runs.
+pub struct CompactState {
+    /// Frontier-membership bitmap rebuilt per compacted level from the
+    /// `level[]` array (word-partitioned by chunk: single writer).
+    pub bitmap: FrontierBitmap,
+    /// Per-chunk popcounts ([`crate::scan::COMPACT_CHUNK_WORDS`] bitmap
+    /// words per chunk); each chunk's owner is its only writer.
+    pub chunk_counts: RacyBuf,
+    /// Per-thread block totals (sum of the thread's chunk counts),
+    /// published at the fill barrier; own-slot single-writer.
+    pub block_totals: RacyBuf,
+    /// The materialized frontier array: vertices of the level, ascending
+    /// within each chunk, chunks in order. Each worker writes only the
+    /// disjoint range `[block_prefix(tid), block_prefix(tid) + total)`.
+    pub frontier: RacyBuf,
+    /// Whether the upcoming/current level consumes the compacted frontier
+    /// (leader-written in the level-end serial section, worker-read at
+    /// the loop top — same protocol as `HybridState::direction`).
+    pub enabled: SerialCell<bool>,
+    /// Leader-side count of levels that ran compacted.
+    pub levels_compacted: SerialCell<u32>,
 }
 
 /// Cursor state of the lock-based centralized dispatcher (BFSC): the
@@ -178,6 +208,13 @@ pub struct RunState<'g> {
     /// Direction-optimizing hybrid state; `None` unless
     /// [`BfsOptions::hybrid`] is set.
     pub hyb: Option<HybridState<'g>>,
+    /// Prefix-sum compaction state; `None` unless
+    /// [`BfsOptions::compaction`] is set (and always `None` for batched
+    /// runs).
+    pub compact: Option<CompactState>,
+    /// The scan-kernel backend this run resolved ([`BfsOptions::kernel`];
+    /// probed once per process for the default `Auto`).
+    pub scan_backend: crate::dispatch::ScanBackend,
     /// Batched multi-source state; `Some` only for runs entered through
     /// the batch driver. When set, the single-source `levels` / `parents`
     /// / `owner` arrays above are empty and every discovery flows through
@@ -266,6 +303,7 @@ impl<'g> RunState<'g> {
                     None => TransposeRef::Owned(Box::new(graph.transpose())),
                 },
                 bitmap: FrontierBitmap::new(n),
+                visited: FrontierBitmap::new(n),
                 direction: SerialCell::new(Direction::TopDown),
                 ctl: SerialCell::new(HybridCtl {
                     unexplored_edges: graph.num_edges(),
@@ -273,6 +311,19 @@ impl<'g> RunState<'g> {
                     directions: Vec::new(),
                     switches: 0,
                 }),
+            }
+        });
+        let compact = opts.compaction.map(|_| {
+            let bitmap = FrontierBitmap::new(n);
+            let chunks =
+                obfs_util::div_ceil(bitmap.word_count(), crate::scan::COMPACT_CHUNK_WORDS);
+            CompactState {
+                bitmap,
+                chunk_counts: RacyBuf::new(chunks),
+                block_totals: RacyBuf::new(p),
+                frontier: RacyBuf::new(n),
+                enabled: SerialCell::new(false),
+                levels_compacted: SerialCell::new(0),
             }
         });
         Self {
@@ -292,6 +343,8 @@ impl<'g> RunState<'g> {
             flat_prefix: SerialCell::new(Vec::new()),
             trace: opts.collect_level_stats.then(|| SerialCell::new(TraceState::default())),
             hyb,
+            compact,
+            scan_backend: opts.kernel.resolve(),
             batch: None,
             count_frontier_edges: opts.hybrid.is_some(),
             wd_abort: AtomicBool::new(false),
@@ -329,6 +382,10 @@ impl<'g> RunState<'g> {
         // an immediate bounds panic instead of silent corruption.
         st.levels = RacyBuf::new(0);
         st.parents = None;
+        // Compaction reads the single-source `level[]` array, which batch
+        // mode just emptied — batched discovery is already bit-parallel,
+        // so the option is documented as ignored here.
+        st.compact = None;
         st
     }
 
@@ -728,13 +785,122 @@ impl<'g> RunState<'g> {
         let n = self.graph.num_vertices();
         for wi in wlo..whi {
             let base = wi * BITMAP_WORD_BITS;
+            let lim = BITMAP_WORD_BITS.min(n - base.min(n));
             let mut bits: u32 = 0;
-            for b in 0..BITMAP_WORD_BITS.min(n - base.min(n)) {
-                if self.levels.get(base + b) == level {
+            // Out-of-range tail bits start *set* in the visited word, so
+            // the wordwise kernel's candidate scan (`!visited`) never
+            // yields a vertex >= n.
+            let mut vis: u32 = if lim == BITMAP_WORD_BITS { 0 } else { !0u32 << lim };
+            for b in 0..lim {
+                let l = self.levels.get(base + b);
+                if l == level {
                     bits |= 1 << b;
+                }
+                if l != UNVISITED {
+                    vis |= 1 << b;
                 }
             }
             hyb.bitmap.set_word(wi, bits);
+            hyb.visited.set_word(wi, vis);
+        }
+    }
+
+    /// Compaction pass 1 (fill / reduce) for thread `tid`: rebuild this
+    /// worker's chunk-aligned share of the compaction bitmap from the
+    /// `level[]` stores the last barrier published, record one popcount
+    /// per chunk, and publish the block total. Word-partitioned by whole
+    /// chunks, so every bitmap word, chunk count and total slot has
+    /// exactly one writer; call between the barrier that published
+    /// `level[]` and the barrier that starts the materialize pass.
+    pub fn compact_fill_chunk(&self, level: u32, tid: usize) {
+        let cs = self.compact.as_ref().expect("compaction state not armed");
+        let words = cs.bitmap.word_count();
+        let chunks = obfs_util::div_ceil(words, crate::scan::COMPACT_CHUNK_WORDS);
+        let (clo, chi) = crate::scan::block_range(chunks, self.threads, tid);
+        let n = self.graph.num_vertices();
+        let mut total = 0u64;
+        for c in clo..chi {
+            let wlo = c * crate::scan::COMPACT_CHUNK_WORDS;
+            let whi = ((c + 1) * crate::scan::COMPACT_CHUNK_WORDS).min(words);
+            for wi in wlo..whi {
+                let base = wi * BITMAP_WORD_BITS;
+                let mut bits: u32 = 0;
+                for b in 0..BITMAP_WORD_BITS.min(n - base.min(n)) {
+                    if self.levels.get(base + b) == level {
+                        bits |= 1 << b;
+                    }
+                }
+                cs.bitmap.set_word(wi, bits);
+            }
+            let cnt = crate::scan::popcount_words(self.scan_backend, &cs.bitmap, wlo, whi);
+            cs.chunk_counts.set(c, cnt as u32);
+            total += cnt;
+        }
+        cs.block_totals.set(tid, total as u32);
+    }
+
+    /// Compaction passes 2+3 (scan / downsweep) for thread `tid`: compute
+    /// the exclusive prefix of the published block totals (replicated
+    /// O(p) work — no serial section), then emit this worker's chunks'
+    /// set bits into its disjoint range of the frontier array, advancing
+    /// by the per-chunk popcounts of pass 1. Call after the barrier that
+    /// published the pass-1 counts; the output is ascending within each
+    /// chunk with chunks in index order, so the array is a stable
+    /// permutation-free listing of the level's vertices.
+    pub fn compact_materialize(&self, tid: usize) {
+        let cs = self.compact.as_ref().expect("compaction state not armed");
+        let words = cs.bitmap.word_count();
+        let chunks = obfs_util::div_ceil(words, crate::scan::COMPACT_CHUNK_WORDS);
+        let (clo, chi) = crate::scan::block_range(chunks, self.threads, tid);
+        let totals: Vec<u64> =
+            (0..self.threads).map(|k| u64::from(cs.block_totals.get(k))).collect();
+        let mut off = crate::scan::block_prefix(&totals, tid) as usize;
+        for c in clo..chi {
+            let wlo = c * crate::scan::COMPACT_CHUNK_WORDS;
+            let whi = ((c + 1) * crate::scan::COMPACT_CHUNK_WORDS).min(words);
+            let start = off;
+            crate::scan::for_each_set(self.scan_backend, &cs.bitmap, wlo, whi, |v| {
+                cs.frontier.set(off, v as u32);
+                off += 1;
+            });
+            debug_assert_eq!(
+                (off - start) as u32,
+                cs.chunk_counts.get(c),
+                "chunk emit must match its pass-1 popcount"
+            );
+        }
+        debug_assert_eq!(off as u64, crate::scan::block_prefix(&totals, tid) + totals[tid]);
+    }
+
+    /// Consume a compacted level for thread `tid`: a perfectly balanced
+    /// static partition of the materialized frontier array, exploring
+    /// through the ordinary discovery path (discoveries land in this
+    /// worker's own output queue, so queue state after a compacted level
+    /// is exactly what segment dispatch would have produced). No
+    /// `pop_admit` check: the array lists each frontier vertex exactly
+    /// once, so there are no duplicates to dedup. Call after the barrier
+    /// that published the materialize pass.
+    pub fn compact_consume(
+        &self,
+        level: u32,
+        tid: usize,
+        out: &FrontierQueue,
+        out_rear: &mut usize,
+        ts: &mut ThreadStats,
+    ) {
+        let cs = self.compact.as_ref().expect("compaction state not armed");
+        let total: u64 = (0..self.threads).map(|k| u64::from(cs.block_totals.get(k))).sum();
+        let (lo, hi) = crate::scan::block_range(total as usize, self.threads, tid);
+        for i in lo..hi {
+            if i & 0xFF == 0 && self.watchdog_tripped() {
+                // Abandon the partition; the input queues were never
+                // consumed, so the leader sweep re-explores everything —
+                // idempotent with whatever this pass already did.
+                return;
+            }
+            let v = cs.frontier.get(i);
+            self.note_pop(v, level, ts);
+            self.explore_vertex(v, level, tid, out, out_rear, ts);
         }
     }
 
@@ -768,41 +934,88 @@ impl<'g> RunState<'g> {
         let n = self.graph.num_vertices();
         let words = hyb.bitmap.word_count();
         let per = obfs_util::div_ceil(words, self.threads);
-        let lo = ((tid * per).min(words)) * BITMAP_WORD_BITS;
-        let hi = ((((tid + 1) * per).min(words)) * BITMAP_WORD_BITS).min(n);
+        let wlo = (tid * per).min(words);
+        let whi = ((tid + 1) * per).min(words);
         let next = level + 1;
-        for v in lo..hi {
-            if v & 0xFF == 0 && self.watchdog_tripped() {
-                // Abandon the scan; the leader sweep re-explores the
-                // (never-consumed) input queues top-down, which is
-                // idempotent with everything done so far.
-                return;
-            }
-            if self.levels.get(v) != UNVISITED {
-                continue;
-            }
-            let neigh = tg.neighbors(v as VertexId);
-            let mut probes = 0u64;
-            for &u in neigh {
-                probes += 1;
-                if hyb.bitmap.test(u as usize) {
-                    self.levels.set(v, next);
-                    if let Some(p) = &self.parents {
-                        p.set(v, u);
+        match self.scan_backend {
+            crate::dispatch::ScanBackend::Wordwise => {
+                // Candidate scan over the visited bitmap's complement:
+                // fully-visited words are skipped outright, and the
+                // pre-set out-of-range tail bits mask the last word.
+                for wi in wlo..whi {
+                    if wi & 0x7 == 0 && self.watchdog_tripped() {
+                        // Abandon the scan; the leader sweep re-explores
+                        // the (never-consumed) input queues top-down,
+                        // which is idempotent with everything done so far.
+                        return;
                     }
-                    if let Some(o) = &self.owner {
-                        o.set(v, tid as u32 + 1);
+                    let cand = !hyb.visited.word(wi);
+                    if cand == 0 {
+                        continue;
                     }
-                    out.push(out_rear, v as VertexId);
-                    ts.vertices_discovered += 1;
-                    if self.count_frontier_edges {
-                        ts.frontier_edges += self.graph.degree(v as VertexId) as u64;
-                    }
-                    break;
+                    crate::scan::for_each_set_in_word(cand, wi * BITMAP_WORD_BITS, |v| {
+                        self.bottom_up_probe(hyb, tg, v, next, tid, out, out_rear, ts);
+                    });
                 }
             }
-            ts.edges_scanned += probes;
+            crate::dispatch::ScanBackend::Scalar => {
+                // Per-vertex walk checking `level[]` directly. Both
+                // checks see the same set: within a bottom-up level each
+                // worker writes only vertices of its own range, and only
+                // when it probes them — so the level-start snapshot in
+                // `visited` and this live read always agree.
+                let lo = wlo * BITMAP_WORD_BITS;
+                let hi = (whi * BITMAP_WORD_BITS).min(n);
+                for v in lo..hi {
+                    if v & 0xFF == 0 && self.watchdog_tripped() {
+                        // Abandon the scan (see the wordwise arm).
+                        return;
+                    }
+                    if self.levels.get(v) != UNVISITED {
+                        continue;
+                    }
+                    self.bottom_up_probe(hyb, tg, v, next, tid, out, out_rear, ts);
+                }
+            }
         }
+    }
+
+    /// Probe one unvisited vertex's in-edges for a parent on the current
+    /// frontier bitmap — the inner step shared by both bottom-up scan
+    /// kernels (so backend choice can never change what gets discovered).
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // hot path: flat args beat a param struct here
+    fn bottom_up_probe(
+        &self,
+        hyb: &HybridState<'_>,
+        tg: &CsrGraph,
+        v: usize,
+        next: u32,
+        tid: usize,
+        out: &FrontierQueue,
+        out_rear: &mut usize,
+        ts: &mut ThreadStats,
+    ) {
+        let mut probes = 0u64;
+        for &u in tg.neighbors(v as VertexId) {
+            probes += 1;
+            if hyb.bitmap.test(u as usize) {
+                self.levels.set(v, next);
+                if let Some(p) = &self.parents {
+                    p.set(v, u);
+                }
+                if let Some(o) = &self.owner {
+                    o.set(v, tid as u32 + 1);
+                }
+                out.push(out_rear, v as VertexId);
+                ts.vertices_discovered += 1;
+                if self.count_frontier_edges {
+                    ts.frontier_edges += self.graph.degree(v as VertexId) as u64;
+                }
+                break;
+            }
+        }
+        ts.edges_scanned += probes;
     }
 
     /// Batch-mode bottom-up level: for every vertex in this worker's

@@ -157,6 +157,10 @@ pub struct LevelStats {
     /// [`crate::options::Direction::TopDown`] unless
     /// [`crate::BfsOptions::hybrid`] was set.
     pub direction: crate::options::Direction,
+    /// Whether this (top-down) level consumed a prefix-sum-compacted
+    /// frontier instead of queue segments; always `false` unless
+    /// [`crate::BfsOptions::compaction`] was set.
+    pub compacted: bool,
     /// This level's counter deltas, merged across all workers. Summing
     /// `counters` over all levels reproduces [`RunStats::totals`]
     /// exactly (the conservation invariant the schema tests check).
@@ -216,6 +220,13 @@ pub struct RunStats {
     /// Number of adjacent level pairs that ran in different directions
     /// (0 unless [`crate::BfsOptions::hybrid`] was set).
     pub direction_switches: u32,
+    /// Levels that consumed a prefix-sum-compacted frontier (0 unless
+    /// [`crate::BfsOptions::compaction`] was set).
+    pub compacted_levels: u32,
+    /// The bitmap scan backend the run's kernels used (bottom-up and
+    /// compaction walks); `None` for serial runs, which never touch the
+    /// dispatched kernels.
+    pub kernel_backend: Option<crate::dispatch::ScanBackend>,
     /// Per-level telemetry; empty unless
     /// [`crate::BfsOptions::collect_level_stats`] was set (and always
     /// empty for serial runs).
@@ -275,6 +286,8 @@ impl RunStats {
             degraded_levels: 0,
             directions: Vec::new(),
             direction_switches: 0,
+            compacted_levels: 0,
+            kernel_backend: None,
             level_stats: Vec::new(),
             flight: None,
             hists: None,

@@ -83,6 +83,12 @@ pub mod kind {
     /// A batched multi-source run was seeded (leader-recorded at level
     /// 0; `a` = batch size k, `b` = distinct seed vertices pushed).
     pub const BATCH: u16 = 16;
+    /// The driver will materialize the *next* level's frontier by
+    /// parallel prefix-sum compaction instead of queue-segment dispatch
+    /// (leader-recorded; `level` = the level that will run compacted,
+    /// `a` = that frontier's vertex count, `b` = the scan-kernel backend
+    /// code reported in `RunStats::kernel_backend`).
+    pub const COMPACT: u16 = 17;
 
     /// `FAULT` cause: injected delay window (`b` = spin count).
     pub const FAULT_DELAY: u64 = 1;
@@ -135,6 +141,7 @@ pub mod kind {
             DIR_SWITCH => "direction-switch",
             CANCEL => "cancel",
             BATCH => "batch",
+            COMPACT => "compact",
             _ => "unknown",
         }
     }

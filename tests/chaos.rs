@@ -373,6 +373,60 @@ fn hybrid_chaos_recovery_counters_still_fire() {
     assert!(degraded > 0, "retry budget of 1 never tripped under hybrid chaos");
 }
 
+/// Prefix-sum compaction under store-buffer chaos: the compaction bitmap
+/// is rebuilt from `level[]` *before* the extra barrier and consumed by a
+/// static partition after it, so seeded staleness on the racy cells must
+/// leave forced-on compacted runs exact — while the counters prove both
+/// the compactor and the fault plan actually ran.
+#[test]
+fn compaction_store_buffer_chaos_stays_exact() {
+    for seed in [4u64, 0xFACE] {
+        let g = gen::erdos_renyi(600, 4800, seed);
+        let reference = serial_bfs(&g, 0);
+        let opts = BfsOptions {
+            threads: 4,
+            record_parents: true,
+            compaction: Some(CompactionPolicy::forced_on()),
+            chaos: Some(ChaosConfig::store_buffer(0xC0A7 ^ seed)),
+            ..Default::default()
+        };
+        for algo in PARALLEL {
+            let r = run_bfs(algo, &g, 0, &opts);
+            assert_eq!(r.levels, reference.levels, "{algo} seed={seed}");
+            assert!(
+                validate::check_self_consistent(&g, 0, &r).is_ok(),
+                "{algo} seed={seed}: invalid tree under compacted chaos"
+            );
+            assert!(r.stats.compacted_levels > 0, "{algo} seed={seed}: never compacted");
+            assert!(r.stats.totals.injected_faults > 0, "{algo} seed={seed}");
+        }
+    }
+}
+
+/// The watchdog's serial sweep re-explores the (never-consumed) input
+/// queues — compaction leaves those queues intact by design, so a zero
+/// deadline must degrade every level of a compaction-enabled run and
+/// still produce exact levels.
+#[test]
+fn compaction_watchdog_degradation_stays_exact() {
+    let g = gen::erdos_renyi(500, 3500, 31);
+    let reference = serial_bfs(&g, 0);
+    let opts = BfsOptions {
+        threads: 4,
+        compaction: Some(CompactionPolicy::forced_on()),
+        watchdog: Some(WatchdogPolicy::deadline(Duration::ZERO)),
+        ..Default::default()
+    };
+    for algo in [Algorithm::Bfscl, Algorithm::Bfswsl] {
+        let r = run_bfs(algo, &g, 0, &opts);
+        assert_eq!(r.levels, reference.levels, "{algo}");
+        assert_eq!(
+            r.stats.degraded_levels, r.stats.levels,
+            "{algo}: zero deadline must degrade every compacted level"
+        );
+    }
+}
+
 /// Without a plan installed the chaos-enabled build must behave exactly
 /// like the plain build: zero injected faults, zero degradation.
 #[test]

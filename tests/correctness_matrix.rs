@@ -295,6 +295,91 @@ fn hybrid_matrix_matches_serial_everywhere() {
     }
 }
 
+/// Compaction-aware matrix: compaction {off, auto-density, forced-on} ×
+/// threads {1, 2, 4, 8} × every parallel algorithm, with exact level and
+/// parent-tree agreement against serial BFS. Forced-on compacts *every*
+/// non-empty top-down level, so the prefix-sum materialize/consume path
+/// gets the full graph-family sweep rather than only the dense levels
+/// the density rule happens to pick; the forced-on rows must also report
+/// at least one compacted level (and a dispatched kernel backend) on any
+/// multi-level graph, proving the mode was actually exercised.
+#[test]
+fn compaction_matrix_matches_serial_everywhere() {
+    let graphs = [
+        ("erdos-renyi", gen::erdos_renyi(700, 5600, 23)),
+        ("barabasi-albert", gen::barabasi_albert(800, 3, 41)),
+        ("grid2d", gen::grid2d(24, 25)),
+        (
+            "disconnected",
+            CsrGraph::from_edges(300, &[(0, 1), (1, 2), (2, 0), (100, 101), (200, 201)]),
+        ),
+    ];
+    let parallel: Vec<Algorithm> =
+        Algorithm::ALL.into_iter().filter(|a| *a != Algorithm::Serial).collect();
+    let modes: [(&str, Option<CompactionPolicy>); 3] = [
+        ("off", None),
+        ("auto", Some(CompactionPolicy::default())),
+        ("forced-on", Some(CompactionPolicy::forced_on())),
+    ];
+    let mut runners: Vec<(usize, obfs::core::BfsRunner)> = Vec::new();
+    for (name, g) in &graphs {
+        let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+        let reference = serial_bfs(g, src);
+        let multi_level = reference.levels.iter().any(|&l| l != u32::MAX && l > 0);
+        for &threads in &[1usize, 2, 4, 8] {
+            let runner = match runners.iter().position(|(t, _)| *t == threads) {
+                Some(i) => &runners[i].1,
+                None => {
+                    runners.push((threads, obfs::core::BfsRunner::new(threads)));
+                    &runners.last().unwrap().1
+                }
+            };
+            for (mode, compaction) in &modes {
+                let opts = BfsOptions {
+                    threads,
+                    compaction: *compaction,
+                    record_parents: true,
+                    seed: 0xC0FFEE ^ (threads as u64) << 8,
+                    ..BfsOptions::default()
+                };
+                for &algo in &parallel {
+                    let r = runner.run(algo, g, src, &opts);
+                    assert_eq!(
+                        r.levels, reference.levels,
+                        "{algo} wrong on {name}: threads={threads} compaction={mode}"
+                    );
+                    obfs::core::validate::check_self_consistent(g, src, &r).unwrap_or_else(
+                        |e| {
+                            panic!(
+                                "{algo} invalid tree on {name}: threads={threads} \
+                                 compaction={mode}: {e}"
+                            )
+                        },
+                    );
+                    match *mode {
+                        "off" => assert_eq!(
+                            r.stats.compacted_levels, 0,
+                            "{algo} on {name}: compacted with compaction disabled"
+                        ),
+                        "forced-on" if multi_level => {
+                            assert!(
+                                r.stats.compacted_levels > 0,
+                                "{algo} on {name}: forced-on never compacted \
+                                 (threads={threads})"
+                            );
+                            assert!(
+                                r.stats.kernel_backend.is_some(),
+                                "{algo} on {name}: compacted run lost its backend"
+                            );
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn single_vertex_and_isolated_source() {
     let single = CsrGraph::from_edges(1, &[]);

@@ -339,3 +339,50 @@ fn hybrid_works_for_every_parallel_algorithm() {
         assert_eq!(r.stats.directions.len() as u32, r.stats.levels, "{algo}");
     }
 }
+
+/// Compaction composes with the direction switch: forced-on compaction
+/// over the hybrid heuristic must stay exact, compact *only* top-down
+/// levels (a bottom-up level has no queue dispatch to replace), and keep
+/// the per-level `compacted` flags conserved against the run total.
+#[test]
+fn compaction_composes_with_hybrid_direction_switching() {
+    let graphs = [
+        ("erdos-renyi", gen::erdos_renyi(900, 14_000, 27)),
+        ("rmat", gen::rmat(10, 12, gen::RmatParams::default(), 7)),
+    ];
+    for (name, g) in &graphs {
+        let src = (0..g.num_vertices() as u32).find(|&v| g.degree(v) > 0).unwrap();
+        let reference = serial_bfs(g, src);
+        for threads in [1usize, 2, 4] {
+            let opts = BfsOptions {
+                compaction: Some(CompactionPolicy::forced_on()),
+                ..hybrid_opts(threads)
+            };
+            for algo in [Algorithm::Bfscl, Algorithm::Bfswsl] {
+                let r = run_bfs(algo, g, src, &opts);
+                assert_eq!(
+                    r.levels, reference.levels,
+                    "{algo} wrong on {name} (p={threads}, hybrid+compaction)"
+                );
+                check_self_consistent(g, src, &r)
+                    .unwrap_or_else(|e| panic!("{algo} on {name}: invalid tree: {e}"));
+                for e in &r.stats.level_stats {
+                    assert!(
+                        !e.compacted || e.direction == Direction::TopDown,
+                        "{algo} on {name}: compacted a bottom-up level"
+                    );
+                }
+                let flagged =
+                    r.stats.level_stats.iter().filter(|e| e.compacted).count() as u32;
+                assert_eq!(
+                    flagged, r.stats.compacted_levels,
+                    "{algo} on {name}: per-level flags disagree with the run total"
+                );
+                assert!(
+                    r.stats.compacted_levels > 0,
+                    "{algo} on {name}: forced-on hybrid run never compacted (p={threads})"
+                );
+            }
+        }
+    }
+}

@@ -149,6 +149,106 @@ fn csr_faithful() {
     }
 }
 
+/// The parallel three-pass exclusive prefix sum is element-for-element
+/// equal to the serial scan across the edge-case lengths (empty, one,
+/// around the thread count, block-boundary + ragged tail) and thread
+/// counts — the compaction pipeline's core reduction, pinned exactly.
+#[test]
+fn parallel_prefix_sum_equals_serial_scan() {
+    use obfs::core::scan::{exclusive_scan, parallel_exclusive_scan};
+    use obfs_runtime::LevelPool;
+    for threads in [1usize, 2, 4, 8] {
+        let pool = LevelPool::new(threads);
+        let lengths =
+            [0, 1, threads.saturating_sub(1), threads, 4096, 4096 + 37, 4096 + threads];
+        for (case, &len) in lengths.iter().enumerate() {
+            let mut rng = Xoshiro256StarStar::for_stream(0x9A17, (threads * 100 + case) as u64);
+            let xs: Vec<u64> = (0..len).map(|_| rng.below(1 << 20)).collect();
+            assert_eq!(
+                parallel_exclusive_scan(&pool, &xs),
+                exclusive_scan(&xs),
+                "p={threads} len={len}"
+            );
+        }
+    }
+}
+
+/// Materializing a random bitmap through the compaction pipeline
+/// (per-chunk popcounts → exclusive block prefix → per-chunk set-bit
+/// emission into disjoint ranges) reproduces the plain ascending
+/// enumeration of its set bits exactly — same *set* of vertices and the
+/// same stable per-chunk order — for every thread split and for both
+/// scan kernels.
+#[test]
+fn compacted_frontier_equals_queue_derived_frontier() {
+    use obfs::core::frontier::{FrontierBitmap, BITMAP_WORD_BITS};
+    use obfs::core::scan::{
+        block_prefix, block_range, for_each_set, popcount_words, COMPACT_CHUNK_WORDS,
+    };
+    for case in 0..CASES {
+        let mut rng = Xoshiro256StarStar::for_stream(0x9A18, case);
+        // Up to ~6 chunks of bitmap so every case crosses chunk and
+        // block boundaries somewhere; density varies wildly per word.
+        let n = 1 + rng.below_usize(6 * COMPACT_CHUNK_WORDS * BITMAP_WORD_BITS);
+        let bm = FrontierBitmap::new(n);
+        let words = bm.word_count();
+        for wi in 0..words {
+            let w = match rng.below(4) {
+                0 => 0,
+                1 => !0u32,
+                _ => (rng.next_u64() & rng.next_u64()) as u32,
+            };
+            // Mask out-of-range tail bits so "set bit" == "vertex".
+            let base = wi * BITMAP_WORD_BITS;
+            let lim = BITMAP_WORD_BITS.min(n - base.min(n));
+            bm.set_word(wi, if lim == BITMAP_WORD_BITS { w } else { w & !(!0u32 << lim) });
+        }
+        // Queue-derived reference: plain ascending enumeration.
+        let mut reference = Vec::new();
+        for_each_set(ScanBackend::Wordwise, &bm, 0, words, |v| reference.push(v));
+        let chunks = words.div_ceil(COMPACT_CHUNK_WORDS);
+        for threads in [1usize, 2, 4, 8] {
+            for backend in [ScanBackend::Wordwise, ScanBackend::Scalar] {
+                // Pass 1: per-chunk popcounts and per-block totals.
+                let counts: Vec<u64> = (0..chunks)
+                    .map(|c| {
+                        let wlo = c * COMPACT_CHUNK_WORDS;
+                        let whi = (wlo + COMPACT_CHUNK_WORDS).min(words);
+                        popcount_words(backend, &bm, wlo, whi)
+                    })
+                    .collect();
+                let totals: Vec<u64> = (0..threads)
+                    .map(|tid| {
+                        let (lo, hi) = block_range(chunks, threads, tid);
+                        counts[lo..hi].iter().sum()
+                    })
+                    .collect();
+                // Passes 2+3: every worker emits its chunks into the
+                // disjoint range the block prefix assigns it.
+                let mut out = vec![usize::MAX; reference.len()];
+                for tid in 0..threads {
+                    let (lo, hi) = block_range(chunks, threads, tid);
+                    let mut off = block_prefix(&totals, tid) as usize;
+                    for c in lo..hi {
+                        let wlo = c * COMPACT_CHUNK_WORDS;
+                        let whi = (wlo + COMPACT_CHUNK_WORDS).min(words);
+                        for_each_set(backend, &bm, wlo, whi, |v| {
+                            out[off] = v;
+                            off += 1;
+                        });
+                    }
+                    assert_eq!(
+                        off as u64,
+                        block_prefix(&totals, tid) + totals[tid],
+                        "case {case}: p={threads} tid={tid} {backend}"
+                    );
+                }
+                assert_eq!(out, reference, "case {case}: p={threads} {backend}");
+            }
+        }
+    }
+}
+
 /// Reached counts are monotone under edge addition (BFS sanity).
 #[test]
 fn reachability_monotone() {

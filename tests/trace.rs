@@ -154,6 +154,93 @@ fn no_switch_events_without_a_switch() {
     assert_eq!(r.stats.direction_switches, 0);
 }
 
+/// Prefix-sum compaction is a leader decision, so it must leave exactly
+/// one COMPACT event per compacted level: the event count equals
+/// `RunStats::compacted_levels` (and the per-level `compacted` flags),
+/// each payload carries the predicted frontier size (`a > 0`) and the
+/// dispatched kernel backend (`b` = [`ScanBackend::code`]), and the
+/// events survive the chrome exporter under their taxonomy name.
+#[test]
+fn compact_events_match_compacted_level_count() {
+    let g = gen::erdos_renyi(700, 4900, 29);
+    let reference = serial_bfs(&g, 0);
+    let opts = BfsOptions {
+        threads: 4,
+        compaction: Some(CompactionPolicy::forced_on()),
+        flight_recorder: Some(1 << 15),
+        collect_level_stats: true,
+        ..Default::default()
+    };
+    for algo in [Algorithm::Bfscl, Algorithm::Bfswsl] {
+        let r = run_bfs(algo, &g, 0, &opts);
+        assert_eq!(r.levels, reference.levels, "{algo}");
+        assert!(r.stats.compacted_levels > 0, "{algo}: forced-on never compacted");
+        let rec = r.stats.flight.as_ref().unwrap();
+        assert_eq!(rec.total_dropped(), 0, "{algo}: ring too small for exact counts");
+        assert_eq!(
+            rec.count(kind::COMPACT) as u32,
+            r.stats.compacted_levels,
+            "{algo}: one leader-recorded COMPACT event per compacted level"
+        );
+        let flagged = r.stats.level_stats.iter().filter(|e| e.compacted).count() as u32;
+        assert_eq!(flagged, r.stats.compacted_levels, "{algo}: series flags disagree");
+        let backend = r.stats.kernel_backend.expect("compacted run must report a backend");
+        for w in &rec.workers {
+            for e in w.events.iter().filter(|e| e.kind == kind::COMPACT) {
+                assert!(e.a > 0, "{algo}: compacted an empty frontier");
+                assert_eq!(e.b, backend.code(), "{algo}: backend payload mismatch");
+            }
+        }
+        let trace = to_chrome_trace(rec);
+        assert!(
+            trace.contains("\"name\":\"compact\""),
+            "{algo}: COMPACT events must survive the exporter"
+        );
+    }
+}
+
+/// The dispatched kernel backend is probed once per process, so its
+/// identity must be bit-stable: COMPACT payloads agree across repeated
+/// runs, and a recording replayed through the chrome-trace round trip
+/// reports the same backend code as the original.
+#[test]
+fn dispatch_backend_identity_survives_replay() {
+    use obfs::core::flight::parse_chrome_trace;
+    let g = gen::erdos_renyi(600, 4200, 37);
+    let opts = BfsOptions {
+        threads: 4,
+        compaction: Some(CompactionPolicy::forced_on()),
+        flight_recorder: Some(1 << 15),
+        ..Default::default()
+    };
+    let backend_codes = |rec: &obfs::core::flight::FlightRecording| -> Vec<u64> {
+        rec.workers
+            .iter()
+            .flat_map(|w| w.events.iter())
+            .filter(|e| e.kind == kind::COMPACT)
+            .map(|e| e.b)
+            .collect()
+    };
+    let a = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
+    let b = run_bfs(Algorithm::Bfscl, &g, 0, &opts);
+    assert_eq!(
+        a.stats.kernel_backend, b.stats.kernel_backend,
+        "probe must be cached per process"
+    );
+    let rec = a.stats.flight.as_ref().unwrap();
+    let original = backend_codes(rec);
+    assert!(!original.is_empty(), "forced-on run recorded no COMPACT events");
+    assert_eq!(original, backend_codes(b.stats.flight.as_ref().unwrap()));
+    let replayed = parse_chrome_trace(&to_chrome_trace(rec)).expect("round trip");
+    assert_eq!(
+        backend_codes(&replayed),
+        original,
+        "replayed recording must report the identical backend"
+    );
+    let code = a.stats.kernel_backend.unwrap().code();
+    assert!(original.iter().all(|&c| c == code), "payloads disagree with RunStats");
+}
+
 /// Without the option the recorder must not run, even on trace builds.
 #[test]
 fn no_recording_unless_requested() {
