@@ -57,6 +57,9 @@ struct BombardArgs {
     batch: bool,
     /// Coalescing width for the batched pass (clamped to [2, 64]).
     max_batch: usize,
+    /// Serve the engine registry at this address and take the mid-run
+    /// scrape over HTTP instead of in-process (needs `serve-http`).
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> BombardArgs {
@@ -68,6 +71,7 @@ fn parse_args() -> BombardArgs {
         deadline_ms: 0,
         batch: false,
         max_batch: obfs_core::MAX_BATCH,
+        metrics_addr: None,
     };
     let mut burst_set = false;
     let mut rest: Vec<String> = Vec::new();
@@ -91,10 +95,11 @@ fn parse_args() -> BombardArgs {
             "--max-batch" => {
                 own.max_batch = num(value("--max-batch"), "--max-batch") as usize;
             }
+            "--metrics-addr" => own.metrics_addr = Some(value("--metrics-addr")),
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --capacity <c> --burst <b> --queries <n> --deadline-ms <d> \
-                     --batch --max-batch <k> \
+                     --batch --max-batch <k> --metrics-addr <host:port> \
                      plus the shared bench flags (--divisor --threads --seed --json)"
                 );
                 std::process::exit(0);
@@ -129,6 +134,13 @@ fn parse_args() -> BombardArgs {
         );
         own.max_batch = own.max_batch.clamp(2, obfs_core::MAX_BATCH);
     }
+    #[cfg(not(feature = "serve-http"))]
+    assert!(
+        own.metrics_addr.is_none(),
+        "--metrics-addr needs the `serve-http` feature; rebuild with \
+         `--features obfs-bench/serve-http` (without it the mid-run scrape still \
+         happens, in-process against the same registry)"
+    );
     own
 }
 
@@ -156,7 +168,19 @@ struct LoopResult {
     steal: StealCounters,
     /// Harmonic-mean traversal TEPS over completed queries.
     hmean_teps: f64,
+    /// Schema-v5 `serve.telemetry` block: the engine registry's final
+    /// snapshot plus the mid-run scrape (see `json::validate_report`).
+    telemetry: Json,
 }
+
+/// Terminal-status counter names in the engine registry.
+const TERMINALS: [&str; 5] = [
+    "obfs_engine_queries_completed_total",
+    "obfs_engine_queries_degraded_total",
+    "obfs_engine_queries_cancelled_total",
+    "obfs_engine_queries_deadline_exceeded_total",
+    "obfs_engine_queries_failed_total",
+];
 
 fn drive(
     algo: Algorithm,
@@ -176,6 +200,17 @@ fn drive(
         ..Default::default()
     };
     let engine = Engine::new(Arc::clone(graph), cfg);
+    #[cfg(feature = "serve-http")]
+    let metrics_server = args.metrics_addr.as_deref().map(|addr| {
+        obfs_telemetry::MetricsServer::start(
+            Arc::clone(engine.telemetry().registry()),
+            addr,
+        )
+        .unwrap_or_else(|e| panic!("--metrics-addr {addr}: {e}"))
+    });
+    // (mode, submitted, terminal, shed) captured mid-run: over HTTP when
+    // a responder is up, in-process against the same registry otherwise.
+    let mut scrape: Option<(&str, u64, u64, u64)> = None;
     let mut rng = Xoshiro256StarStar::new(args.base.seed ^ 0x00B0_BADD);
     let mut out = LoopResult {
         admitted: 0,
@@ -195,6 +230,7 @@ fn drive(
         dup: OnlineStats::new(),
         steal: StealCounters::default(),
         hmean_teps: 0.0,
+        telemetry: Json::Null,
     };
     let mut inv_teps_sum = 0.0f64;
     let mut validated = false;
@@ -249,10 +285,48 @@ fn drive(
                 }
             }
         }
+        if scrape.is_none() && attempts * 2 >= args.queries {
+            // Halfway scrape: a cut of monotone counters that the
+            // schema validator later checks against the final snapshot
+            // (scrape <= final, per counter).
+            #[cfg(feature = "serve-http")]
+            let taken = metrics_server.as_ref().map(|srv| {
+                let text = obfs_telemetry::http::scrape(srv.addr(), "/metrics")
+                    .expect("scrape GET /metrics");
+                let parsed = obfs_telemetry::parse_exposition(&text)
+                    .expect("our own responder emitted malformed exposition text");
+                let c = |n: &str| {
+                    obfs_telemetry::sample(&parsed, n)
+                        .unwrap_or_else(|| panic!("{n} missing from /metrics"))
+                        as u64
+                };
+                let terminal = TERMINALS.iter().map(|k| c(k)).sum::<u64>();
+                (
+                    "http",
+                    c("obfs_engine_queries_submitted_total"),
+                    terminal,
+                    c("obfs_engine_queries_shed_total"),
+                )
+            });
+            #[cfg(not(feature = "serve-http"))]
+            let taken: Option<(&str, u64, u64, u64)> = None;
+            scrape = Some(taken.unwrap_or_else(|| {
+                let snap = engine.telemetry().registry().snapshot();
+                let c = |n: &str| snap.counter(n).unwrap_or(0);
+                let terminal = TERMINALS.iter().map(|k| c(k)).sum::<u64>();
+                (
+                    "registry",
+                    c("obfs_engine_queries_submitted_total"),
+                    terminal,
+                    c("obfs_engine_queries_shed_total"),
+                )
+            }));
+        }
     }
     out.elapsed = t0.elapsed();
     let st = engine.stats();
     assert_eq!(st.submitted, out.admitted, "engine admission count disagrees");
+    assert_eq!(st.shed, out.shed, "engine shed count disagrees");
     out.retries = st.retries;
     out.pool_rebuilds = st.pool_rebuilds;
     out.batched_runs = st.batched_runs;
@@ -261,6 +335,58 @@ fn drive(
     if done > 0 {
         out.hmean_teps = done as f64 / inv_teps_sum;
     }
+    // Registry latency percentiles must agree with the closed loop's
+    // own histogram: both record the same per-query total_ns stream,
+    // so they can differ by at most one log-histogram bucket.
+    let snap = engine.telemetry().registry().snapshot();
+    let (p50_us, p99_us) = match snap.get("obfs_engine_total_us") {
+        Some(obfs_telemetry::registry::MetricValue::Summary { total, .. }) => {
+            (total.percentile(0.50), total.percentile(0.99))
+        }
+        other => panic!("obfs_engine_total_us missing from the registry: {other:?}"),
+    };
+    for (mine, reg) in
+        [(out.lat_us.percentile(0.50), p50_us), (out.lat_us.percentile(0.99), p99_us)]
+    {
+        let (a, b) = (mine as f64, reg as f64);
+        assert!(
+            (a - b).abs() <= a.max(b) / 8.0 + 1.0,
+            "latency percentiles disagree beyond one bucket: bombard {mine}us vs \
+             registry {reg}us"
+        );
+    }
+    let int = |x: u64| Json::Num(x as f64);
+    let (mode, s_sub, s_term, s_shed) =
+        scrape.expect("at least one burst ran, so the halfway scrape fired");
+    out.telemetry = Json::Obj(vec![
+        (
+            "final".into(),
+            Json::Obj(vec![
+                ("submitted".into(), int(st.submitted)),
+                ("shed".into(), int(st.shed)),
+                ("completed".into(), int(st.completed)),
+                ("degraded".into(), int(st.degraded)),
+                ("cancelled".into(), int(st.cancelled)),
+                ("deadline_exceeded".into(), int(st.deadline_exceeded)),
+                ("failed".into(), int(st.failed)),
+                ("retries".into(), int(st.retries)),
+                ("pool_rebuilds".into(), int(st.pool_rebuilds)),
+                ("batched_runs".into(), int(st.batched_runs)),
+                ("coalesced".into(), int(st.queries_coalesced)),
+                ("p50_us".into(), int(p50_us)),
+                ("p99_us".into(), int(p99_us)),
+            ]),
+        ),
+        (
+            "scrape".into(),
+            Json::Obj(vec![
+                ("mode".into(), Json::Str(mode.into())),
+                ("submitted".into(), int(s_sub)),
+                ("terminal".into(), int(s_term)),
+                ("shed".into(), int(s_shed)),
+            ]),
+        ),
+    ]);
     out
 }
 
@@ -322,6 +448,7 @@ fn serve_json(r: &LoopResult, batch: Option<Json>, args: &BombardArgs) -> Json {
     if let Some(batch) = batch {
         members.push(("batch".into(), batch));
     }
+    members.push(("telemetry".into(), r.telemetry.clone()));
     Json::Obj(members)
 }
 

@@ -81,6 +81,23 @@ pub struct BackendNote {
     pub new: String,
 }
 
+/// Informational serve-telemetry shape of one matched result pair
+/// (schema-v5 `serve.telemetry`). Never gated: shed rate and batch
+/// occupancy describe the workload's interaction with the admission
+/// gate and the coalescer, and legitimately move with capacity/burst
+/// settings — the note exists so a shed-rate or occupancy shift is
+/// *visible* next to a `serve_qps` regression it would explain.
+#[derive(Debug, Clone)]
+pub struct TelemetryNote {
+    /// `contender/graph` pair key.
+    pub key: String,
+    /// Baseline `(shed_rate, occupancy)`; `None` if the baseline
+    /// predates schema v5.
+    pub base: Option<(f64, f64)>,
+    /// Contender `(shed_rate, occupancy)`; `None` if absent.
+    pub new: Option<(f64, f64)>,
+}
+
 /// The full diff of two reports.
 #[derive(Debug, Clone, Default)]
 pub struct Comparison {
@@ -95,6 +112,10 @@ pub struct Comparison {
     /// Kernel-backend identities of matched pairs that record one
     /// (informational, never a regression).
     pub kernel_backends: Vec<BackendNote>,
+    /// Serve-telemetry shape (shed rate, batch occupancy) of matched
+    /// pairs that record a schema-v5 `serve.telemetry` block
+    /// (informational, never a regression).
+    pub telemetry: Vec<TelemetryNote>,
 }
 
 impl Comparison {
@@ -140,6 +161,28 @@ impl Comparison {
                 ),
             ),
             (
+                "telemetry".into(),
+                Json::Arr(
+                    self.telemetry
+                        .iter()
+                        .map(|t| {
+                            let side = |s: &Option<(f64, f64)>| match s {
+                                Some((shed, occ)) => Json::Obj(vec![
+                                    ("shed_rate".into(), Json::Num(*shed)),
+                                    ("occupancy".into(), Json::Num(*occ)),
+                                ]),
+                                None => Json::Null,
+                            };
+                            Json::Obj(vec![
+                                ("key".into(), Json::Str(t.key.clone())),
+                                ("base".into(), side(&t.base)),
+                                ("new".into(), side(&t.new)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "deltas".into(),
                 Json::Arr(
                     self.deltas
@@ -175,6 +218,20 @@ impl Comparison {
         for b in &self.kernel_backends {
             let flip = if b.base != b.new { "  (changed — informational)" } else { "" };
             writeln!(out, "backend  {:<26} {} -> {}{flip}", b.key, b.base, b.new).unwrap();
+        }
+        for t in &self.telemetry {
+            let side = |s: &Option<(f64, f64)>| match s {
+                Some((shed, occ)) => format!("shed {:.1}% occ {occ:.1}", shed * 100.0),
+                None => "-".to_string(),
+            };
+            writeln!(
+                out,
+                "serve    {:<26} {} -> {}  (informational)",
+                t.key,
+                side(&t.base),
+                side(&t.new)
+            )
+            .unwrap();
         }
         let regs = self.regressions();
         for d in &regs {
@@ -338,6 +395,22 @@ pub fn compare(base: &Json, new: &Json, opts: &CompareOpts) -> Result<Comparison
                 base: bk.unwrap_or("-").to_string(),
                 new: nk.unwrap_or("-").to_string(),
             });
+        }
+
+        // Schema-v5 serve-telemetry shape: recorded but never gated
+        // (see [`TelemetryNote`]).
+        let tele_shape = |r: &Json| -> Option<(f64, f64)> {
+            let fin = r.get("serve")?.get("telemetry")?.get("final")?;
+            let g = |k: &str| fin.get(k).and_then(Json::as_f64);
+            let (sub, shed) = (g("submitted")?, g("shed")?);
+            let rate = if sub + shed > 0.0 { shed / (sub + shed) } else { 0.0 };
+            let (runs, coal) = (g("batched_runs")?, g("coalesced")?);
+            let occ = if runs > 0.0 { coal / runs } else { 0.0 };
+            Some((rate, occ))
+        };
+        let (bt2, nt2) = (tele_shape(b), tele_shape(n));
+        if bt2.is_some() || nt2.is_some() {
+            cmp.telemetry.push(TelemetryNote { key: key.clone(), base: bt2, new: nt2 });
         }
 
         for (label, path) in GATED_COUNTERS {
@@ -697,6 +770,65 @@ mod tests {
         let v2 = with_serve(report(1.0, 100, 0.05), 200.0, 5.0);
         let c = compare(&v2, &base, &CompareOpts::default()).unwrap();
         assert!(!c.deltas.iter().any(|d| d.metric == "serve_batch_qps"));
+    }
+
+    /// Attach a schema-v5 `serve.telemetry` block to every result that
+    /// already carries a serve block.
+    fn with_telemetry(mut doc: Json, shed: u64, submitted: u64, runs: u64, coal: u64) -> Json {
+        let int = |x: u64| Json::Num(x as f64);
+        let tele = Json::Obj(vec![(
+            "final".into(),
+            Json::Obj(vec![
+                ("submitted".into(), int(submitted)),
+                ("shed".into(), int(shed)),
+                ("batched_runs".into(), int(runs)),
+                ("coalesced".into(), int(coal)),
+            ]),
+        )]);
+        if let Json::Obj(members) = &mut doc {
+            for (k, v) in members.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(rs) = v {
+                        for r in rs {
+                            if let Some(Json::Obj(serve)) = r.get("serve").cloned().as_ref() {
+                                let mut serve = serve.clone();
+                                serve.push(("telemetry".into(), tele.clone()));
+                                if let Json::Obj(m) = r {
+                                    m.retain(|(k, _)| k != "serve");
+                                    m.push(("serve".into(), Json::Obj(serve)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn serve_telemetry_shape_is_informational_never_gated() {
+        // A big shed-rate and occupancy shift between reports is
+        // surfaced but must not fail the gate on its own.
+        let base = with_telemetry(with_serve(report(1.0, 100, 0.05), 200.0, 5.0), 0, 64, 2, 4);
+        let shifted =
+            with_telemetry(with_serve(report(1.0, 100, 0.05), 200.0, 5.0), 32, 32, 8, 64);
+        let c = compare(&base, &shifted, &CompareOpts::default()).unwrap();
+        assert!(!c.failed(), "{}", c.render_table());
+        assert_eq!(c.telemetry.len(), 2);
+        let t = &c.telemetry[0];
+        let (bs, bo) = t.base.unwrap();
+        let (ns, no) = t.new.unwrap();
+        assert!((bs - 0.0).abs() < 1e-9 && (bo - 2.0).abs() < 1e-9);
+        assert!((ns - 0.5).abs() < 1e-9 && (no - 8.0).abs() < 1e-9);
+        assert!(c.render_table().contains("serve    "), "{}", c.render_table());
+        assert!(c.to_json().render().contains("shed_rate"));
+        // A pre-v5 baseline still gets a note with its side absent.
+        let c = compare(&with_serve(report(1.0, 100, 0.05), 200.0, 5.0), &base, &CompareOpts::default())
+            .unwrap();
+        assert!(!c.failed());
+        assert!(c.telemetry.iter().all(|t| t.base.is_none() && t.new.is_some()));
+        assert!(c.render_table().contains("- -> shed"), "{}", c.render_table());
     }
 
     #[test]

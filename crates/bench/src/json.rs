@@ -29,7 +29,12 @@ pub use obfs_util::json::Json;
 /// per-level `compacted` flag (implies direction "td"), per-result
 /// `compacted_levels` count and informational `kernel_backend`
 /// ("wordwise"/"scalar"), `series.compacted_levels` conservation sum.
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: live telemetry — optional `serve.telemetry` block embedding the
+/// engine metrics registry's final snapshot (which must agree exactly
+/// with the `serve` counters: registry ≡ EngineStats ≡ bombard's own
+/// terminal counts) plus a mid-run scrape whose monotone counters must
+/// be ≤ the final ones.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema still accepted by [`validate_report`]. v3 and v2
 /// reports differ from v4 only by the absence of optional keys
@@ -360,6 +365,87 @@ fn validate_serve(serve: &Json, at: &str) -> Result<(), String> {
     }
     if let Some(batch) = serve.get("batch") {
         validate_serve_batch(batch, &at)?;
+    }
+    if let Some(tele) = serve.get("telemetry") {
+        validate_serve_telemetry(tele, &at, serve)?;
+    }
+    Ok(())
+}
+
+/// Validate the optional schema-v5 `serve.telemetry` block (bombard):
+/// the engine registry's final snapshot must agree *exactly* with the
+/// `serve` counters — the registry is the source of truth for
+/// `EngineStats`, and bombard counts terminals itself, so any drift
+/// between the three is a lost or double-counted query. The embedded
+/// mid-run scrape is a cut of monotone counters, so every scraped
+/// count must be ≤ its final value. The registry's latency percentiles
+/// must agree with bombard's own histogram to within one log-histogram
+/// bucket (they record the same `total_ns` stream).
+fn validate_serve_telemetry(tele: &Json, at: &str, serve: &Json) -> Result<(), String> {
+    let at = format!("{at}.telemetry");
+    let fin = req(tele, "final", &at)?;
+    let fat = format!("{at}.final");
+    // Registry ≡ EngineStats ≡ bombard terminal counts, key by key.
+    for key in [
+        "submitted",
+        "shed",
+        "completed",
+        "degraded",
+        "cancelled",
+        "deadline_exceeded",
+        "failed",
+        "retries",
+        "pool_rebuilds",
+    ] {
+        let reg = req_u64(fin, key, &fat)?;
+        let measured = req_u64(serve, key, &at)?;
+        if reg != measured {
+            return Err(format!(
+                "{fat}.{key}: registry says {reg} but the serve block measured {measured}"
+            ));
+        }
+    }
+    for key in ["batched_runs", "coalesced"] {
+        req_u64(fin, key, &fat)?;
+    }
+    // One-bucket percentile agreement (LogHistogram relative bucket
+    // width is 1/8 at these magnitudes).
+    for (us_key, ms_key) in [("p50_us", "p50_ms"), ("p99_us", "p99_ms")] {
+        let us = req_u64(fin, us_key, &fat)? as f64;
+        let ms = req_f64(serve, ms_key, &at)? * 1e3;
+        if (us - ms).abs() > us.max(ms) / 8.0 + 1.0 {
+            return Err(format!(
+                "{fat}.{us_key}: registry percentile {us}us vs measured {ms}us \
+                 disagree by more than one histogram bucket"
+            ));
+        }
+    }
+    let scrape = req(tele, "scrape", &at)?;
+    let sat = format!("{at}.scrape");
+    let mode = req(scrape, "mode", &sat)?
+        .as_str()
+        .ok_or_else(|| format!("{sat}.mode: not a string"))?;
+    if mode != "http" && mode != "registry" {
+        return Err(format!("{sat}.mode: {mode:?} is neither \"http\" nor \"registry\""));
+    }
+    let fin_submitted = req_u64(fin, "submitted", &fat)?;
+    let mut fin_terminal = 0u64;
+    for key in ["completed", "degraded", "cancelled", "deadline_exceeded", "failed"] {
+        fin_terminal += req_u64(fin, key, &fat)?;
+    }
+    let checks = [
+        ("submitted", fin_submitted),
+        ("terminal", fin_terminal),
+        ("shed", req_u64(fin, "shed", &fat)?),
+    ];
+    for (key, fin_v) in checks {
+        let v = req_u64(scrape, key, &sat)?;
+        if v > fin_v {
+            return Err(format!(
+                "{sat}.{key}: mid-run scrape saw {v} but the final count is {fin_v} \
+                 (monotone counter went backwards)"
+            ));
+        }
     }
     Ok(())
 }
@@ -810,6 +896,82 @@ mod tests {
         ))))
         .unwrap_err();
         assert!(err.contains("0 runs"), "{err}");
+    }
+
+    /// A schema-v5 `serve.telemetry` block agreeing with
+    /// `serve_block(10, 8, 2, 8)` unless a closure patches it.
+    fn telemetry_block(patch: impl Fn(&mut Vec<(String, Json)>, &mut Vec<(String, Json)>)) -> Json {
+        let mut fin = vec![
+            ("submitted".into(), int(8)),
+            ("shed".into(), int(2)),
+            ("completed".into(), int(8)),
+            ("degraded".into(), int(0)),
+            ("cancelled".into(), int(0)),
+            ("deadline_exceeded".into(), int(0)),
+            ("failed".into(), int(0)),
+            ("retries".into(), int(0)),
+            ("pool_rebuilds".into(), int(0)),
+            ("batched_runs".into(), int(0)),
+            ("coalesced".into(), int(0)),
+            ("p50_us".into(), int(1000)),
+            ("p99_us".into(), int(3000)),
+        ];
+        let mut scrape = vec![
+            ("mode".into(), s("registry")),
+            ("submitted".into(), int(4)),
+            ("terminal".into(), int(4)),
+            ("shed".into(), int(1)),
+        ];
+        patch(&mut fin, &mut scrape);
+        Json::Obj(vec![
+            ("final".into(), Json::Obj(fin)),
+            ("scrape".into(), Json::Obj(scrape)),
+        ])
+    }
+
+    fn serve_with_telemetry(tele: Json) -> Json {
+        let mut serve = serve_block(10, 8, 2, 8);
+        if let Json::Obj(members) = &mut serve {
+            members.push(("telemetry".into(), tele));
+        }
+        serve
+    }
+
+    fn set(members: &mut [(String, Json)], key: &str, v: Json) {
+        members.iter_mut().find(|(k, _)| k == key).unwrap().1 = v;
+    }
+
+    #[test]
+    fn validate_accepts_conserving_telemetry_block() {
+        let t = telemetry_block(|_, _| {});
+        validate_report(&report_with_serve(serve_with_telemetry(t))).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_telemetry_conservation_breaks() {
+        // Registry disagreeing with the measured serve counters.
+        let t = telemetry_block(|fin, _| set(fin, "completed", int(7)));
+        let err =
+            validate_report(&report_with_serve(serve_with_telemetry(t))).unwrap_err();
+        assert!(err.contains("registry says 7"), "{err}");
+        // A mid-run scrape exceeding the final count (counter went
+        // backwards between scrape and quiescence).
+        let t = telemetry_block(|_, scrape| set(scrape, "submitted", int(9)));
+        let err =
+            validate_report(&report_with_serve(serve_with_telemetry(t))).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+        // Registry percentile disagreeing with the measured histogram
+        // by more than one log-histogram bucket (p50_ms is 1.0 in the
+        // serve block, so 1000us ± 1/8 is the window).
+        let t = telemetry_block(|fin, _| set(fin, "p50_us", int(2000)));
+        let err =
+            validate_report(&report_with_serve(serve_with_telemetry(t))).unwrap_err();
+        assert!(err.contains("histogram bucket"), "{err}");
+        // An unknown scrape mode.
+        let t = telemetry_block(|_, scrape| set(scrape, "mode", s("carrier-pigeon")));
+        let err =
+            validate_report(&report_with_serve(serve_with_telemetry(t))).unwrap_err();
+        assert!(err.contains("mode"), "{err}");
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub fn usage() -> String {
      [--alpha a] [--beta b] [--compaction] [--compact-density d]   \
      (--sources runs one batched multi-source traversal)\n\
        engine     --in FILE [--algo NAME] [--threads p] [--capacity c] [--queries n] \
-     [--burst b] [--deadline-ms d] [--seed s]   (closed-loop resilient query engine)\n\
+     [--burst b] [--deadline-ms d] [--seed s] [--metrics-addr HOST:PORT] \
+     [--stats-interval SECS] [--metrics-out FILE.json]   (closed-loop resilient query engine; \
+     --metrics-addr serves GET /metrics live and needs the serve-http feature)\n\
        analyze    TRACE.json [--json]   (post-mortem profile of a recorded trace)\n\
        model      [--schedules n] [--steps n]   (bounded model check of the racy protocol cores)\n\
        components --in FILE [--threads p] [--algo NAME]\n\
@@ -458,6 +460,7 @@ fn cmd_engine(flags: &HashMap<String, String>) -> Result<String, String> {
     let burst: usize = get_num(flags, "burst", capacity)?;
     let seed: u64 = get_num(flags, "seed", 1)?;
     let deadline_ms: u64 = get_num(flags, "deadline-ms", 0)?;
+    let stats_interval: u64 = get_num(flags, "stats-interval", 0)?;
     if threads == 0 || capacity == 0 || queries == 0 || burst == 0 {
         return Err("--threads, --capacity, --queries and --burst must be at least 1".into());
     }
@@ -470,6 +473,56 @@ fn cmd_engine(flags: &HashMap<String, String>) -> Result<String, String> {
         ..Default::default()
     };
     let engine = Engine::new(std::sync::Arc::new(g), cfg);
+    #[cfg(feature = "serve-http")]
+    let metrics_server = match flags.get("metrics-addr") {
+        Some(addr) => {
+            let srv = obfs_telemetry::MetricsServer::start(
+                std::sync::Arc::clone(engine.telemetry().registry()),
+                addr,
+            )
+            .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+            eprintln!("metrics: serving GET /metrics and /metrics.json on http://{}", srv.addr());
+            Some(srv)
+        }
+        None => None,
+    };
+    #[cfg(not(feature = "serve-http"))]
+    if flags.contains_key("metrics-addr") {
+        return Err(
+            "--metrics-addr needs the `serve-http` feature; rebuild with \
+             `cargo build --release --features serve-http` (the registry itself is always on: \
+             --metrics-out FILE.json writes the final snapshot without the feature)"
+                .into(),
+        );
+    }
+    // Periodic stderr stats lines: a plain channel as the stop signal so
+    // the reporter thread needs no atomics.
+    let (stats_stop_tx, stats_stop_rx) = std::sync::mpsc::channel::<()>();
+    let stats_thread = (stats_interval > 0).then(|| {
+        let tele = std::sync::Arc::clone(engine.telemetry());
+        std::thread::spawn(move || loop {
+            use std::sync::mpsc::RecvTimeoutError;
+            match stats_stop_rx.recv_timeout(std::time::Duration::from_secs(stats_interval)) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {
+                    let st = tele.stats();
+                    let snap = tele.registry().snapshot();
+                    eprintln!(
+                        "engine-stats: submitted={} completed={} degraded={} shed={} \
+                         in-flight={} queue-depth={} retries={} rebuilds={}",
+                        st.submitted,
+                        st.completed,
+                        st.degraded,
+                        st.shed,
+                        snap.gauge("obfs_engine_in_flight").unwrap_or(0),
+                        snap.gauge("obfs_engine_queue_depth").unwrap_or(0),
+                        st.retries,
+                        st.pool_rebuilds
+                    );
+                }
+            }
+        })
+    });
     let mut rng = obfs_util::Xoshiro256StarStar::new(seed);
     let mut lat_us = obfs_util::LogHistogram::new();
     let mut shed = 0u64;
@@ -497,6 +550,16 @@ fn cmd_engine(flags: &HashMap<String, String>) -> Result<String, String> {
         }
     }
     let elapsed_s = (clock.now_ns() - t0) as f64 / 1e9;
+    drop(stats_stop_tx);
+    if let Some(t) = stats_thread {
+        let _ = t.join();
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        let json = engine.telemetry().registry().to_json().render();
+        std::fs::write(path, json + "\n").map_err(|e| format!("write {path}: {e}"))?;
+    }
+    #[cfg(feature = "serve-http")]
+    drop(metrics_server); // joins the responder thread before reporting
     let st = engine.stats();
     let done = st.completed + st.degraded + st.cancelled + st.deadline_exceeded;
     let qps = if elapsed_s > 0.0 { done as f64 / elapsed_s } else { 0.0 };

@@ -347,6 +347,11 @@ fn drive_shared<'g, S: Strategy>(
         if st.opts.collect_histograms {
             obfs_sync::metrics::install();
         }
+        if let Some(t) = &st.opts.telemetry {
+            // Per-run gauges/counters shared with the embedding engine's
+            // metrics registry (no-op for callers that leave it unset).
+            obfs_telemetry::worker::install(std::sync::Arc::clone(t));
+        }
         flight::record(flight::kind::WORKER_BEGIN, 0, tid as u64, 0);
 
         st.init_chunk(tid);
@@ -424,6 +429,9 @@ fn drive_shared<'g, S: Strategy>(
                 if on {
                     // SAFETY: barrier serial section.
                     unsafe { *cs.levels_compacted.get_mut() += 1 };
+                    if let Some(t) = &st.opts.telemetry {
+                        t.compacted_levels.inc();
+                    }
                     flight::record(
                         flight::kind::COMPACT,
                         0,
@@ -431,6 +439,14 @@ fn drive_shared<'g, S: Strategy>(
                         st.scan_backend.code(),
                     );
                 }
+            }
+            if let Some(t) = &st.opts.telemetry {
+                // Leader publishes the run's starting shape so a scrape of
+                // the registry mid-traversal sees level 0 under way.
+                t.traversals.inc();
+                t.level.set(0);
+                t.frontier.set(seeded as i64);
+                t.direction.set(i64::from(dir0 == Direction::BottomUp));
             }
             if let Some(tr) = &st.trace {
                 // SAFETY: barrier serial section.
@@ -513,6 +529,10 @@ fn drive_shared<'g, S: Strategy>(
                 strategy.consume(&env, &ctx, tid, &mut out_rear, &mut rng, ts);
             }
             flight::record(flight::kind::LEVEL_END, level, 0, 0);
+            // Level-granularity edge publication: each worker pushes the
+            // delta of its cumulative scan count into the shared run
+            // counter (one TLS flag check when no telemetry is installed).
+            obfs_telemetry::worker::flush_edges(ts.edges_scanned);
             if st.opts.chaos.is_some() {
                 // Keep injected_faults cumulative at level granularity so
                 // the per-level deltas below stay conservative. (Nothing
@@ -639,6 +659,9 @@ fn drive_shared<'g, S: Strategy>(
                     if on {
                         // SAFETY: barrier serial section.
                         unsafe { *cs.levels_compacted.get_mut() += 1 };
+                        if let Some(t) = &st.opts.telemetry {
+                            t.compacted_levels.inc();
+                        }
                         flight::record(
                             flight::kind::COMPACT,
                             this_level + 1,
@@ -646,6 +669,20 @@ fn drive_shared<'g, S: Strategy>(
                             st.scan_backend.code(),
                         );
                     }
+                }
+                if let Some(t) = &st.opts.telemetry {
+                    // Leader publishes the level boundary: a mid-run scrape
+                    // sees the frontier size and direction of the level
+                    // about to start.
+                    t.levels.inc();
+                    t.level.set(i64::from(this_level) + 1);
+                    t.frontier.set(produced as i64);
+                    let next_dir = match &st.hyb {
+                        // SAFETY: barrier serial section (written above).
+                        Some(h) => unsafe { *h.direction.get() },
+                        None => Direction::TopDown,
+                    };
+                    t.direction.set(i64::from(next_dir == Direction::BottomUp));
                 }
                 if let (Some(tr), Some(snap)) = (&st.trace, &level_snap) {
                     // SAFETY: barrier serial section; every peer is parked
@@ -731,6 +768,13 @@ fn drive_shared<'g, S: Strategy>(
         }
         if st.opts.cancel.is_some() {
             obfs_sync::cancel::uninstall_probe();
+        }
+        if st.opts.telemetry.is_some() {
+            // Final flush catches edges scanned after the last level
+            // barrier (degraded sweeps, abort quiesce), then clears the
+            // TLS hook so a later run on the same pool starts clean.
+            obfs_telemetry::worker::flush_edges(ts.edges_scanned);
+            obfs_telemetry::worker::uninstall();
         }
     })?;
     let traversal_time = t0.elapsed();

@@ -396,6 +396,12 @@ pub struct BfsOptions {
     /// watchdog and ends the run with a partial result
     /// ([`crate::Outcome::Cancelled`] / `DeadlineExceeded`).
     pub cancel: Option<CancelToken>,
+    /// Live run telemetry (`obfs_run_*` gauges/counters, DESIGN.md
+    /// §13): the barrier leader updates level/frontier/direction in its
+    /// serial sections and workers flush per-level edge aggregates.
+    /// `None` (default) costs the run nothing — the worker hook is a
+    /// thread-local boolean check that is never installed.
+    pub telemetry: Option<std::sync::Arc<obfs_telemetry::RunTelemetry>>,
 }
 
 impl Default for BfsOptions {
@@ -422,6 +428,7 @@ impl Default for BfsOptions {
             kernel: crate::dispatch::KernelChoice::default(),
             clock: Clock::default(),
             cancel: None,
+            telemetry: None,
         }
     }
 }

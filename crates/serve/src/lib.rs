@@ -25,13 +25,24 @@
 //! * Queries that lose their slot to a pool rebuild (and optionally to a
 //!   degraded level) are retried with seeded-jitter exponential backoff,
 //!   bounded by [`EngineConfig::max_retries`] and the query's deadline.
+//! * Every engine carries an always-on [`EngineTelemetry`]: an
+//!   `obfs-telemetry` [`MetricsRegistry`] of lifetime counters, live
+//!   gauges, and windowed latency histograms, plus a bounded per-query
+//!   span log whose transitions are mirrored as `SPAN` flight events on
+//!   the scheduler thread (DESIGN.md §13). [`Engine::stats`] is a
+//!   read-through view of the registry — one source of truth.
+//!
+//! [`MetricsRegistry`]: obfs_telemetry::MetricsRegistry
 
 #![warn(missing_docs)]
 
 use obfs_core::{Algorithm, BfsOptions, BfsResult, Outcome};
 use obfs_graph::{CsrGraph, VertexId};
 use obfs_runtime::PoolManager;
+use obfs_sync::flight::{self, RingDump};
 use obfs_sync::{CancelToken, ChaosConfig, Clock};
+use obfs_telemetry::span::stage;
+use obfs_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, RunTelemetry, SpanDump, SpanLog};
 use obfs_util::Xoshiro256StarStar;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -70,6 +81,13 @@ pub struct EngineConfig {
     /// Time source for deadlines and latency accounting; inject
     /// [`Clock::manual`] to make deadline tests fully deterministic.
     pub clock: Clock,
+    /// Decay window for the telemetry latency histograms: a live p99
+    /// reflects the last one-to-two windows, never the whole process
+    /// (`Duration::ZERO` disables decay; see `obfs-telemetry`).
+    pub metrics_window: Duration,
+    /// Bound on the per-query span log (transitions, not queries; the
+    /// oldest are overwritten and counted once exceeded).
+    pub span_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +102,8 @@ impl Default for EngineConfig {
             max_batch: obfs_core::MAX_BATCH,
             seed: 0x0E46,
             clock: Clock::default(),
+            metrics_window: obfs_telemetry::registry::DEFAULT_WINDOW,
+            span_capacity: 1 << 16,
         }
     }
 }
@@ -243,6 +263,134 @@ pub struct EngineStats {
     pub queries_coalesced: u64,
 }
 
+/// The engine's always-on telemetry: a metrics registry (counters,
+/// gauges, windowed latency histograms), the per-query span log, and —
+/// in `trace` builds — the scheduler thread's drained flight ring.
+///
+/// All counter updates are relaxed RMWs into sharded slots; none of
+/// them publishes other state. The one read-your-writes guarantee the
+/// engine makes — a caller returning from [`QueryHandle::wait`]
+/// observes its own query in [`Engine::stats`] — rides the response
+/// channel's send/recv happens-before edge, because every terminal
+/// counter is incremented *before* the response is sent. Cross-counter
+/// conservation (`submitted == terminals + in-flight`) holds at
+/// quiescence, which is when the bench validator checks it; a live
+/// scrape may observe a transiently inconsistent cut.
+pub struct EngineTelemetry {
+    registry: Arc<MetricsRegistry>,
+    spans: SpanLog,
+    /// The scheduler thread's flight ring, parked here when the
+    /// scheduler exits so `SPAN` events outlive the engine (`trace`
+    /// builds only; `None` otherwise).
+    sched_trace: Mutex<Option<RingDump>>,
+    run: Arc<RunTelemetry>,
+    submitted: Counter,
+    completed: Counter,
+    shed: Counter,
+    cancelled: Counter,
+    deadline_exceeded: Counter,
+    degraded: Counter,
+    failed: Counter,
+    retries: Counter,
+    pool_rebuilds: Counter,
+    batched_runs: Counter,
+    queries_coalesced: Counter,
+    queue_depth: Gauge,
+    running: Gauge,
+    in_flight: Gauge,
+    wait_us: Histogram,
+    total_us: Histogram,
+    batch_occupancy: Histogram,
+}
+
+impl EngineTelemetry {
+    fn new(clock: &Clock, window: Duration, span_capacity: usize) -> Arc<Self> {
+        let registry = MetricsRegistry::with_window(clock.clone(), window);
+        let r = &registry;
+        let c = |name: &str, help: &str| r.counter(name, help);
+        Arc::new(EngineTelemetry {
+            spans: SpanLog::new(clock.clone(), span_capacity),
+            sched_trace: Mutex::new(None),
+            run: RunTelemetry::register(r),
+            submitted: c("obfs_engine_queries_submitted_total", "Queries admitted past the capacity gate."),
+            completed: c("obfs_engine_queries_completed_total", "Queries that ended Complete."),
+            shed: c("obfs_engine_queries_shed_total", "Submits rejected at the admission gate."),
+            cancelled: c("obfs_engine_queries_cancelled_total", "Queries that ended Cancelled."),
+            deadline_exceeded: c("obfs_engine_queries_deadline_exceeded_total", "Queries that ended DeadlineExceeded."),
+            degraded: c("obfs_engine_queries_degraded_total", "Queries that ended Degraded."),
+            failed: c("obfs_engine_queries_failed_total", "Queries that ended Failed."),
+            retries: c("obfs_engine_retries_total", "Re-run attempts across all queries."),
+            pool_rebuilds: c("obfs_engine_pool_rebuilds_total", "Panic-poisoned pools replaced by the scheduler."),
+            batched_runs: c("obfs_engine_batched_runs_total", "Batched traversals executed."),
+            queries_coalesced: c("obfs_engine_queries_coalesced_total", "Queries answered by batched traversals."),
+            queue_depth: r.gauge("obfs_engine_queue_depth", "Jobs waiting in the EDF queue."),
+            running: r.gauge("obfs_engine_running", "Queries on the pool right now."),
+            in_flight: r.gauge("obfs_engine_in_flight", "Queued + running queries (the capacity gate's count)."),
+            wait_us: r.histogram("obfs_engine_wait_us", "Queue wait before the first run attempt (us)."),
+            total_us: r.histogram("obfs_engine_total_us", "Submit-to-terminal latency (us)."),
+            batch_occupancy: r.histogram("obfs_engine_batch_occupancy", "Queries answered per batched run."),
+            registry,
+        })
+    }
+
+    /// The underlying registry (scrape it, serve it over HTTP, embed
+    /// it in a report).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Read-through [`EngineStats`] assembled from the registry
+    /// counters — the same numbers a scrape sees.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.submitted.value(),
+            completed: self.completed.value(),
+            shed: self.shed.value(),
+            cancelled: self.cancelled.value(),
+            deadline_exceeded: self.deadline_exceeded.value(),
+            degraded: self.degraded.value(),
+            failed: self.failed.value(),
+            retries: self.retries.value(),
+            pool_rebuilds: self.pool_rebuilds.value(),
+            batched_runs: self.batched_runs.value(),
+            queries_coalesced: self.queries_coalesced.value(),
+        }
+    }
+
+    /// A copy of the per-query span log (non-draining; callers keeping
+    /// an `Arc<EngineTelemetry>` can read it after the engine drops).
+    pub fn spans(&self) -> SpanDump {
+        self.spans.snapshot()
+    }
+
+    /// The scheduler thread's flight ring, available after the engine
+    /// shut down (`trace` builds; `None` otherwise or while running).
+    pub fn scheduler_trace(&self) -> Option<RingDump> {
+        self.sched_trace.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// The per-run driver telemetry threaded into every query's
+    /// `BfsOptions` (level/frontier/direction gauges, `obfs_run_*`).
+    pub fn run_telemetry(&self) -> &Arc<RunTelemetry> {
+        &self.run
+    }
+
+    /// Record a span transition and mirror it as a `SPAN` flight event
+    /// (the mirror lands in the calling thread's ring, so scheduler-side
+    /// transitions interleave with worker traces; the span log is the
+    /// authoritative, feature-free record).
+    fn span(&self, id: u64, st: u64, info: u64) {
+        self.spans.record(id, st, info);
+        flight::record(flight::kind::SPAN, 0, id, obfs_telemetry::span::encode_flight(st, info));
+    }
+}
+
+impl std::fmt::Debug for EngineTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineTelemetry").field("stats", &self.stats()).finish()
+    }
+}
+
 struct Job {
     id: u64,
     query: Query,
@@ -258,7 +406,6 @@ struct EngineState {
     /// Queued + running queries (the capacity gate's count).
     in_flight: usize,
     shutdown: bool,
-    stats: EngineStats,
     next_id: u64,
 }
 
@@ -279,6 +426,7 @@ pub struct Engine {
     shared: Arc<Shared>,
     cfg: EngineConfig,
     graph: Arc<CsrGraph>,
+    tele: Arc<EngineTelemetry>,
     scheduler: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -292,21 +440,22 @@ impl Engine {
                 queue: VecDeque::new(),
                 in_flight: 0,
                 shutdown: false,
-                stats: EngineStats::default(),
                 next_id: 0,
             }),
             work: Condvar::new(),
         });
+        let tele = EngineTelemetry::new(&cfg.clock, cfg.metrics_window, cfg.span_capacity);
         let scheduler = {
             let shared = Arc::clone(&shared);
             let graph = Arc::clone(&graph);
             let cfg = cfg.clone();
+            let tele = Arc::clone(&tele);
             std::thread::Builder::new()
                 .name("obfs-engine-sched".into())
-                .spawn(move || scheduler_loop(&shared, &graph, &cfg))
+                .spawn(move || scheduler_loop(&shared, &graph, &cfg, &tele))
                 .expect("failed to spawn engine scheduler")
         };
-        Self { shared, cfg, graph, scheduler: Some(scheduler) }
+        Self { shared, cfg, graph, tele, scheduler: Some(scheduler) }
     }
 
     /// The engine's configuration.
@@ -327,12 +476,13 @@ impl Engine {
         if st.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
-        if st.in_flight >= self.cfg.capacity {
-            st.stats.shed += 1;
-            return Err(SubmitError::Overloaded);
-        }
         let id = st.next_id;
         st.next_id += 1;
+        if st.in_flight >= self.cfg.capacity {
+            self.tele.shed.inc();
+            self.tele.span(id, stage::SHED, st.in_flight as u64);
+            return Err(SubmitError::Overloaded);
+        }
         let deadline = query.deadline.or(self.cfg.default_deadline);
         let deadline_abs = deadline.map(|d| self.cfg.clock.deadline_after(d));
         let token = match deadline_abs {
@@ -340,6 +490,7 @@ impl Engine {
             None => CancelToken::new(&self.cfg.clock),
         };
         let (tx, rx) = mpsc::channel();
+        let src = query.src;
         st.queue.push_back(Job {
             id,
             query,
@@ -349,15 +500,25 @@ impl Engine {
             submitted_ns: self.cfg.clock.now_ns(),
         });
         st.in_flight += 1;
-        st.stats.submitted += 1;
+        self.tele.submitted.inc();
+        self.tele.queue_depth.set(st.queue.len() as i64);
+        self.tele.in_flight.set(st.in_flight as i64);
+        self.tele.span(id, stage::SUBMITTED, u64::from(src));
         drop(st);
         self.shared.work.notify_one();
         Ok(QueryHandle { id, token, rx })
     }
 
-    /// Snapshot of the lifetime counters.
+    /// Snapshot of the lifetime counters (a read-through view of the
+    /// telemetry registry — the same numbers a `/metrics` scrape sees).
     pub fn stats(&self) -> EngineStats {
-        self.shared.lock().stats
+        self.tele.stats()
+    }
+
+    /// The engine's live telemetry: registry, span log, run gauges.
+    /// Clone the `Arc` to keep scraping after the engine drops.
+    pub fn telemetry(&self) -> &Arc<EngineTelemetry> {
+        &self.tele
     }
 
     /// Queued + running queries right now.
@@ -417,14 +578,15 @@ fn extract_members(queue: &mut VecDeque<Job>, leader: &Job, extra: usize) -> Vec
     members
 }
 
-/// Book-keep and send one query's terminal response. Counters are
-/// updated BEFORE responding: a caller returning from `wait()` must
-/// observe its own query in the stats.
-#[allow(clippy::too_many_arguments)] // response plumbing: flat args beat a param struct here
+/// Book-keep and send one query's terminal response. Counters and the
+/// terminal span are recorded BEFORE responding: a caller returning
+/// from `wait()` must observe its own query in the stats, and the
+/// channel's send/recv pair is the happens-before edge that makes the
+/// relaxed counter increments visible to it.
 fn respond(
     shared: &Shared,
     cfg: &EngineConfig,
-    pool_rebuilds: u64,
+    tele: &EngineTelemetry,
     job: Job,
     status: QueryStatus,
     result: Option<BfsResult>,
@@ -437,16 +599,20 @@ fn respond(
     {
         let mut st = shared.lock();
         st.in_flight -= 1;
-        st.stats.retries += u64::from(retries);
-        st.stats.pool_rebuilds = pool_rebuilds;
-        match status {
-            QueryStatus::Complete => st.stats.completed += 1,
-            QueryStatus::Degraded => st.stats.degraded += 1,
-            QueryStatus::Cancelled => st.stats.cancelled += 1,
-            QueryStatus::DeadlineExceeded => st.stats.deadline_exceeded += 1,
-            QueryStatus::Failed(_) => st.stats.failed += 1,
-        }
+        tele.in_flight.set(st.in_flight as i64);
     }
+    tele.retries.add(u64::from(retries));
+    tele.wait_us.record(wait_ns / 1_000);
+    tele.total_us.record(total_ns / 1_000);
+    let (counter, terminal) = match status {
+        QueryStatus::Complete => (&tele.completed, stage::COMPLETE),
+        QueryStatus::Degraded => (&tele.degraded, stage::DEGRADED),
+        QueryStatus::Cancelled => (&tele.cancelled, stage::CANCELLED),
+        QueryStatus::DeadlineExceeded => (&tele.deadline_exceeded, stage::DEADLINE_EXCEEDED),
+        QueryStatus::Failed(_) => (&tele.failed, stage::FAILED),
+    };
+    counter.inc();
+    tele.span(job.id, terminal, u64::from(retries));
     let _ = job.tx.send(response);
 }
 
@@ -457,52 +623,87 @@ fn pop_status(cause: obfs_sync::CancelCause) -> QueryStatus {
     }
 }
 
-fn scheduler_loop(shared: &Shared, graph: &CsrGraph, cfg: &EngineConfig) {
+/// Fold any pool rebuilds since the last sync into the registry
+/// counter. Called BEFORE the affected responses go out so a waiter
+/// reading `stats()` after `wait()` sees the rebuilds its query caused.
+fn sync_rebuilds(tele: &EngineTelemetry, seen: &mut u64, now: u64) {
+    tele.pool_rebuilds.add(now.saturating_sub(*seen));
+    *seen = now;
+}
+
+fn scheduler_loop(shared: &Shared, graph: &CsrGraph, cfg: &EngineConfig, tele: &EngineTelemetry) {
+    // In trace builds the scheduler carries its own flight ring so the
+    // SPAN mirrors interleave with worker traces; it is parked in the
+    // telemetry object at shutdown. No-op (None at exit) otherwise.
+    flight::install(4096, std::time::Instant::now());
     let mut pm = PoolManager::new(cfg.threads);
     let mut rng = Xoshiro256StarStar::new(cfg.seed);
+    let mut seen_rebuilds = 0u64;
     let max_batch = cfg.max_batch.clamp(1, obfs_core::MAX_BATCH);
     loop {
         let job = {
             let mut st = shared.lock();
             loop {
                 if let Some(job) = pop_edf(&mut st.queue) {
+                    tele.queue_depth.set(st.queue.len() as i64);
                     break job;
                 }
                 if st.shutdown {
+                    *tele.sched_trace.lock().unwrap_or_else(PoisonError::into_inner) =
+                        flight::uninstall();
                     return;
                 }
                 st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
         let wait_ns = cfg.clock.now_ns().saturating_sub(job.submitted_ns);
+        tele.span(job.id, stage::POPPED, shared.lock().queue.len() as u64);
         if let Some(cause) = job.token.check() {
             // Resolved at pop time: the query never runs (a cancelled or
             // expired queue slot costs no pool time at all).
-            respond(shared, cfg, pm.rebuilds(), job, pop_status(cause), None, 0, wait_ns);
+            respond(shared, cfg, tele, job, pop_status(cause), None, 0, wait_ns);
             continue;
         }
         // Coalesce: a deadline-free leader adopts every compatible
         // queued query into one batched traversal.
         let members = if max_batch > 1 && coalescible(&job) {
             let mut st = shared.lock();
-            extract_members(&mut st.queue, &job, max_batch - 1)
+            let members = extract_members(&mut st.queue, &job, max_batch - 1);
+            tele.queue_depth.set(st.queue.len() as i64);
+            members
         } else {
             Vec::new()
         };
         let mut live = Vec::new();
         for m in members {
             let w = cfg.clock.now_ns().saturating_sub(m.submitted_ns);
+            tele.span(m.id, stage::COALESCED, job.id);
             match m.token.check() {
                 // Same pop-time resolution as a solo pop.
-                Some(cause) => respond(shared, cfg, pm.rebuilds(), m, pop_status(cause), None, 0, w),
+                Some(cause) => respond(shared, cfg, tele, m, pop_status(cause), None, 0, w),
                 None => live.push((m, w)),
             }
         }
         if live.is_empty() {
-            let (status, result, retries) = run_with_retry(&job, graph, cfg, &mut pm, &mut rng);
-            respond(shared, cfg, pm.rebuilds(), job, status, result, retries, wait_ns);
+            tele.span(job.id, stage::RUN_START, 1);
+            tele.running.set(1);
+            let (status, result, retries) = run_with_retry(&job, graph, cfg, &mut pm, &mut rng, tele);
+            tele.running.set(0);
+            sync_rebuilds(tele, &mut seen_rebuilds, pm.rebuilds());
+            respond(shared, cfg, tele, job, status, result, retries, wait_ns);
         } else {
-            run_batch_coalesced(shared, graph, cfg, &mut pm, &mut rng, job, live, wait_ns);
+            run_batch_coalesced(
+                shared,
+                graph,
+                cfg,
+                &mut pm,
+                &mut rng,
+                tele,
+                &mut seen_rebuilds,
+                job,
+                live,
+                wait_ns,
+            );
         }
     }
 }
@@ -519,6 +720,8 @@ fn run_batch_coalesced(
     cfg: &EngineConfig,
     pm: &mut PoolManager,
     rng: &mut Xoshiro256StarStar,
+    tele: &EngineTelemetry,
+    seen_rebuilds: &mut u64,
     leader: Job,
     members: Vec<(Job, u64)>,
     leader_wait_ns: u64,
@@ -527,6 +730,7 @@ fn run_batch_coalesced(
         threads: cfg.threads,
         record_parents: leader.query.record_parents,
         clock: cfg.clock.clone(),
+        telemetry: Some(Arc::clone(&tele.run)),
         ..Default::default()
     };
     // Duplicate sources share one kernel column: hot-key workloads
@@ -544,6 +748,11 @@ fn run_batch_coalesced(
             })
         })
         .collect();
+    tele.span(leader.id, stage::RUN_START, k as u64);
+    for (m, _) in &members {
+        tele.span(m.id, stage::RUN_START, k as u64);
+    }
+    tele.running.set(k as i64);
     let mut attempt = 0u32;
     let run = loop {
         match obfs_core::driver::try_run_batch_on_pool(
@@ -556,17 +765,18 @@ fn run_batch_coalesced(
             Ok(b) => break Ok(b),
             Err(_) if attempt < cfg.max_retries => {
                 attempt += 1;
+                tele.span(leader.id, stage::RETRY, u64::from(attempt));
                 std::thread::sleep(cfg.backoff_base.saturating_mul(1 << (attempt - 1).min(16)));
                 let _ = rng.next_f64(); // keep the jitter stream aligned
             }
             Err(e) => break Err(e),
         }
     };
-    {
-        let mut st = shared.lock();
-        st.stats.batched_runs += 1;
-        st.stats.queries_coalesced += k as u64;
-    }
+    tele.running.set(0);
+    sync_rebuilds(tele, seen_rebuilds, pm.rebuilds());
+    tele.batched_runs.inc();
+    tele.queries_coalesced.add(k as u64);
+    tele.batch_occupancy.record(k as u64);
     let jobs = std::iter::once((leader, leader_wait_ns)).chain(members);
     match run {
         Ok(b) => {
@@ -589,22 +799,13 @@ fn run_batch_coalesced(
                     columns[c].clone().expect("column responded early")
                 };
                 let result = Some(q.into_bfs_result(&b.stats));
-                respond(shared, cfg, pm.rebuilds(), j, status.clone(), result, attempt, w);
+                respond(shared, cfg, tele, j, status.clone(), result, attempt, w);
             }
         }
         Err(e) => {
             let msg = e.to_string();
             for (j, w) in jobs {
-                respond(
-                    shared,
-                    cfg,
-                    pm.rebuilds(),
-                    j,
-                    QueryStatus::Failed(msg.clone()),
-                    None,
-                    attempt,
-                    w,
-                );
+                respond(shared, cfg, tele, j, QueryStatus::Failed(msg.clone()), None, attempt, w);
             }
         }
     }
@@ -619,6 +820,7 @@ fn run_with_retry(
     cfg: &EngineConfig,
     pm: &mut PoolManager,
     rng: &mut Xoshiro256StarStar,
+    tele: &EngineTelemetry,
 ) -> (QueryStatus, Option<BfsResult>, u32) {
     let opts = BfsOptions {
         threads: cfg.threads,
@@ -626,6 +828,7 @@ fn run_with_retry(
         chaos: job.query.chaos,
         clock: cfg.clock.clone(),
         cancel: Some(job.token.clone()),
+        telemetry: Some(Arc::clone(&tele.run)),
         ..Default::default()
     };
     let mut attempt = 0u32;
@@ -645,6 +848,7 @@ fn run_with_retry(
                 }
                 Outcome::Degraded if cfg.retry_degraded && attempt < cfg.max_retries => {
                     attempt += 1;
+                    tele.span(job.id, stage::RETRY, u64::from(attempt));
                     if let Some(s) = backoff(job, cfg, rng, attempt) {
                         return s;
                     }
@@ -655,6 +859,7 @@ fn run_with_retry(
             Err(e) if attempt < cfg.max_retries => {
                 attempt += 1;
                 let _ = e;
+                tele.span(job.id, stage::RETRY, u64::from(attempt));
                 if let Some(s) = backoff(job, cfg, rng, attempt) {
                     return s;
                 }

@@ -89,6 +89,13 @@ pub mod kind {
     /// `a` = that frontier's vertex count, `b` = the scan-kernel backend
     /// code reported in `RunStats::kernel_backend`).
     pub const COMPACT: u16 = 17;
+    /// A serve-engine query lifecycle transition (scheduler-recorded;
+    /// `a` = query id, `b` = stage code in the low byte with the
+    /// stage-specific payload in the high bits — see
+    /// `obfs-telemetry::span` for the taxonomy and codec). Mirrored
+    /// from the engine's always-on span log so per-query timelines
+    /// correlate with worker traces.
+    pub const SPAN: u16 = 18;
 
     /// `FAULT` cause: injected delay window (`b` = spin count).
     pub const FAULT_DELAY: u64 = 1;
@@ -142,6 +149,7 @@ pub mod kind {
             CANCEL => "cancel",
             BATCH => "batch",
             COMPACT => "compact",
+            SPAN => "span",
             _ => "unknown",
         }
     }

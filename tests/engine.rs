@@ -201,6 +201,7 @@ fn tls_state_is_uninstalled_between_queries_on_a_shared_pool() {
             assert!(!obfs_sync::flight::is_active(), "flight ring leaked");
             assert!(!obfs_sync::metrics::is_active(), "metrics sink leaked");
             assert!(!obfs_sync::cancel::probe_installed(), "cancel probe leaked");
+            assert!(!obfs_telemetry::worker::is_active(), "telemetry hook leaked");
         })
         .unwrap();
     }
