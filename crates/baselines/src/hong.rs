@@ -201,7 +201,9 @@ fn read_array<'a>(
             }
             ctx.barrier().wait_then(|| {});
             // Re-read after full synchronization.
+            // ord: Acquire pairs with the workers' Release of `found_next`.
             let any = found_next.load(Ordering::Acquire);
+            // ord: Release re-arms the cleared flag for the next level's Acquire re-read.
             ctx.barrier().wait_then(|| found_next.store(false, Ordering::Release));
             if !any {
                 break;
@@ -249,6 +251,7 @@ fn shared_queue<'a>(
         let mut parity = 0usize;
         loop {
             let (qin, qout) = if parity == 0 { (&qa, &qb) } else { (&qb, &qa) };
+            // ord: Acquire pairs with the leader's Release of `in_size` — makes the prior level's queue writes visible
             let size = in_size.load(Ordering::Acquire);
             loop {
                 // Chunked atomic head advance (fetch_add — the RMW the
@@ -289,11 +292,14 @@ fn shared_queue<'a>(
             }
             let mut next = 0usize;
             ctx.barrier().wait_then(|| {
+                // ord: AcqRel — acquires every worker's tail bump, releases the zeroed tail for the next level
                 next = out_tail.swap(0, Ordering::AcqRel);
+                // ord: Release publishes the new frontier size to the workers' Acquire loads
                 in_size.store(next, Ordering::Release);
                 head.store(0, Ordering::Relaxed);
                 depth.store(d, Ordering::Relaxed);
             });
+            // ord: Acquire pairs with the leader's Release of `in_size` above
             if in_size.load(Ordering::Acquire) == 0 {
                 break;
             }
@@ -351,6 +357,7 @@ fn local_queue_read_bitmap<'a>(
             // the indices it owns (static interleave), so no head atomics.
             let mut out = 0usize;
             for k in 0..threads {
+                // ord: Acquire pairs with producer `k`'s Release of its size — orders its queue writes before our reads
                 let size = sin[k].load(Ordering::Acquire);
                 let mut i = tid;
                 while i < size {
@@ -369,15 +376,20 @@ fn local_queue_read_bitmap<'a>(
                     i += threads;
                 }
             }
+            // ord: Release publishes this thread's queue writes under its size
             sout[tid].store(out, Ordering::Release);
             ctx.barrier().wait_then(|| {
+                // ord: Acquire folds in every producer's Release-published count
                 let sum: usize = sout.iter().map(|s| s.load(Ordering::Acquire)).sum();
+                // ord: Release publishes the level total to the workers' Acquire loads
                 total.store(sum, Ordering::Release);
                 for s in sin {
+                    // ord: Release — the cleared size is next level's producer baseline
                     s.store(0, Ordering::Release);
                 }
                 depth.store(d, Ordering::Relaxed);
             });
+            // ord: Acquire pairs with the leader's Release of `total` above
             if total.load(Ordering::Acquire) == 0 {
                 break;
             }
@@ -433,6 +445,7 @@ fn hybrid<'a>(
         let mut d = 0u32;
         let mut parity = 0usize;
         loop {
+            // ord: Acquire pairs with the leader's Release of `in_size` — makes the prior level's queue writes visible
             let frontier = in_size.load(Ordering::Acquire);
             let scan_level = frontier > n / SCAN_DIVISOR;
             let (qin, qout) = if parity == 0 { (&qa, &qb) } else { (&qb, &qa) };
@@ -485,12 +498,15 @@ fn hybrid<'a>(
                 }
             }
             ctx.barrier().wait_then(|| {
+                // ord: AcqRel — acquires every worker's tail bump, releases the zeroed tail for the next level
                 let next = out_tail.swap(0, Ordering::AcqRel);
+                // ord: Release publishes the new frontier size to the workers' Acquire loads
                 in_size.store(next, Ordering::Release);
                 head.store(0, Ordering::Relaxed);
                 depth.store(d, Ordering::Relaxed);
                 frontier_in_queues.store(1, Ordering::Relaxed);
             });
+            // ord: Acquire pairs with the leader's Release of `in_size` above
             if in_size.load(Ordering::Acquire) == 0 {
                 break;
             }

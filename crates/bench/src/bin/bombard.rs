@@ -310,17 +310,22 @@ fn drive(
             });
             #[cfg(not(feature = "serve-http"))]
             let taken: Option<(&str, u64, u64, u64)> = None;
-            scrape = Some(taken.unwrap_or_else(|| {
-                let snap = engine.telemetry().registry().snapshot();
-                let c = |n: &str| snap.counter(n).unwrap_or(0);
-                let terminal = TERMINALS.iter().map(|k| c(k)).sum::<u64>();
-                (
-                    "registry",
-                    c("obfs_engine_queries_submitted_total"),
-                    terminal,
-                    c("obfs_engine_queries_shed_total"),
-                )
-            }));
+            // In non-http builds `taken` is always None and this match
+            // arm is the only live path (in-process registry snapshot).
+            scrape = Some(match taken {
+                Some(cut) => cut,
+                None => {
+                    let snap = engine.telemetry().registry().snapshot();
+                    let c = |n: &str| snap.counter(n).unwrap_or(0);
+                    let terminal = TERMINALS.iter().map(|k| c(k)).sum::<u64>();
+                    (
+                        "registry",
+                        c("obfs_engine_queries_submitted_total"),
+                        terminal,
+                        c("obfs_engine_queries_shed_total"),
+                    )
+                }
+            });
         }
     }
     out.elapsed = t0.elapsed();

@@ -164,6 +164,7 @@ impl BatchResult {
     }
 }
 
+// lint:region control:batch-extract
 /// Extract per-query results from a finished run's batch state.
 pub(crate) fn extract_results(b: &BatchState, n: usize) -> Vec<BatchQueryResult> {
     // Row-major gather: one sequential pass over the packed label
@@ -199,6 +200,7 @@ pub(crate) fn extract_results(b: &BatchState, n: usize) -> Vec<BatchQueryResult>
         })
         .collect()
 }
+// lint:endregion
 
 /// Run the batch serially: one [`crate::serial_bfs_with_opts`] pass per
 /// query, stats merged. The ground-truth shape for the differential

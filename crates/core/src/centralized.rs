@@ -25,6 +25,9 @@
 //! a time- or thread-dependent length breaks the orbit property and can
 //! drop vertices.
 
+// lint:protocol racy — the lock-free dispatcher publishes cursors with
+// plain stores; the zero-on-read sentinel walk absorbs every stale view.
+
 use crate::driver::{take_slot, LevelEnv, Strategy};
 use crate::frontier::{decode, QueueSet, EMPTY_SLOT};
 use crate::state::RunState;
@@ -43,6 +46,7 @@ impl Strategy for CentralLocked {
         cur.f = 0;
     }
 
+    // lint:region baseline:central-locked
     fn consume(
         &self,
         env: &LevelEnv<'_, '_>,
@@ -95,6 +99,7 @@ impl Strategy for CentralLocked {
             }
         }
     }
+    // lint:endregion
 }
 
 /// BFSCL — centralized dispatch, optimistic lock-free.
@@ -121,6 +126,7 @@ impl Strategy for CentralLockfree {
     }
 }
 
+// lint:region hot-path:central-fetch
 /// Shared lock-free pool consumer: drains queues `[range.0, range.1)`
 /// using the racy cursor `st.pool_cursors[pool]`. Used by BFSCL (one pool
 /// over all queues) and BFSDL (several pools).
@@ -179,6 +185,7 @@ pub(crate) fn consume_pool_lockfree(
             // Publish: advance the shared pointers with plain stores.
             // Racing threads may drag them backwards; that only re-opens
             // zeroed segments.
+            // racy-ok: optimistic cursor publish — stale views re-open only zeroed segments
             cursor.store(k);
             queue.set_front(f + s);
             break (k, f, s);
@@ -212,6 +219,7 @@ pub(crate) fn consume_pool_lockfree(
         debug_assert_ne!(EMPTY_SLOT, 1);
     }
 }
+// lint:endregion
 
 #[cfg(test)]
 mod tests {

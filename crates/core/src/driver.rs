@@ -843,6 +843,7 @@ fn drive_shared<'g, S: Strategy>(
     Ok(stats)
 }
 
+// lint:region hot-path:take-slot
 /// Walk helper used by the lock-free consumers: read slot `i` of `queue`,
 /// returning `None` if it holds the sentinel, clearing it otherwise.
 /// (Separated out so the optimistic variants share one implementation of
@@ -862,6 +863,7 @@ pub(crate) fn take_slot(
     queue.clear_slot(i);
     Some(decode(s))
 }
+// lint:endregion
 
 #[cfg(test)]
 mod tests {

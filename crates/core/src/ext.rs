@@ -16,6 +16,9 @@
 //! Note: `EdgeCL` ignores [`crate::DedupMode::OwnerArray`] — frontier
 //! entries lose their queue identity when flattened.
 
+// lint:protocol racy — the edge cursor is published with plain stores;
+// overlapping ranges are replays (duplicate scans), never gaps.
+
 use crate::driver::{LevelEnv, Strategy};
 use crate::frontier::{decode, FrontierQueue, EMPTY_SLOT};
 use crate::state::RunState;
@@ -76,6 +79,7 @@ impl Strategy for EdgePartitioned {
     }
 }
 
+// lint:region hot-path:edge-dispatch
 /// Optimistically dispatch edge ranges of the flattened work list
 /// `(flat, prefix)` via `st.edge_cursor` (plain load/store; duplicates
 /// benign). Shared with the scale-free phase-2 stealing variant.
@@ -108,6 +112,7 @@ pub(crate) fn consume_edge_ranges(
         // Pure function of c — the no-gap orbit invariant.
         let es = st.opts.segment.segment_len((total - c) as usize, st.threads) as u64;
         let end = (c + es).min(total);
+        // racy-ok: optimistic cursor publish — a dragged-back cursor only replays scanned edges
         st.edge_cursor.store(end as usize);
         ts.segments_fetched += 1;
         obfs_sync::metrics::segment_fetch(fetch_timer);
@@ -152,6 +157,7 @@ pub(crate) fn consume_edge_ranges(
         }
     }
 }
+// lint:endregion
 
 #[cfg(test)]
 mod tests {

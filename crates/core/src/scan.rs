@@ -100,6 +100,7 @@ pub fn popcount_words(backend: ScanBackend, bm: &FrontierBitmap, wlo: usize, whi
     }
 }
 
+// lint:region hot-path:scan-emit
 /// Call `f(v)` for every set bit of `bm.words[wlo..whi]`, ascending
 /// (`v = word_index * BITMAP_WORD_BITS + bit`). The wordwise kernel
 /// skips zero words outright and walks set bits by `trailing_zeros`;
@@ -150,6 +151,7 @@ pub fn for_each_set_in_word(w: u32, base: usize, mut f: impl FnMut(usize)) {
         w &= w - 1;
     }
 }
+// lint:endregion
 
 /// Shared output slots for [`parallel_exclusive_scan`]: each worker
 /// writes only the disjoint index range the scan assigned it, and the
@@ -170,6 +172,7 @@ impl ScanSlots {
     }
 }
 
+// lint:region hot-path:parallel-scan
 /// Run the three-pass parallel exclusive prefix sum of `xs` on `pool`,
 /// returning `out` with `out[i] = xs[0] + … + xs[i-1]` and a trailing
 /// total (`out.len() == xs.len() + 1`) — element-for-element equal to
@@ -212,6 +215,7 @@ pub fn parallel_exclusive_scan(pool: &LevelPool, xs: &[u64]) -> Vec<u64> {
     .expect("scan worker panicked");
     slots.0.into_vec().into_iter().map(UnsafeCell::into_inner).collect()
 }
+// lint:endregion
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,9 @@
 //! Shared run state and the discovery fast path common to every parallel
 //! BFS variant.
 
+// lint:protocol racy — optimistic discovery: plain loads may be stale, so
+// every claim below must revalidate or carry a single-writer waiver.
+
 use crate::batch::BatchState;
 use crate::frontier::{
     decode, FrontierBitmap, FrontierQueue, QueueSet, SegmentDesc, BITMAP_WORD_BITS, EMPTY_SLOT,
@@ -453,6 +456,7 @@ impl<'g> RunState<'g> {
         }
     }
 
+    // lint:region hot-path:discover
     /// The discovery fast path: if `w` looks unvisited, claim it (racy
     /// write — duplicates across threads are possible and benign), record
     /// parent/owner, and push it to `out`.
@@ -485,7 +489,9 @@ impl<'g> RunState<'g> {
             }
         }
     }
+    // lint:endregion
 
+    // lint:region hot-path:discover-batch
     /// Batch mode: derive the membership bits of frontier vertex `v` at
     /// `level` — bit `q` set iff query `q`'s BFS reaches `v` at exactly
     /// this depth. Reads only per-query level slots published by the
@@ -565,6 +571,7 @@ impl<'g> RunState<'g> {
             }
         }
     }
+    // lint:endregion
 
     /// Pop-side checks shared by all variants. Returns `false` if the
     /// vertex should be skipped (duplicate under owner-array dedup).
@@ -579,6 +586,7 @@ impl<'g> RunState<'g> {
         true
     }
 
+    // lint:region hot-path:explore
     /// Scan `v`'s full adjacency list, discovering into `out`.
     #[inline]
     pub fn explore_vertex(
@@ -610,6 +618,7 @@ impl<'g> RunState<'g> {
             self.try_discover(w, v, next, out_queue_id, out, out_rear, ts);
         }
     }
+    // lint:endregion
 
     /// Leader-only (barrier serial section): reset the watchdog for the
     /// upcoming level.
@@ -635,6 +644,7 @@ impl<'g> RunState<'g> {
         self.opts.cancel.as_ref().and_then(|t| t.check())
     }
 
+    // lint:region hot-path:watchdog-poll
     /// Worker-side poll: true once this level has been declared degraded
     /// or the run cancelled (watchdog deadline passed, a worker exhausted
     /// a retry budget, or the cancel token fired). The caller stops
@@ -651,6 +661,7 @@ impl<'g> RunState<'g> {
         }
         if let Some(tok) = &self.opts.cancel {
             if tok.check().is_some() {
+                // racy-ok: control-plane latch — every writer stores `true`
                 self.wd_abort.store(true, Ordering::Relaxed);
                 return true;
             }
@@ -659,6 +670,7 @@ impl<'g> RunState<'g> {
         // progress only reads it.
         if let Some(dl) = unsafe { *self.wd_deadline.get() } {
             if self.opts.clock.now_ns() >= dl {
+                // racy-ok: control-plane latch — every writer stores `true`
                 self.wd_abort.store(true, Ordering::Relaxed);
                 return true;
             }
@@ -677,12 +689,14 @@ impl<'g> RunState<'g> {
         *retries += 1;
         if let Some(max) = self.opts.watchdog.and_then(|w| w.max_fetch_retries) {
             if *retries >= max {
+                // racy-ok: control-plane latch — every writer stores `true`
                 self.wd_abort.store(true, Ordering::Relaxed);
                 return true;
             }
         }
         self.watchdog_tripped()
     }
+    // lint:endregion
 
     /// Leader-only serial sweep finishing a degraded level: re-explore
     /// every flattened work-list vertex (hub phase / EdgeCL) and every
@@ -805,6 +819,7 @@ impl<'g> RunState<'g> {
         }
     }
 
+    // lint:region hot-path:compact
     /// Compaction pass 1 (fill / reduce) for thread `tid`: rebuild this
     /// worker's chunk-aligned share of the compaction bitmap from the
     /// `level[]` stores the last barrier published, record one popcount
@@ -833,9 +848,11 @@ impl<'g> RunState<'g> {
                 cs.bitmap.set_word(wi, bits);
             }
             let cnt = crate::scan::popcount_words(self.scan_backend, &cs.bitmap, wlo, whi);
+            // racy-ok: single-writer — this chunk belongs to `tid` alone
             cs.chunk_counts.set(c, cnt as u32);
             total += cnt;
         }
+        // racy-ok: single-writer — own block-total slot
         cs.block_totals.set(tid, total as u32);
     }
 
@@ -860,6 +877,7 @@ impl<'g> RunState<'g> {
             let whi = ((c + 1) * crate::scan::COMPACT_CHUNK_WORDS).min(words);
             let start = off;
             crate::scan::for_each_set(self.scan_backend, &cs.bitmap, wlo, whi, |v| {
+                // racy-ok: single-writer — disjoint per-thread output range
                 cs.frontier.set(off, v as u32);
                 off += 1;
             });
@@ -903,7 +921,9 @@ impl<'g> RunState<'g> {
             self.explore_vertex(v, level, tid, out, out_rear, ts);
         }
     }
+    // lint:endregion
 
+    // lint:region hot-path:bottom-up
     /// One bottom-up level for thread `tid`: scan this worker's
     /// word-aligned share of the vertex range, and for every unvisited
     /// vertex probe its in-edges until a parent on the current frontier
@@ -1000,11 +1020,14 @@ impl<'g> RunState<'g> {
         for &u in tg.neighbors(v as VertexId) {
             probes += 1;
             if hyb.bitmap.test(u as usize) {
+                // racy-ok: single-writer — `v` is in this worker's static word-aligned range
                 self.levels.set(v, next);
                 if let Some(p) = &self.parents {
+                    // racy-ok: single-writer — same static vertex partition
                     p.set(v, u);
                 }
                 if let Some(o) = &self.owner {
+                    // racy-ok: single-writer — same static vertex partition
                     o.set(v, tid as u32 + 1);
                 }
                 out.push(out_rear, v as VertexId);
@@ -1093,6 +1116,7 @@ impl<'g> RunState<'g> {
             }
         }
     }
+    // lint:endregion
 }
 
 #[cfg(test)]

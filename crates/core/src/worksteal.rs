@@ -25,6 +25,10 @@
 //! edge-segment dispatch — the alternative the paper found usually
 //! slower).
 
+// lint:protocol racy — descriptor snapshots and segment publishes are
+// plain stores; thieves and owners reconcile through the zero-on-read
+// sentinel, so claims below must revalidate or carry a waiver.
+
 use crate::driver::{take_slot, LevelEnv, Strategy};
 use crate::frontier::{decode, EMPTY_SLOT};
 use crate::state::RunState;
@@ -122,6 +126,7 @@ pub(crate) struct OwnedSegment {
 }
 
 impl WorkStealing {
+    // lint:region hot-path:walk-sentinel
     /// Lock-free owner walk: consume by sentinel, publishing `f` after
     /// every pop, never checking `r`.
     pub(crate) fn walk_sentinel(
@@ -141,6 +146,7 @@ impl WorkStealing {
             match take_slot(queue, seg.f) {
                 Some(v) => {
                     seg.f += 1;
+                    // racy-ok: single-writer — the owner alone advances its `f`
                     desc.f.store(seg.f);
                     self.process_pop(st, v, env.level, seg.q, tid, out, out_rear, ts);
                 }
@@ -159,7 +165,9 @@ impl WorkStealing {
             }
         }
     }
+    // lint:endregion
 
+    // lint:region baseline:walk-locked
     /// Locked owner walk: pop indices under the owner's lock so thieves
     /// and owner see a consistent `(f, r)`.
     fn walk_locked(
@@ -183,6 +191,7 @@ impl WorkStealing {
                 if f >= r {
                     return;
                 }
+                // racy-ok: under the owner's own descriptor lock
                 desc.f.store(f + 1);
                 (desc.q.load(), f)
             };
@@ -191,6 +200,7 @@ impl WorkStealing {
             self.process_pop(st, v, env.level, q, tid, out, out_rear, ts);
         }
     }
+    // lint:endregion
 
     /// Shared pop handling: dedup admit, duplicate accounting, hub
     /// diversion, exploration.
@@ -264,6 +274,7 @@ impl WorkStealing {
         None
     }
 
+    // lint:region baseline:steal-locked
     /// BFSW steal: lock the victim, cut its right half exactly.
     fn try_steal_locked(
         &self,
@@ -309,6 +320,7 @@ impl WorkStealing {
                 return None;
             }
             let mid = f + (r - f) / 2;
+            // racy-ok: under the victim's descriptor lock
             vd.r.store(mid);
             (vd.q.load(), mid, r)
         };
@@ -317,11 +329,14 @@ impl WorkStealing {
         {
             let _g = st.desc_locks[tid].lock();
             ts.lock_acquisitions += 1;
+            // racy-ok: under this thread's own descriptor lock
             st.descs[tid].set(q, mid, r);
         }
         Some(OwnedSegment { q, f: mid, r })
     }
+    // lint:endregion
 
+    // lint:region hot-path:steal-snapshot
     /// BFSWL steal: snapshot, sanity-check, publish with plain stores
     /// (paper §IV-B.2).
     pub(crate) fn try_steal_optimistic(
@@ -371,7 +386,9 @@ impl WorkStealing {
         // Publish: my descriptor first, then shrink the victim. Plain
         // stores — overlapping thieves produce duplicate segments, which
         // the sentinel walk bounds.
+        // racy-ok: optimistic publish after the snapshot sanity checks above
         st.descs[tid].set(q, mid, r);
+        // racy-ok: optimistic rear shrink — overlap is bounded duplicate work
         st.descs[victim].r.store(mid);
         if qin.queue(q).slot(mid) == EMPTY_SLOT {
             // Already consumed: the snapshot was stale.
@@ -386,6 +403,7 @@ impl WorkStealing {
         }
         Some(OwnedSegment { q, f: mid, r })
     }
+    // lint:endregion
 
     /// Phase 2, static split: thread `tid` explores the `tid`-th chunk of
     /// every hub's adjacency list (paper §IV-B.3 first variant).

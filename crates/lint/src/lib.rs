@@ -1,35 +1,52 @@
-//! `obfs-lint`: the repo's race-surface auditor (text/line-based, no
+//! `obfs-lint`: the repo's race-surface auditor (token-aware, no
 //! parser crates, std-only, fully deterministic).
 //!
-//! Four rules, all motivated by the paper's safety argument living in
+//! All passes share one hand-rolled lexer ([`lex`]) so that `unsafe`
+//! in a raw string, `Ordering::` in a doc comment, and keywords quoted
+//! in messages never count as code — and so that the markers the
+//! passes key on (`lint:region`, `lint:protocol`, `ord:`, `racy-ok:`)
+//! are read from real comment tokens.
+//!
+//! The rules, all motivated by the paper's safety argument living in
 //! *conventions* the compiler cannot check:
 //!
 //! * **safety-comment** — every `unsafe` keyword (block, fn, impl,
 //!   trait) must carry a `SAFETY`/`# Safety` marker on the same line,
-//!   the line directly above, or the contiguous comment/attribute block
-//!   directly above (a blank or code line breaks the attachment). The
-//!   optimistic protocols lean on `unsafe` ownership claims (barrier
-//!   serial sections, own-slot access); an unargued claim is a latent
-//!   race.
-//! * **unsafe-scope / atomics-scope** — `unsafe` and `Ordering::` uses
-//!   outside `crates/sync` must be explicitly allowlisted (with a
-//!   justification) in `scripts/lint.allow`. The design rule is that
-//!   the racy memory model lives in `obfs-sync`; every escape hatch
-//!   elsewhere is a deliberate, documented exception. Stale allowlist
-//!   entries (file gone, or occurrence gone) are errors too, so the
-//!   list can only shrink truthfully.
-//! * **shim-parity** — in the feature-shim modules (`chaos`, `flight`,
-//!   `metrics`), a top-level `pub fn` gated on `#[cfg(feature = "X")]`
-//!   must have a `#[cfg(not(feature = "X"))]` twin of the same name
-//!   (and vice versa), so the public API never disappears when a
-//!   feature is off.
+//!   the line directly above, or the contiguous comment/attr block
+//!   directly above. An unargued ownership claim is a latent race.
+//! * **unsafe-scope / atomics-scope / allowlist-count** — `unsafe`
+//!   and atomic-`Ordering` uses outside `crates/sync` must be
+//!   allowlisted (with a justification, and optionally an exact
+//!   `[n]` occurrence count) in `scripts/lint.allow`. Stale entries
+//!   are errors, so the list only shrinks truthfully.
+//! * **hot-path budget** ([`regions`]) — marked regions are measured
+//!   (locks, RMWs, ordering strengths) and diffed against the
+//!   committed `lint/budget.txt`; hot-path regions must hold zero
+//!   locks and zero RMWs, unconditionally.
+//! * **ordering audit** ([`ordering`]) — `SeqCst` anywhere and
+//!   `Acquire`/`Release`/`AcqRel` outside `crates/sync` need a
+//!   `// ord:` justification; stale justifications are errors.
+//! * **racy pairing** ([`pairing`]) — in `lint:protocol racy` files,
+//!   every in-region claim needs a preceding revalidation or an
+//!   explicit `// racy-ok:` waiver (DESIGN.md §11's rule).
+//! * **shim-parity** — in the feature-shim modules (`chaos`,
+//!   `flight`, `metrics`), a cfg-feature-gated top-level `pub fn`
+//!   must exist under both polarities of the feature.
 //! * **flight-taxonomy** — the event-kind constants in
 //!   `obfs_sync::flight::kind` and the taxonomy table in DESIGN.md §8
 //!   must list exactly the same kinds, in both directions.
 //!
 //! Output is byte-stable: files are walked in sorted order, findings
-//! are sorted, and nothing reads clocks, RNG, or hash-iteration order.
+//! and regions are sorted, and nothing reads clocks, RNG, or
+//! hash-iteration order.
 
+pub mod lex;
+pub mod ordering;
+pub mod pairing;
+pub mod regions;
+
+use lex::{Tok, TokKind};
+use regions::Region;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::fs;
@@ -59,9 +76,19 @@ pub struct Finding {
 }
 
 impl Finding {
-    fn new(path: &str, line: usize, rule: &'static str, message: String) -> Self {
+    pub(crate) fn new(path: &str, line: usize, rule: &'static str, message: String) -> Self {
         Self { path: path.to_string(), line, rule, message }
     }
+}
+
+/// One lexed source file, handed to every pass.
+pub struct SourceFile {
+    /// Normalized repo-relative path.
+    pub rel: String,
+    /// Raw source lines (for comment-block attachment checks).
+    pub lines: Vec<String>,
+    /// Token stream from [`lex::lex`].
+    pub toks: Vec<Tok>,
 }
 
 /// Everything one lint run produced.
@@ -71,6 +98,8 @@ pub struct LintReport {
     pub findings: Vec<Finding>,
     /// Rust files scanned.
     pub files_scanned: usize,
+    /// Measured region budgets, sorted by (path, id).
+    pub regions: Vec<Region>,
 }
 
 impl LintReport {
@@ -82,7 +111,7 @@ impl LintReport {
     /// Deterministic human-readable report.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "== obfs-lint: unsafe/ordering audit ==");
+        let _ = writeln!(s, "== obfs-lint: race-surface audit ==");
         for f in &self.findings {
             if f.line == 0 {
                 let _ = writeln!(s, "{}: [{}] {}", f.path, f.rule, f.message);
@@ -90,68 +119,201 @@ impl LintReport {
                 let _ = writeln!(s, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
             }
         }
+        if !self.regions.is_empty() {
+            let _ = writeln!(s, "-- region budgets ({}) --", regions::BUDGET);
+            for r in &self.regions {
+                let _ = writeln!(s, "{}", r.budget_line());
+            }
+        }
         let _ = writeln!(
             s,
-            "lint: {} ({} files scanned, {} findings)",
+            "lint: {} ({} files scanned, {} findings, {} regions)",
             if self.passed() { "PASS" } else { "FAIL" },
             self.files_scanned,
-            self.findings.len()
+            self.findings.len(),
+            self.regions.len()
         );
+        s
+    }
+
+    /// Machine-readable report (`--json`), hand-serialized so the
+    /// analyzer stays std-only. Schema (version 1):
+    ///
+    /// ```json
+    /// {"schema_version": 1, "pass": bool, "files_scanned": u64,
+    ///  "findings": [{"path", "line", "rule", "message"}, …],
+    ///  "regions": [{"path", "id", "line", "locks", "rmws",
+    ///               "relaxed", "acquire", "release", "acqrel",
+    ///               "seqcst"}, …]}
+    /// ```
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema_version\":1,\"pass\":{},\"files_scanned\":{},\"findings\":[",
+            self.passed(),
+            self.files_scanned
+        );
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                if i == 0 { "" } else { "," },
+                esc(&f.path),
+                f.line,
+                esc(f.rule),
+                esc(&f.message)
+            );
+        }
+        let _ = write!(s, "],\"regions\":[");
+        for (i, r) in self.regions.iter().enumerate() {
+            let c = r.counts;
+            let _ = write!(
+                s,
+                "{}{{\"path\":\"{}\",\"id\":\"{}\",\"line\":{},\"locks\":{},\"rmws\":{},\"relaxed\":{},\"acquire\":{},\"release\":{},\"acqrel\":{},\"seqcst\":{}}}",
+                if i == 0 { "" } else { "," },
+                esc(&r.path),
+                esc(&r.id),
+                r.line,
+                c.locks,
+                c.rmws,
+                c.relaxed,
+                c.acquire,
+                c.release,
+                c.acqrel,
+                c.seqcst
+            );
+        }
+        let _ = write!(s, "]}}");
         s
     }
 }
 
+/// Strip any leading `./` segments so paths compare equal no matter
+/// how the root was spelled (`.`, `./`, absolute). Allowlist/budget
+/// entries and computed rel-paths all pass through here — this is
+/// what makes `cargo run -p obfs-lint` from a crate dir agree with a
+/// CI run from the repo root.
+pub fn normalize_path(p: &str) -> String {
+    let mut s = p;
+    while let Some(rest) = s.strip_prefix("./") {
+        s = rest;
+    }
+    s.to_string()
+}
+
+/// Walk up from `start` to the workspace root: the first ancestor
+/// holding both a `crates/` directory and a `Cargo.toml`. Lets the
+/// binary run correctly from a crate subdirectory.
+pub fn find_repo_root(start: &Path) -> Option<PathBuf> {
+    let start = start.canonicalize().ok()?;
+    let mut dir: Option<&Path> = Some(start.as_path());
+    while let Some(p) = dir {
+        if p.join("crates").is_dir() && p.join("Cargo.toml").is_file() {
+            return Some(p.to_path_buf());
+        }
+        dir = p.parent();
+    }
+    None
+}
+
 /// Run every rule against the repo rooted at `root`.
 pub fn lint_repo(root: &Path) -> Result<LintReport, String> {
-    let files = rust_files(&root.join("crates"))?;
+    let mut files = rust_files(&root.join("crates"))?;
+    // "Repo-wide" means the whole workspace: top-level integration
+    // tests, examples and any root src/ are lexed too (they are held
+    // to the same scope rules as any other non-sync code).
+    for extra in ["src", "tests", "examples"] {
+        let d = root.join(extra);
+        if d.is_dir() {
+            files.extend(rust_files(&d)?);
+        }
+    }
+    files.sort();
+
     let mut findings = Vec::new();
     let allow = Allowlist::load(root, &mut findings)?;
 
-    // Per-file occurrence sets, reused by the stale-entry check.
-    let mut has_unsafe: BTreeSet<String> = BTreeSet::new();
-    let mut has_atomics: BTreeSet<String> = BTreeSet::new();
+    // Per-file occurrence counts, reused by the stale-entry check.
+    let mut n_unsafe: BTreeMap<String, usize> = BTreeMap::new();
+    let mut n_atomics: BTreeMap<String, usize> = BTreeMap::new();
+    let mut all_regions: Vec<Region> = Vec::new();
 
     for path in &files {
-        let rel = rel_path(root, path);
-        let text = fs::read_to_string(path)
-            .map_err(|e| format!("read {}: {e}", path.display()))?;
-        let lines: Vec<&str> = text.lines().collect();
-        let code: Vec<String> = lines.iter().map(|l| strip_comment(l)).collect();
+        let rel = normalize_path(&rel_path(root, path));
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let file = SourceFile {
+            rel: rel.clone(),
+            lines: text.lines().map(str::to_string).collect(),
+            toks: lex::lex(&text),
+        };
+        let in_sync = rel.starts_with("crates/sync/");
 
-        check_safety_comments(&rel, &lines, &code, &allow, &mut findings);
+        check_safety_comments(&file, &allow, &mut findings);
 
-        let outside_sync = !rel.starts_with("crates/sync/");
-        for (i, c) in code.iter().enumerate() {
-            if contains_word(c, "unsafe") {
-                has_unsafe.insert(rel.clone());
-                if outside_sync && !allow.permits("unsafe", &rel) {
-                    findings.push(Finding::new(
-                        &rel,
-                        i + 1,
-                        "unsafe-scope",
-                        format!("`unsafe` outside crates/sync needs an `unsafe {rel}` entry in {ALLOWLIST}"),
-                    ));
-                    break; // one finding per file is enough
-                }
-            }
+        let unsafe_lines: Vec<usize> = file
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "unsafe")
+            .map(|t| t.line)
+            .collect();
+        if !unsafe_lines.is_empty() {
+            n_unsafe.insert(rel.clone(), unsafe_lines.len());
         }
-        for (i, c) in code.iter().enumerate() {
-            if c.contains("Ordering::") {
-                has_atomics.insert(rel.clone());
-                if outside_sync && !allow.permits("atomics", &rel) {
-                    findings.push(Finding::new(
-                        &rel,
-                        i + 1,
-                        "atomics-scope",
-                        format!("`Ordering::` outside crates/sync needs an `atomics {rel}` entry in {ALLOWLIST}"),
-                    ));
-                    break;
-                }
-            }
+
+        let occ = ordering::check_ordering(&file, in_sync, &mut findings);
+        if !occ.is_empty() {
+            n_atomics.insert(rel.clone(), occ.len());
         }
+
+        if !in_sync {
+            check_scope(
+                &file,
+                "unsafe-scope",
+                "unsafe",
+                "`unsafe`",
+                unsafe_lines.first().copied(),
+                unsafe_lines.len(),
+                &allow,
+                &mut findings,
+            );
+            check_scope(
+                &file,
+                "atomics-scope",
+                "atomics",
+                "atomic `Ordering::`",
+                occ.first().map(|o| o.line),
+                occ.len(),
+                &allow,
+                &mut findings,
+            );
+        }
+
+        let file_regions = regions::extract_regions(&file, &mut findings);
+        pairing::check_pairing(&file, &file_regions, &mut findings);
+        all_regions.extend(file_regions);
     }
 
-    allow.check_stale(&has_unsafe, &has_atomics, &mut findings);
+    allow.check_stale(&n_unsafe, &n_atomics, &mut findings);
+    regions::check_budget(root, &all_regions, &mut findings);
 
     for shim in SHIM_FILES {
         let path = root.join(shim);
@@ -164,7 +326,43 @@ pub fn lint_repo(root: &Path) -> Result<LintReport, String> {
 
     findings.sort();
     findings.dedup();
-    Ok(LintReport { findings, files_scanned: files.len() })
+    all_regions.sort_by(|a, b| (&a.path, &a.id).cmp(&(&b.path, &b.id)));
+    Ok(LintReport { findings, files_scanned: files.len(), regions: all_regions })
+}
+
+/// Scope + occurrence-count enforcement for one rule in one file.
+#[allow(clippy::too_many_arguments)]
+fn check_scope(
+    file: &SourceFile,
+    finding_rule: &'static str,
+    allow_rule: &str,
+    what: &str,
+    first_line: Option<usize>,
+    count: usize,
+    allow: &Allowlist,
+    findings: &mut Vec<Finding>,
+) {
+    let Some(line) = first_line else { return };
+    match allow.permits(allow_rule, &file.rel) {
+        None => findings.push(Finding::new(
+            &file.rel,
+            line,
+            finding_rule,
+            format!(
+                "{what} outside crates/sync needs an `{allow_rule} {}` entry in {ALLOWLIST}",
+                file.rel
+            ),
+        )),
+        Some(Some(n)) if n != count => findings.push(Finding::new(
+            &file.rel,
+            line,
+            "allowlist-count",
+            format!(
+                "file has {count} {what} occurrence(s) but the {ALLOWLIST} entry permits [{n}] — every new occurrence needs an explicit count bump"
+            ),
+        )),
+        _ => {}
+    }
 }
 
 /// All `.rs` files under `dir`, sorted, skipping `target` directories.
@@ -200,94 +398,16 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// The code portion of a line: line comments removed, string-literal
-/// contents blanked (so `"unsafe"` in a message is not a keyword).
-/// Line-based by design — multi-line raw strings would fool it, and the
-/// repo style avoids them.
-fn strip_comment(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            match c {
-                '\\' => {
-                    chars.next(); // skip the escaped char
-                }
-                '"' => {
-                    in_str = false;
-                    out.push('"');
-                }
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => {
-                in_str = true;
-                out.push('"');
-            }
-            '\'' => {
-                // Char literal (or lifetime — harmless either way):
-                // consume up to 3 chars looking for the closing quote.
-                out.push('\'');
-                for _ in 0..3 {
-                    match chars.peek() {
-                        Some('\'') => {
-                            chars.next();
-                            break;
-                        }
-                        Some('\\') => {
-                            chars.next();
-                            chars.next();
-                        }
-                        Some(_) => {
-                            chars.next();
-                        }
-                        None => break,
-                    }
-                }
-            }
-            '/' if chars.peek() == Some(&'/') => break,
-            _ => out.push(c),
-        }
-    }
-    out
-}
-
-/// Word-boundary containment (identifier chars delimit words).
-fn contains_word(haystack: &str, word: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = haystack[start..].find(word) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !haystack[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + word.len();
-        let after_ok = !haystack[after..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + word.len();
-    }
-    false
-}
-
 fn has_safety_marker(line: &str) -> bool {
     line.contains("SAFETY") || line.contains("# Safety")
 }
 
 /// Walk upward through the contiguous run of comment/attribute lines
-/// directly above line `i`, looking for a SAFETY marker. Blank lines
-/// and code lines end the run: a marker must be *attached*, not merely
-/// nearby (a nearby-window rule would let one comment bless several
-/// unrelated blocks).
-fn marker_in_comment_block_above(lines: &[&str], i: usize) -> bool {
+/// directly above line index `i`, looking for a SAFETY marker. Blank
+/// lines and code lines end the run: a marker must be *attached*, not
+/// merely nearby (a nearby-window rule would let one comment bless
+/// several unrelated blocks).
+fn marker_in_comment_block_above(lines: &[String], i: usize) -> bool {
     for line in lines[..i].iter().rev() {
         let t = line.trim();
         if !(t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!")) {
@@ -300,27 +420,26 @@ fn marker_in_comment_block_above(lines: &[&str], i: usize) -> bool {
     false
 }
 
-fn check_safety_comments(
-    rel: &str,
-    lines: &[&str],
-    code: &[String],
-    allow: &Allowlist,
-    findings: &mut Vec<Finding>,
-) {
-    if allow.permits("safety", rel) {
+fn check_safety_comments(file: &SourceFile, allow: &Allowlist, findings: &mut Vec<Finding>) {
+    if allow.permits("safety", &file.rel).is_some() {
         return;
     }
-    for (i, c) in code.iter().enumerate() {
-        if !contains_word(c, "unsafe") {
-            continue;
-        }
-        let covered = has_safety_marker(lines[i])
-            || (i > 0 && has_safety_marker(lines[i - 1]))
-            || marker_in_comment_block_above(lines, i);
+    // `unsafe` ident tokens only: string/comment mentions never count.
+    let unsafe_lines: BTreeSet<usize> = file
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text == "unsafe")
+        .map(|t| t.line)
+        .collect();
+    for &l in &unsafe_lines {
+        let i = l - 1; // 0-based index into lines
+        let covered = file.lines.get(i).is_some_and(|s| has_safety_marker(s))
+            || (i > 0 && has_safety_marker(&file.lines[i - 1]))
+            || marker_in_comment_block_above(&file.lines, i);
         if !covered {
             findings.push(Finding::new(
-                rel,
-                i + 1,
+                &file.rel,
+                l,
                 "safety-comment",
                 "`unsafe` without an attached SAFETY comment (same line, line above, or the comment block directly above)".to_string(),
             ));
@@ -328,10 +447,10 @@ fn check_safety_comments(
     }
 }
 
-/// Parsed `scripts/lint.allow`: `rule path # justification` lines.
+/// Parsed `scripts/lint.allow`: `rule path [n] # justification` lines.
 struct Allowlist {
-    /// (rule, path) -> allowlist line number.
-    entries: BTreeMap<(String, String), usize>,
+    /// (rule, path) -> (allowlist line number, optional exact count).
+    entries: BTreeMap<(String, String), (usize, Option<usize>)>,
 }
 
 impl Allowlist {
@@ -351,15 +470,32 @@ impl Allowlist {
                 Some((e, j)) => (e.trim(), j.trim()),
                 None => (line, ""),
             };
-            let mut parts = entry.split_whitespace();
-            let (rule, p) = (parts.next(), parts.next());
-            let valid_rule = matches!(rule, Some("unsafe" | "atomics" | "safety"));
-            if !valid_rule || p.is_none() || parts.next().is_some() {
+            let parts: Vec<&str> = entry.split_whitespace().collect();
+            let valid_rule =
+                matches!(parts.first(), Some(&"unsafe" | &"atomics" | &"safety"));
+            let count = match parts.get(2) {
+                None => Ok(None),
+                Some(c) => c
+                    .strip_prefix('[')
+                    .and_then(|c| c.strip_suffix(']'))
+                    .and_then(|c| c.parse::<usize>().ok())
+                    .map(Some)
+                    .ok_or(()),
+            };
+            let shape_ok = valid_rule
+                && parts.len() >= 2
+                && parts.len() <= 3
+                && count.is_ok()
+                // A count constrains occurrences; `safety` only
+                // exempts a file from the comment rule, so a count
+                // there would be dead syntax.
+                && !(parts[0] == "safety" && parts.len() == 3);
+            if !shape_ok {
                 findings.push(Finding::new(
                     ALLOWLIST,
                     i + 1,
                     "allowlist-syntax",
-                    "expected `unsafe|atomics|safety <path> # <justification>`".to_string(),
+                    "expected `unsafe|atomics|safety <path> [n] # <justification>` (count only for unsafe/atomics)".to_string(),
                 ));
                 continue;
             }
@@ -372,8 +508,8 @@ impl Allowlist {
                 ));
                 continue;
             }
-            let key = (rule.unwrap().to_string(), p.unwrap().to_string());
-            if entries.insert(key, i + 1).is_some() {
+            let key = (parts[0].to_string(), normalize_path(parts[1]));
+            if entries.insert(key, (i + 1, count.unwrap())).is_some() {
                 findings.push(Finding::new(
                     ALLOWLIST,
                     i + 1,
@@ -385,25 +521,27 @@ impl Allowlist {
         Ok(Self { entries })
     }
 
-    fn permits(&self, rule: &str, path: &str) -> bool {
-        self.entries.contains_key(&(rule.to_string(), path.to_string()))
+    /// `Some(count)` when the (rule, path) pair is allowlisted;
+    /// the inner option is the `[n]` cap (None = any count ≥ 1).
+    fn permits(&self, rule: &str, path: &str) -> Option<Option<usize>> {
+        self.entries
+            .get(&(rule.to_string(), path.to_string()))
+            .map(|(_, count)| *count)
     }
 
     /// An entry whose occurrence no longer exists must be removed: the
     /// allowlist documents the *current* escape hatches, nothing more.
     fn check_stale(
         &self,
-        has_unsafe: &BTreeSet<String>,
-        has_atomics: &BTreeSet<String>,
+        n_unsafe: &BTreeMap<String, usize>,
+        n_atomics: &BTreeMap<String, usize>,
         findings: &mut Vec<Finding>,
     ) {
-        for ((rule, path), line) in &self.entries {
+        for ((rule, path), (line, _)) in &self.entries {
             let live = match rule.as_str() {
-                "unsafe" => has_unsafe.contains(path),
-                "atomics" => has_atomics.contains(path),
-                // `safety` exempts a file from the comment rule; stale
-                // once the file has no unsafe at all.
-                _ => has_unsafe.contains(path),
+                "atomics" => n_atomics.contains_key(path),
+                // `unsafe` and `safety` both key on unsafe tokens.
+                _ => n_unsafe.contains_key(path),
             };
             if !live {
                 findings.push(Finding::new(
@@ -577,13 +715,25 @@ fn check_flight_taxonomy(root: &Path, findings: &mut Vec<Finding>) -> Result<(),
 mod tests {
     use super::*;
 
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel: "crates/x/src/a.rs".to_string(),
+            lines: src.lines().map(str::to_string).collect(),
+            toks: lex::lex(src),
+        }
+    }
+
     #[test]
-    fn comment_and_string_stripping() {
-        assert_eq!(strip_comment("let x = 1; // unsafe"), "let x = 1; ");
-        assert!(!contains_word(&strip_comment("log(\"unsafe here\")"), "unsafe"));
-        assert!(contains_word(&strip_comment("unsafe { x() } // ok"), "unsafe"));
-        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
-        assert!(contains_word("let c = 'u'; unsafe {", "unsafe"));
+    fn tokens_not_text_decide_what_counts() {
+        // Raw string + doc comment mentions of `unsafe`: no findings,
+        // no occurrence count.
+        let f = file("/// unsafe in docs\npub fn f() { let s = r#\"unsafe\"#; }\n");
+        let n = f
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && t.text == "unsafe")
+            .count();
+        assert_eq!(n, 0);
     }
 
     #[test]
@@ -642,18 +792,24 @@ mod tests {
 
     #[test]
     fn safety_marker_must_be_attached() {
-        let lines = vec![
-            "// SAFETY: exclusive owner.",
-            "#[allow(clippy::x)]",
-            "unsafe { go() }",
-            "",
-            "unsafe { go_again() }",
-        ];
-        let code: Vec<String> = lines.iter().map(|l| strip_comment(l)).collect();
+        let src = "\
+// SAFETY: exclusive owner.
+#[allow(clippy::x)]
+unsafe { go() }
+
+unsafe { go_again() }
+";
         let allow = Allowlist { entries: BTreeMap::new() };
         let mut f = Vec::new();
-        check_safety_comments("x.rs", &lines, &code, &allow, &mut f);
-        assert_eq!(f.len(), 1, "only the uncommented block is flagged");
+        check_safety_comments(&file(src), &allow, &mut f);
+        assert_eq!(f.len(), 1, "only the uncommented block is flagged: {f:?}");
         assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn path_normalization() {
+        assert_eq!(normalize_path("./crates/x/src/a.rs"), "crates/x/src/a.rs");
+        assert_eq!(normalize_path("././a.rs"), "a.rs");
+        assert_eq!(normalize_path("crates/x.rs"), "crates/x.rs");
     }
 }

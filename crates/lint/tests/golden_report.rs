@@ -1,0 +1,42 @@
+//! The lint run against *this repository* is itself a test artifact:
+//! the tree must pass, every hot-path region must measure zero locks
+//! and zero RMWs, and the rendered report must match the committed
+//! golden byte-for-byte — so any drift in annotations, budgets, or the
+//! analyzer's output format shows up as a reviewable diff in
+//! `results/lint_report.txt`.
+
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn repo_passes_and_hot_paths_are_clean() {
+    let report = obfs_lint::lint_repo(repo_root()).unwrap();
+    assert!(report.passed(), "the tree must lint clean:\n{}", report.render());
+    assert!(!report.regions.is_empty(), "region markers must be present");
+    for r in &report.regions {
+        if r.is_hot() {
+            assert_eq!(
+                (r.counts.locks, r.counts.rmws),
+                (0, 0),
+                "hot-path region {}:{} must hold zero locks and zero RMWs",
+                r.path,
+                r.id
+            );
+        }
+    }
+}
+
+#[test]
+fn report_matches_committed_golden() {
+    let report = obfs_lint::lint_repo(repo_root()).unwrap();
+    let golden = std::fs::read_to_string(repo_root().join("results/lint_report.txt"))
+        .expect("results/lint_report.txt is committed");
+    assert_eq!(
+        report.render(),
+        golden,
+        "regenerate with: cargo run -q -p obfs-lint -- . > results/lint_report.txt"
+    );
+}

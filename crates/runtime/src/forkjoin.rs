@@ -25,6 +25,17 @@
 //! too), so `scope` always terminates; the first panic's payload is then
 //! re-raised on the calling thread when the scope completes, matching
 //! `std::thread::scope` semantics.
+//!
+//! # Memory ordering
+//!
+//! The control plane uses the Arc-style split: `pending` increments are
+//! `Relaxed` (the counter only gates termination), the decrement in
+//! `run_task` is `AcqRel`, and the scope caller's exit load is
+//! `Acquire` — observing 0 therefore happens-after every task body.
+//! Everything else (`shutdown`, the idle-sleep heuristics) is `Relaxed`
+//! because the mutex/condvar and `join()` provide the real
+//! synchronization; the lint's ordering audit holds this file to
+//! exactly that story.
 
 use obfs_util::Xoshiro256StarStar;
 use std::collections::VecDeque;
@@ -103,7 +114,11 @@ impl TaskCtx<'_> {
     /// all tasks. Public users go through `scope`, which restores the
     /// correct borrowing rules via the `'scope` closure bound.
     pub fn spawn(&self, task: impl FnOnce(&TaskCtx<'_>) + Send + 'static) {
-        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: increments only gate termination. A spawner is itself
+        // an unfinished task, so its own pending decrement (AcqRel, in
+        // `run_task`) is later in the counter's modification order than
+        // this increment — a waiter can never observe 0 early.
+        self.shared.pending.fetch_add(1, Ordering::Relaxed);
         self.shared.deques[self.worker_id].push(Box::new(task));
         self.shared.idle_cv.notify_one();
     }
@@ -169,14 +184,19 @@ impl ForkJoinPool {
                 Box<dyn FnOnce(&TaskCtx<'_>) + Send + 'static>,
             >(Box::new(root))
         };
-        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: same argument as `TaskCtx::spawn` — the caller's own
+        // exit load below is program-ordered after this increment.
+        self.shared.pending.fetch_add(1, Ordering::Relaxed);
         self.shared.injector.push(root);
         self.shared.idle_cv.notify_all();
 
         // The caller works too (essential when the pool has 1 thread).
         let ctx = TaskCtx { shared: &self.shared, worker_id: 0 };
         let mut rng = Xoshiro256StarStar::new(0xF0F0);
-        while self.shared.pending.load(Ordering::SeqCst) != 0 {
+        // Observing 0 happens-after every task body's effects, so the
+        // caller may read anything its tasks wrote once the loop exits.
+        // ord: Acquire pairs with the AcqRel decrement in `run_task`
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
             if let Some(task) = find_task(&self.shared, 0, &mut rng) {
                 run_task(task, &ctx, &self.shared);
             } else {
@@ -193,7 +213,9 @@ impl ForkJoinPool {
 
 impl Drop for ForkJoinPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Relaxed: a pure termination flag — workers re-poll it every
+        // loop and `join()` below is the actual synchronization point.
+        self.shared.shutdown.store(true, Ordering::Relaxed);
         self.shared.idle_cv.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -213,7 +235,12 @@ fn run_task(task: Task, ctx: &TaskCtx<'_>, shared: &Shared) {
         let mut slot = shared.panic.lock().unwrap_or_else(PoisonError::into_inner);
         slot.get_or_insert(message);
     }
-    shared.pending.fetch_sub(1, Ordering::SeqCst);
+    // The release half publishes this task's effects to whoever
+    // observes the count hit 0 (the scope caller's Acquire load); the
+    // acquire half chains earlier decrements so the final decrementer
+    // also happens-after every other task.
+    // ord: AcqRel — release publishes the task body, acquire chains prior decrements
+    shared.pending.fetch_sub(1, Ordering::AcqRel);
 }
 
 /// Pop local, then steal from the injector, then from random peers.
@@ -244,17 +271,21 @@ fn background_loop(id: usize, shared: &Shared) {
     let mut rng = Xoshiro256StarStar::for_stream(0xBEE5, id as u64);
     let mut idle_rounds = 0u32;
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        // Relaxed: termination flag, re-polled each round (see Drop).
+        if shared.shutdown.load(Ordering::Relaxed) {
             return;
         }
         if let Some(task) = find_task(shared, id, &mut rng) {
             idle_rounds = 0;
             run_task(task, &ctx, shared);
-        } else if shared.pending.load(Ordering::SeqCst) == 0 {
+        // Relaxed: a sleep heuristic, not a protocol edge — a stale
+        // non-zero just spins once more, and a stale zero at worst naps
+        // through one 50ms wait_timeout round before re-polling.
+        } else if shared.pending.load(Ordering::Relaxed) == 0 {
             // Nothing anywhere: sleep until a scope starts.
             let guard = shared.idle_lock.lock().unwrap_or_else(PoisonError::into_inner);
-            if shared.pending.load(Ordering::SeqCst) == 0
-                && !shared.shutdown.load(Ordering::SeqCst)
+            if shared.pending.load(Ordering::Relaxed) == 0
+                && !shared.shutdown.load(Ordering::Relaxed)
             {
                 let _ = shared
                     .idle_cv
@@ -283,9 +314,9 @@ mod tests {
         let mut pool = ForkJoinPool::new(2);
         let flag = AtomicBool::new(false);
         pool.scope(|_| {
-            flag.store(true, Ordering::SeqCst);
+            flag.store(true, Ordering::Relaxed);
         });
-        assert!(flag.load(Ordering::SeqCst));
+        assert!(flag.load(Ordering::Relaxed));
     }
 
     #[test]
@@ -295,7 +326,7 @@ mod tests {
         let leaves = Arc::new(AtomicU64::new(0));
         fn fan(ctx: &TaskCtx<'_>, depth: u32, leaves: Arc<AtomicU64>) {
             if depth == 0 {
-                leaves.fetch_add(1, Ordering::SeqCst);
+                leaves.fetch_add(1, Ordering::Relaxed);
             } else {
                 let l = Arc::clone(&leaves);
                 let r = Arc::clone(&leaves);
@@ -305,7 +336,7 @@ mod tests {
         }
         let l = Arc::clone(&leaves);
         pool.scope(move |ctx| fan(ctx, 10, l));
-        assert_eq!(leaves.load(Ordering::SeqCst), 1024);
+        assert_eq!(leaves.load(Ordering::Relaxed), 1024);
     }
 
     #[test]
@@ -319,11 +350,11 @@ mod tests {
             let c: &'static AtomicUsize = unsafe { std::mem::transmute(&counter) };
             for _ in 0..256 {
                 ctx.spawn(move |_| {
-                    c.fetch_add(1, Ordering::SeqCst);
+                    c.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
-        assert_eq!(counter.load(Ordering::SeqCst), 256);
+        assert_eq!(counter.load(Ordering::Relaxed), 256);
     }
 
     #[test]
@@ -335,11 +366,11 @@ mod tests {
             for i in 1..=100u64 {
                 let s = Arc::clone(&s);
                 ctx.spawn(move |_| {
-                    s.fetch_add(i, Ordering::SeqCst);
+                    s.fetch_add(i, Ordering::Relaxed);
                 });
             }
         });
-        assert_eq!(sum.load(Ordering::SeqCst), 5050);
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
     }
 
     #[test]
@@ -352,12 +383,12 @@ mod tests {
                 for _ in 0..10 {
                     let t = Arc::clone(&t);
                     ctx.spawn(move |_| {
-                        t.fetch_add(1, Ordering::SeqCst);
+                        t.fetch_add(1, Ordering::Relaxed);
                     });
                 }
             });
         }
-        assert_eq!(total.load(Ordering::SeqCst), 200);
+        assert_eq!(total.load(Ordering::Relaxed), 200);
     }
 
     #[test]
@@ -371,11 +402,11 @@ mod tests {
                 let s = Arc::clone(&s);
                 ctx.spawn(move |c| {
                     assert!(c.worker_id() < c.threads());
-                    s.fetch_or(1 << c.worker_id(), Ordering::SeqCst);
+                    s.fetch_or(1 << c.worker_id(), Ordering::Relaxed);
                 });
             }
         });
-        assert_ne!(seen.load(Ordering::SeqCst), 0);
+        assert_ne!(seen.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -392,7 +423,7 @@ mod tests {
         let done = Arc::new(AtomicU64::new(0));
         fn chain(ctx: &TaskCtx<'_>, depth: u32, done: Arc<AtomicU64>) {
             if depth == 0 {
-                done.fetch_add(1, Ordering::SeqCst);
+                done.fetch_add(1, Ordering::Relaxed);
             } else {
                 ctx.spawn(move |c| chain(c, depth - 1, done));
             }
@@ -404,7 +435,7 @@ mod tests {
                 ctx.spawn(move |c| chain(c, i % 17, d));
             }
         });
-        assert_eq!(done.load(Ordering::SeqCst), 50);
+        assert_eq!(done.load(Ordering::Relaxed), 50);
     }
 
     /// Tasks that allocate and drop owned data (checks nothing leaks or
@@ -414,7 +445,7 @@ mod tests {
         struct Probe(Arc<AtomicU64>);
         impl Drop for Probe {
             fn drop(&mut self) {
-                self.0.fetch_add(1, Ordering::SeqCst);
+                self.0.fetch_add(1, Ordering::Relaxed);
             }
         }
         let drops = Arc::new(AtomicU64::new(0));
@@ -428,7 +459,7 @@ mod tests {
                 });
             }
         });
-        assert_eq!(drops.load(Ordering::SeqCst), 100);
+        assert_eq!(drops.load(Ordering::Relaxed), 100);
     }
 
     /// Heavy oversubscription: more pool threads than cores with a deep
@@ -439,7 +470,7 @@ mod tests {
         let leaves = Arc::new(AtomicU64::new(0));
         fn fan(ctx: &TaskCtx<'_>, depth: u32, leaves: Arc<AtomicU64>) {
             if depth == 0 {
-                leaves.fetch_add(1, Ordering::SeqCst);
+                leaves.fetch_add(1, Ordering::Relaxed);
             } else {
                 for _ in 0..2 {
                     let l = Arc::clone(&leaves);
@@ -449,7 +480,7 @@ mod tests {
         }
         let l = Arc::clone(&leaves);
         pool.scope(move |ctx| fan(ctx, 8, l));
-        assert_eq!(leaves.load(Ordering::SeqCst), 256);
+        assert_eq!(leaves.load(Ordering::Relaxed), 256);
     }
 
     /// A panicking task must not wedge the scope: remaining tasks finish,
@@ -467,7 +498,7 @@ mod tests {
                         if i == 7 {
                             panic!("task blew up");
                         }
-                        s.fetch_add(1, Ordering::SeqCst);
+                        s.fetch_add(1, Ordering::Relaxed);
                     });
                 }
             });
@@ -475,7 +506,7 @@ mod tests {
         let err = result.expect_err("scope must re-raise the task panic");
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.contains("task blew up"), "got: {msg:?}");
-        assert_eq!(survivors.load(Ordering::SeqCst), 31, "non-panicking tasks must all run");
+        assert_eq!(survivors.load(Ordering::Relaxed), 31, "non-panicking tasks must all run");
         // Pool remains usable for subsequent scopes.
         let again = Arc::new(AtomicU64::new(0));
         let a = Arc::clone(&again);
@@ -483,10 +514,10 @@ mod tests {
             for _ in 0..8 {
                 let a = Arc::clone(&a);
                 ctx.spawn(move |_| {
-                    a.fetch_add(1, Ordering::SeqCst);
+                    a.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
-        assert_eq!(again.load(Ordering::SeqCst), 8);
+        assert_eq!(again.load(Ordering::Relaxed), 8);
     }
 }

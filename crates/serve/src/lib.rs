@@ -583,6 +583,7 @@ fn extract_members(queue: &mut VecDeque<Job>, leader: &Job, extra: usize) -> Vec
 /// from `wait()` must observe its own query in the stats, and the
 /// channel's send/recv pair is the happens-before edge that makes the
 /// relaxed counter increments visible to it.
+#[allow(clippy::too_many_arguments)]
 fn respond(
     shared: &Shared,
     cfg: &EngineConfig,

@@ -127,10 +127,7 @@ pub fn scrape(addr: impl ToSocketAddrs, path: &str) -> io::Result<String> {
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))?;
     let status_line = headers.lines().next().unwrap_or("");
     if !status_line.contains(" 200 ") {
-        return Err(io::Error::new(
-            io::ErrorKind::Other,
-            format!("scrape {path}: {status_line}"),
-        ));
+        return Err(io::Error::other(format!("scrape {path}: {status_line}")));
     }
     Ok(body.to_string())
 }

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Mutation self-test for obfs-lint (invoked by .github/workflows/ci.yml,
+# runnable locally from anywhere in the repo).
+#
+# The fixture tests prove each pass fires on synthetic trees; this
+# script proves the deployed gate fires on *this* tree: it copies the
+# repo, seeds an atomic RMW into the first hot-path region of
+# crates/core/src/state.rs, and requires the prebuilt analyzer to exit 1
+# with a `hot-path-atomics` finding. If the markers drifted, the scan
+# skipped the file, or the zero-RMW rule went soft, the seeded violation
+# sails through and this script fails CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint mutation self-test =="
+cargo build --release --quiet -p obfs-lint
+bin="$(pwd)/target/release/obfs-lint"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Copy the tree minus the build cache and git metadata.
+for entry in ./* ./.github; do
+    base="$(basename "$entry")"
+    [[ "$base" == "target" || "$base" == "*" ]] && continue
+    cp -r "$entry" "$tmp/"
+done
+
+echo "-- control: the pristine copy must pass --"
+"$bin" "$tmp" >/dev/null
+
+victim="$tmp/crates/core/src/state.rs"
+grep -q 'lint:region hot-path:' "$victim" || {
+    echo "error: no hot-path region marker in state.rs — mutation has no target" >&2
+    exit 1
+}
+awk '
+    !seeded && /lint:region hot-path:/ {
+        print
+        print "    POISON.fetch_add(1, ORD); // seeded by lint_selftest.sh"
+        seeded = 1
+        next
+    }
+    { print }
+' "$victim" > "$victim.tmp" && mv "$victim.tmp" "$victim"
+
+echo "-- mutant: a seeded RMW in a hot-path region must fail the lint --"
+set +e
+out="$("$bin" "$tmp" 2>&1)"
+status=$?
+set -e
+if [[ "$status" -ne 1 ]]; then
+    echo "error: expected exit 1 from the mutated tree, got $status" >&2
+    echo "$out" >&2
+    exit 1
+fi
+if ! grep -q 'hot-path-atomics' <<<"$out"; then
+    echo "error: mutated tree failed, but not with a hot-path-atomics finding:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
+echo "lint_selftest.sh: seeded hot-path RMW was caught (exit 1, hot-path-atomics)"

@@ -8,10 +8,14 @@
 #      must find every seeded bug while the real protocols hold
 #      (crates/core/src/model). Always runs — needs no nightly, no
 #      sanitizer runtime, no network.
-#   2. obfs-lint: unsafe/ordering hygiene — SAFETY comments on every
-#      unsafe block, the crates/sync containment allowlist, feature-shim
-#      signature parity, and DESIGN.md flight-taxonomy drift. Always
-#      runs.
+#   2. obfs-lint: the token-aware race-surface audit — SAFETY comments
+#      on every unsafe block, the counted crates/sync containment
+#      allowlist, zero locks/RMWs in every hot-path region (budgets
+#      pinned in lint/budget.txt), `// ord:` justifications on strong
+#      orderings, racy-protocol claim/revalidation pairing, feature-shim
+#      signature parity, and DESIGN.md flight-taxonomy drift — then the
+#      mutation self-test, which seeds an RMW into a live hot-path
+#      region and requires the analyzer to catch it. Always runs.
 #   3. The chaos suite: every parallel algorithm under deterministic
 #      fault plans, asserting exact results AND that each recovery
 #      counter fires (tests/chaos.rs + the chaos-gated unit tests).
@@ -39,8 +43,9 @@ echo "== leg 1: bounded model check of the racy protocol cores =="
 cargo run --release --quiet -p obfs-cli -- model
 race_legs_run=$((race_legs_run + 1))
 
-echo "== leg 2: obfs-lint (unsafe/ordering audit) =="
+echo "== leg 2: obfs-lint (race-surface audit + mutation self-test) =="
 cargo run --release --quiet -p obfs-lint -- .
+./scripts/lint_selftest.sh
 
 echo "== leg 3: chaos fault-injection suite (default backend) =="
 cargo test --features chaos --quiet
